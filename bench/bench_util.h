@@ -1,0 +1,35 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's tables/figures.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <fstream>
+#include <string>
+
+#include "src/analyzer/analyzer.h"
+#include "src/app/app.h"
+#include "src/verifier/report.h"
+
+namespace noctua::bench {
+
+// Lines of code of an app's defining C++ source (the Table 4 LoC counterpart; the paper
+// counts Python lines, we count ours).
+inline size_t CountLoc(const std::string& path) {
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (!isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    lines += blank ? 0 : 1;
+  }
+  return lines;
+}
+
+}  // namespace noctua::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Regenerates paper Figures 10 and 11: end-to-end throughput and average user-perceived
+// latency for zhihu (ZH) and PostGraduation (PG) on a 3-site deployment with 1 ms
+// injected cross-site latency. Four setups per app: strong consistency (SC: every
+// request coordinated) and PoR with 50% / 30% / 15% write workloads using the restriction
+// set computed by the verifier.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/postgraduation.h"
+#include "src/apps/zhihu.h"
+#include "src/repl/simulator.h"
+#include "src/support/strings.h"
+#include "src/support/table.h"
+
+int main() {
+  using namespace noctua;
+  printf("== Figures 10 & 11: end-to-end throughput and latency (3 sites, 1 ms RTT leg) ==\n\n");
+
+  struct Setup {
+    const char* label;
+    bool sc;
+    double write_ratio;
+  };
+  const Setup kSetups[] = {
+      {"SC", true, 0.5}, {"50%", false, 0.5}, {"30%", false, 0.3}, {"15%", false, 0.15}};
+
+  TextTable tput({"Application", "SC (op/s)", "50% (op/s)", "30% (op/s)", "15% (op/s)",
+                  "max speedup"});
+  TextTable lat({"Application", "SC (ms)", "50% (ms)", "30% (ms)", "15% (ms)"});
+
+  struct AppCase {
+    const char* label;
+    app::App app;
+  };
+  std::vector<AppCase> cases;
+  cases.push_back({"ZH (zhihu)", apps::MakeZhihuApp()});
+  cases.push_back({"PG (postgraduation)", apps::MakePostGraduationApp()});
+
+  for (AppCase& c : cases) {
+    analyzer::AnalysisResult res = analyzer::AnalyzeApp(c.app);
+    auto eff = res.EffectfulPaths();
+    fprintf(stderr, "[fig10] computing restriction set for %s...\n", c.label);
+    verifier::RestrictionReport report =
+        verifier::AnalyzeRestrictions(c.app.schema(), eff, {});
+    repl::ConflictTable conflicts;
+    for (const auto& v : report.pairs) {
+      if (v.Restricted()) {
+        conflicts.AddPair(v.p.substr(0, v.p.find('#')), v.q.substr(0, v.q.find('#')));
+      }
+    }
+    std::vector<std::string> tput_row = {c.label};
+    std::vector<std::string> lat_row = {c.label};
+    double sc_tput = 0;
+    double best_tput = 0;
+    for (const Setup& setup : kSetups) {
+      repl::SimOptions options;
+      options.write_ratio = setup.write_ratio;
+      options.strong_consistency = setup.sc;
+      options.duration_ms = 2000;
+      repl::ConflictTable table = conflicts;
+      if (setup.sc) {
+        table.SetTotal(true);
+      }
+      repl::Simulator sim(c.app.schema(), res.paths, table, options);
+      repl::SimResult result = sim.Run();
+      if (!result.converged) {
+        fprintf(stderr, "WARNING: %s %s did not converge\n", c.label, setup.label);
+      }
+      tput_row.push_back(FormatDouble(result.ThroughputOpsPerSec(), 0));
+      lat_row.push_back(FormatDouble(result.avg_latency_ms, 3));
+      if (setup.sc) {
+        sc_tput = result.ThroughputOpsPerSec();
+      } else {
+        best_tput = std::max(best_tput, result.ThroughputOpsPerSec());
+      }
+    }
+    tput_row.push_back(FormatDouble(best_tput / sc_tput, 2) + "x");
+    tput.AddRow(tput_row);
+    lat.AddRow(lat_row);
+  }
+
+  printf("Figure 10 (throughput):\n%s\n", tput.Render().c_str());
+  printf("Figure 11 (average user-perceived latency):\n%s\n", lat.Render().c_str());
+  printf("Shape to reproduce: PoR beats SC for both apps (paper: up to 2.8x for ZH), and\n"
+         "throughput rises as the write ratio falls (less coordination).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks for the SMT substrate and the verifier's hot paths:
+// term interning, grounding, solving a representative check, and a full pair check.
+#include <benchmark/benchmark.h>
+
+#include "src/analyzer/analyzer.h"
+#include "src/apps/smallbank.h"
+#include "src/smt/ground.h"
+#include "src/smt/solver.h"
+#include "src/verifier/checker.h"
+
+namespace {
+
+using namespace noctua;
+using smt::Sort;
+using smt::Term;
+using smt::TermFactory;
+
+void BM_TermInterning(benchmark::State& state) {
+  for (auto _ : state) {
+    TermFactory f;
+    Term acc = f.IntLit(0);
+    for (int i = 0; i < 256; ++i) {
+      acc = f.Add(acc, f.Mul(f.IntLit(i % 7), f.Const("x" + std::to_string(i % 16),
+                                                      smt::IntSort())));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TermInterning);
+
+void BM_LinearNormalization(benchmark::State& state) {
+  TermFactory f;
+  Term x = f.Const("x", smt::IntSort());
+  Term y = f.Const("y", smt::IntSort());
+  for (auto _ : state) {
+    // (x + y) - (y + x) must normalize to 0.
+    Term t = f.Sub(f.Add(x, y), f.Add(y, x));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_LinearNormalization);
+
+void BM_GroundQuantifier(benchmark::State& state) {
+  int scope = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TermFactory f;
+    Sort rs = smt::RefSort(0);
+    Term ids = f.Const("ids", smt::SetSort(rs));
+    Term data = f.Const("data", smt::ArraySort(rs, smt::TupleSort({rs, smt::IntSort()})));
+    Term x = f.NewBoundVar(rs);
+    Term y = f.NewBoundVar(rs);
+    Term axiom = f.Forall(
+        x, f.Forall(y, f.Implies(f.And({f.Member(x, ids), f.Member(y, ids),
+                                        f.Eq(f.Proj(f.Select(data, x), 1),
+                                             f.Proj(f.Select(data, y), 1))}),
+                                 f.Eq(x, y))));
+    smt::Grounder g(&f, smt::Scope(scope));
+    benchmark::DoNotOptimize(g.Ground(axiom));
+  }
+}
+BENCHMARK(BM_GroundQuantifier)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SolveUniqueFieldQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    TermFactory f;
+    Sort rs = smt::RefSort(0);
+    Sort obj = smt::TupleSort({rs, smt::IntSort()});
+    Term data = f.Const("data", smt::ArraySort(rs, obj));
+    Term ids = f.Const("ids", smt::SetSort(rs));
+    Term v = f.NewBoundVar(rs);
+    Term wf = f.Forall(v, f.Eq(f.Proj(f.Select(data, v), 0), v));
+    Term x = f.Const("x", rs);
+    Term y = f.Const("y", rs);
+    smt::Solver solver{smt::SolverOptions{}};
+    auto r = solver.CheckSat(
+        f, {wf, f.Member(x, ids), f.Member(y, ids),
+            f.Eq(f.Proj(f.Select(data, x), 1), f.Proj(f.Select(data, y), 1)),
+            f.Neq(x, y)});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SolveUniqueFieldQuery);
+
+// One full commutativity + semantic check on a real pair (the verifier's unit of work).
+void BM_FullPairCheck(benchmark::State& state) {
+  static app::App a = apps::MakeSmallBankApp();
+  static analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
+  static std::vector<soir::CodePath> eff = res.EffectfulPaths();
+  verifier::Checker checker(a.schema(), {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.CheckCommutativity(eff[1], eff[2]));
+    benchmark::DoNotOptimize(checker.CheckSemantic(eff[1], eff[2]));
+  }
+}
+BENCHMARK(BM_FullPairCheck);
+
+void BM_AnalyzeSmallBank(benchmark::State& state) {
+  app::App a = apps::MakeSmallBankApp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer::AnalyzeApp(a));
+  }
+}
+BENCHMARK(BM_AnalyzeSmallBank);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Regenerates paper Table 7 and Figure 9: PostGraduation verified with the order
+// encoding enabled vs disabled. PostGraduation uses no order-related primitives, so the
+// results must be identical and the time difference negligible — the decoupling property
+// of the order-aware encoding (§4.2: "without cost for ordering information").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/postgraduation.h"
+#include "src/support/strings.h"
+#include "src/support/table.h"
+
+int main() {
+  using namespace noctua;
+  printf("== Table 7 / Figure 9: PostGraduation with order enabled vs disabled ==\n\n");
+  app::App a = apps::MakePostGraduationApp();
+  analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
+  auto eff = res.EffectfulPaths();
+
+  verifier::CheckerOptions with_order;
+  with_order.encoder.use_order = true;
+  verifier::CheckerOptions no_order;
+  no_order.encoder.use_order = false;
+
+  verifier::RestrictionReport has = verifier::AnalyzeRestrictions(a.schema(), eff, with_order);
+  verifier::RestrictionReport without = verifier::AnalyzeRestrictions(a.schema(), eff, no_order);
+
+  TextTable table({"", "Has order", "No order"});
+  table.AddRow({"#Com. failures", std::to_string(has.com_failures()),
+                std::to_string(without.com_failures())});
+  table.AddRow({"#Sem. failures", std::to_string(has.sem_failures()),
+                std::to_string(without.sem_failures())});
+  table.AddRow({"Com. check time (s)", FormatDouble(has.com_seconds(), 3),
+                FormatDouble(without.com_seconds(), 3)});
+  table.AddRow({"Sem. check time (s)", FormatDouble(has.sem_seconds(), 3),
+                FormatDouble(without.sem_seconds(), 3)});
+  table.AddRow({"Total time (s)", FormatDouble(has.total_seconds, 3),
+                FormatDouble(without.total_seconds, 3)});
+  printf("%s\n", table.Render().c_str());
+  printf("Paper reference (Table 7): 24 com / 10 sem failures in both columns — the\n"
+         "property to reproduce is *identical results and comparable times* with order\n"
+         "on and off for an app that never observes order.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Example: what the unique-ID optimization (paper §5.2) buys — the restriction set of
+// Courseware with and without the assertion that database-generated IDs are globally
+// unique. Without it, every insert conflicts with itself.
+#include <cstdio>
+
+#include "src/analyzer/analyzer.h"
+#include "src/apps/courseware.h"
+#include "src/verifier/report.h"
+
+int main() {
+  using namespace noctua;
+  app::App a = apps::MakeCoursewareApp();
+  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(a);
+  auto effectful = analysis.EffectfulPaths();
+
+  verifier::CheckerOptions with_uid;    // default: optimization on
+  verifier::CheckerOptions without_uid;
+  without_uid.encoder.unique_id_optimization = false;
+
+  verifier::RestrictionReport on = verifier::AnalyzeRestrictions(a.schema(), effectful,
+                                                                 with_uid);
+  verifier::RestrictionReport off = verifier::AnalyzeRestrictions(a.schema(), effectful,
+                                                                  without_uid);
+
+  printf("Courseware restrictions WITH the unique-ID assertion (%zu):\n",
+         on.num_restrictions());
+  for (const auto& p : on.RestrictedPairNames()) {
+    printf("  %s\n", p.c_str());
+  }
+  printf("\nCourseware restrictions WITHOUT it (%zu):\n", off.num_restrictions());
+  for (const auto& p : off.RestrictedPairNames()) {
+    printf("  %s\n", p.c_str());
+  }
+  printf("\nThe delta is exactly the self-pairs of inserting operations: without the\n"
+         "assertion the two replicas \"could\" draw the same fresh ID, an impossible\n"
+         "execution the optimization rules out (paper §5.2).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Example: from analysis to deployment — using Noctua's restriction set to run a
+// geo-replicated SmallBank on the 3-site simulator, and comparing it against strong
+// consistency (the end-to-end story of paper §6.5).
+#include <cstdio>
+
+#include "src/analyzer/analyzer.h"
+#include "src/apps/smallbank.h"
+#include "src/repl/simulator.h"
+#include "src/verifier/report.h"
+
+int main() {
+  using namespace noctua;
+
+  app::App bank = apps::MakeSmallBankApp();
+  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(bank);
+  auto effectful = analysis.EffectfulPaths();
+
+  // Compute the PoR restriction set with the verifier.
+  verifier::RestrictionReport report =
+      verifier::AnalyzeRestrictions(bank.schema(), effectful, {});
+  repl::ConflictTable conflicts;
+  printf("Restriction set:\n");
+  for (const auto& v : report.pairs) {
+    if (v.Restricted()) {
+      std::string p = v.p.substr(0, v.p.find('#'));
+      std::string q = v.q.substr(0, v.q.find('#'));
+      conflicts.AddPair(p, q);
+      printf("  (%s, %s)\n", p.c_str(), q.c_str());
+    }
+  }
+
+  // Deploy on 3 sites, 1 ms cross-site latency, 30% writes.
+  repl::SimOptions options;
+  options.write_ratio = 0.3;
+  options.duration_ms = 2000;
+
+  repl::Simulator por(bank.schema(), analysis.paths, conflicts, options);
+  repl::SimResult por_result = por.Run();
+
+  options.strong_consistency = true;
+  repl::ConflictTable total;
+  total.SetTotal(true);
+  repl::Simulator sc(bank.schema(), analysis.paths, total, options);
+  repl::SimResult sc_result = sc.Run();
+
+  printf("\n%-22s %12s %12s %12s\n", "", "ops/s", "latency(ms)", "converged");
+  printf("%-22s %12.0f %12.3f %12s\n", "strong consistency", sc_result.ThroughputOpsPerSec(),
+         sc_result.avg_latency_ms, sc_result.converged ? "yes" : "NO");
+  printf("%-22s %12.0f %12.3f %12s\n", "PoR (Noctua)", por_result.ThroughputOpsPerSec(),
+         por_result.avg_latency_ms, por_result.converged ? "yes" : "NO");
+  printf("\nSpeedup: %.2fx — only the %zu restricted pairs pay coordination; every other\n"
+         "request runs against the local replica.\n",
+         por_result.ThroughputOpsPerSec() / sc_result.ThroughputOpsPerSec(),
+         report.num_restrictions());
+  return 0;
+}

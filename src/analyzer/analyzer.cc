@@ -1,0 +1,56 @@
+#include "src/analyzer/analyzer.h"
+
+#include <algorithm>
+
+#include "src/analyzer/trace.h"
+#include "src/analyzer/view_ctx.h"
+#include "src/support/check.h"
+#include "src/support/stopwatch.h"
+
+namespace noctua::analyzer {
+
+std::vector<soir::CodePath> AnalysisResult::EffectfulPaths() const {
+  std::vector<soir::CodePath> out;
+  std::copy_if(paths.begin(), paths.end(), std::back_inserter(out),
+               [](const soir::CodePath& p) { return p.IsEffectful(); });
+  return out;
+}
+
+void AnalyzeView(const soir::Schema& schema, const app::View& view,
+                 const AnalyzerOptions& options, AnalysisResult* result) {
+  PathFinder finder(options.path_finder);
+  TraceCtx trace(schema, &finder);
+  int path_index = 0;
+  do {
+    trace.StartPath();
+    ViewCtx ctx(&trace);
+    bool aborted = false;
+    try {
+      view.fn(ctx);
+    } catch (const AbortPath&) {
+      aborted = true;
+    }
+    ++result->num_code_paths;
+    if (!aborted) {
+      soir::CodePath path =
+          trace.Finish(view.name + "#p" + std::to_string(path_index), view.name);
+      if (path.IsEffectful()) {
+        ++result->num_effectful;
+      }
+      result->paths.push_back(std::move(path));
+    }
+    ++path_index;
+  } while (finder.NextPath());
+}
+
+AnalysisResult AnalyzeApp(const app::App& app, const AnalyzerOptions& options) {
+  Stopwatch watch;
+  AnalysisResult result;
+  for (const app::View& view : app.views()) {
+    AnalyzeView(app.schema(), view, options, &result);
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace noctua::analyzer

@@ -1,0 +1,41 @@
+// The ANALYZER driver (paper §4.1, Figure 5's AnalyzeApp / AnalyzeFunc).
+//
+// For every registered HTTP endpoint, the view function is re-executed under the path
+// finder until all code paths are traversed. Each completed run yields one SOIR code path;
+// runs ending in Abort (application-level rejection) are counted but carry no effects.
+#ifndef SRC_ANALYZER_ANALYZER_H_
+#define SRC_ANALYZER_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analyzer/path_finder.h"
+#include "src/app/app.h"
+#include "src/soir/ast.h"
+
+namespace noctua::analyzer {
+
+struct AnalyzerOptions {
+  PathFinder::Options path_finder;
+};
+
+struct AnalysisResult {
+  // Every non-aborted code path (effectful and read-only).
+  std::vector<soir::CodePath> paths;
+  size_t num_code_paths = 0;  // including aborted paths (paper Table 4 "#Code Paths")
+  size_t num_effectful = 0;   // paths with at least one non-guard command
+  double seconds = 0;
+
+  std::vector<soir::CodePath> EffectfulPaths() const;
+};
+
+// Analyzes a single view function (Fig. 5 AnalyzeFunc). Appends to `result`.
+void AnalyzeView(const soir::Schema& schema, const app::View& view,
+                 const AnalyzerOptions& options, AnalysisResult* result);
+
+// Analyzes every endpoint of the app (Fig. 5 AnalyzeApp).
+AnalysisResult AnalyzeApp(const app::App& app, const AnalyzerOptions& options = {});
+
+}  // namespace noctua::analyzer
+
+#endif  // SRC_ANALYZER_ANALYZER_H_

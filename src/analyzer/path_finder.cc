@@ -1,0 +1,57 @@
+#include "src/analyzer/path_finder.h"
+
+#include "src/support/check.h"
+
+namespace noctua::analyzer {
+
+void PathFinder::StartPath() {
+  cursor_ = 0;
+  occurrence_.clear();
+  ++paths_explored_;
+}
+
+bool PathFinder::Branch(const std::string& cond_key) {
+  // Distinguish repeated occurrences of the same condition within one path (loop
+  // iterations), so each gets its own decision point.
+  int occ = occurrence_[cond_key]++;
+  std::string key = occ == 0 ? cond_key : cond_key + "#" + std::to_string(occ);
+
+  if (cursor_ < decisions_.size()) {
+    // Replaying a previously made decision. The function must branch deterministically
+    // given the decisions so far; a mismatch means the app used extra-symbolic
+    // nondeterminism, which the analysis model excludes.
+    NOCTUA_CHECK_MSG(decisions_[cursor_].key == key,
+                     "non-deterministic branch order: expected " << decisions_[cursor_].key
+                                                                 << " got " << key);
+    return decisions_[cursor_++].value;
+  }
+  if (decisions_.size() >= options_.max_decisions_per_path) {
+    // Decision budget exhausted: force the false branch to steer loops toward exit
+    // without recording the decision (conservative truncation; §5.3).
+    budget_exhausted_ = true;
+    return false;
+  }
+  decisions_.push_back(Decision{key, true});  // new conditions take the true branch first
+  ++cursor_;
+  return true;
+}
+
+bool PathFinder::NextPath() {
+  if (paths_explored_ >= options_.max_paths) {
+    budget_exhausted_ = true;
+    return false;
+  }
+  // Drop decisions that never happened in this run (stale deeper state), then flip the
+  // deepest unflipped decision from true to false.
+  decisions_.resize(cursor_);
+  while (!decisions_.empty()) {
+    if (decisions_.back().value) {
+      decisions_.back().value = false;
+      return true;
+    }
+    decisions_.pop_back();
+  }
+  return false;
+}
+
+}  // namespace noctua::analyzer

@@ -1,0 +1,431 @@
+#include "src/analyzer/sym.h"
+
+#include <map>
+
+#include "src/support/check.h"
+
+namespace noctua::analyzer {
+namespace {
+
+using soir::CmpOp;
+using soir::Expr;
+using soir::ExprKind;
+using soir::ExprP;
+using soir::Type;
+
+bool IsLit(const ExprP& e) {
+  return e->kind == ExprKind::kBoolLit || e->kind == ExprKind::kIntLit ||
+         e->kind == ExprKind::kStrLit;
+}
+
+TraceCtx* JoinCtx(const Sym& a, const Sym& b) {
+  TraceCtx* ctx = a.ctx() ? a.ctx() : b.ctx();
+  return ctx;
+}
+
+Sym FoldCmp(CmpOp op, const Sym& a, const Sym& b) {
+  TraceCtx* ctx = JoinCtx(a, b);
+  const ExprP& ea = a.expr();
+  const ExprP& eb = b.expr();
+  NOCTUA_CHECK_MSG(ea && eb, "comparison of a default-constructed Sym");
+  if (IsLit(ea) && IsLit(eb)) {
+    // Concrete comparison: evaluate eagerly (Fig. 5 line 7).
+    bool result = false;
+    if (ea->kind == ExprKind::kStrLit) {
+      int c = ea->str.compare(eb->str);
+      switch (op) {
+        case CmpOp::kEq: result = c == 0; break;
+        case CmpOp::kNe: result = c != 0; break;
+        case CmpOp::kLt: result = c < 0; break;
+        case CmpOp::kLe: result = c <= 0; break;
+        case CmpOp::kGt: result = c > 0; break;
+        case CmpOp::kGe: result = c >= 0; break;
+      }
+    } else {
+      int64_t x = ea->int_val;
+      int64_t y = eb->int_val;
+      switch (op) {
+        case CmpOp::kEq: result = x == y; break;
+        case CmpOp::kNe: result = x != y; break;
+        case CmpOp::kLt: result = x < y; break;
+        case CmpOp::kLe: result = x <= y; break;
+        case CmpOp::kGt: result = x > y; break;
+        case CmpOp::kGe: result = x >= y; break;
+      }
+    }
+    return Sym(ctx, soir::MakeBoolLit(result));
+  }
+  return Sym(ctx, soir::MakeCmp(op, ea, eb));
+}
+
+Sym FoldArith(ExprKind kind, const Sym& a, const Sym& b) {
+  TraceCtx* ctx = JoinCtx(a, b);
+  const ExprP& ea = a.expr();
+  const ExprP& eb = b.expr();
+  if (ea->kind == ExprKind::kIntLit && eb->kind == ExprKind::kIntLit) {
+    int64_t x = ea->int_val;
+    int64_t y = eb->int_val;
+    int64_t r = kind == ExprKind::kAdd ? x + y : kind == ExprKind::kSub ? x - y : x * y;
+    return Sym(ctx, soir::MakeIntLit(r));
+  }
+  switch (kind) {
+    case ExprKind::kAdd:
+      return Sym(ctx, soir::MakeAdd(ea, eb));
+    case ExprKind::kSub:
+      return Sym(ctx, soir::MakeSub(ea, eb));
+    default:
+      return Sym(ctx, soir::MakeMul(ea, eb));
+  }
+}
+
+}  // namespace
+
+Sym::operator bool() const {
+  NOCTUA_CHECK_MSG(expr_, "branching on a default-constructed Sym");
+  if (expr_->kind == ExprKind::kBoolLit) {
+    return expr_->int_val != 0;
+  }
+  NOCTUA_CHECK_MSG(ctx_ != nullptr, "branching on a symbolic value with no trace context");
+  return ctx_->Branch(expr_);
+}
+
+Sym Sym::operator!() const {
+  if (expr_->kind == ExprKind::kBoolLit) {
+    return Sym(ctx_, soir::MakeBoolLit(expr_->int_val == 0));
+  }
+  return Sym(ctx_, soir::MakeNot(expr_));
+}
+
+Sym operator+(const Sym& a, const Sym& b) { return FoldArith(ExprKind::kAdd, a, b); }
+Sym operator-(const Sym& a, const Sym& b) { return FoldArith(ExprKind::kSub, a, b); }
+Sym operator*(const Sym& a, const Sym& b) { return FoldArith(ExprKind::kMul, a, b); }
+
+Sym Sym::operator-() const {
+  if (expr_->kind == ExprKind::kIntLit) {
+    return Sym(ctx_, soir::MakeIntLit(-expr_->int_val));
+  }
+  return Sym(ctx_, soir::MakeNegate(expr_));
+}
+
+Sym operator==(const Sym& a, const Sym& b) { return FoldCmp(CmpOp::kEq, a, b); }
+Sym operator!=(const Sym& a, const Sym& b) { return FoldCmp(CmpOp::kNe, a, b); }
+Sym operator<(const Sym& a, const Sym& b) { return FoldCmp(CmpOp::kLt, a, b); }
+Sym operator<=(const Sym& a, const Sym& b) { return FoldCmp(CmpOp::kLe, a, b); }
+Sym operator>(const Sym& a, const Sym& b) { return FoldCmp(CmpOp::kGt, a, b); }
+Sym operator>=(const Sym& a, const Sym& b) { return FoldCmp(CmpOp::kGe, a, b); }
+
+Sym operator&(const Sym& a, const Sym& b) {
+  TraceCtx* ctx = JoinCtx(a, b);
+  if (IsLit(a.expr()) && IsLit(b.expr())) {
+    return Sym(ctx, soir::MakeBoolLit(a.expr()->int_val != 0 && b.expr()->int_val != 0));
+  }
+  return Sym(ctx, soir::MakeAnd(a.expr(), b.expr()));
+}
+
+Sym operator|(const Sym& a, const Sym& b) {
+  TraceCtx* ctx = JoinCtx(a, b);
+  if (IsLit(a.expr()) && IsLit(b.expr())) {
+    return Sym(ctx, soir::MakeBoolLit(a.expr()->int_val != 0 || b.expr()->int_val != 0));
+  }
+  return Sym(ctx, soir::MakeOr(a.expr(), b.expr()));
+}
+
+Sym SymConcat(const Sym& a, const Sym& b) {
+  TraceCtx* ctx = JoinCtx(a, b);
+  if (a.expr()->kind == ExprKind::kStrLit && b.expr()->kind == ExprKind::kStrLit) {
+    return Sym(ctx, soir::MakeStrLit(a.expr()->str + b.expr()->str));
+  }
+  return Sym(ctx, soir::MakeConcat(a.expr(), b.expr()));
+}
+
+// --- Lookup resolution ----------------------------------------------------------------------
+
+LookupPath ResolveLookup(const soir::Schema& schema, int model_id, const std::string& key) {
+  LookupPath out;
+  out.final_model = model_id;
+  // Django separates lookup segments with double underscores.
+  std::vector<std::string> parts;
+  {
+    std::string rest = key;
+    size_t pos;
+    while ((pos = rest.find("__")) != std::string::npos) {
+      parts.push_back(rest.substr(0, pos));
+      rest = rest.substr(pos + 2);
+    }
+    parts.push_back(rest);
+  }
+  // A trailing comparison suffix?
+  static const std::map<std::string, CmpOp> kSuffixes = {
+      {"gt", CmpOp::kGt}, {"gte", CmpOp::kGe}, {"lt", CmpOp::kLt},
+      {"lte", CmpOp::kLe}, {"ne", CmpOp::kNe}, {"exact", CmpOp::kEq}};
+  if (parts.size() > 1) {
+    auto it = kSuffixes.find(parts.back());
+    if (it != kSuffixes.end()) {
+      out.op = it->second;
+      parts.pop_back();
+    }
+  }
+  int cur = model_id;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const std::string& seg = parts[i];
+    auto [rel_id, forward] = schema.FindRelation(cur, seg);
+    if (rel_id >= 0) {
+      out.steps.push_back(soir::RelStep{rel_id, forward});
+      const soir::RelationDef& rel = schema.relation(rel_id);
+      cur = forward ? rel.to_model : rel.from_model;
+      if (i + 1 == parts.size()) {
+        // Path ends in a related key: compare the target's pk.
+        out.target_is_relation = true;
+        out.field = schema.model(cur).pk_name();
+      }
+      continue;
+    }
+    NOCTUA_CHECK_MSG(i + 1 == parts.size(),
+                     "lookup segment " << seg << " is neither a relation of "
+                                       << schema.model(cur).name() << " nor final");
+    NOCTUA_CHECK_MSG(schema.model(cur).IsPk(seg) || schema.model(cur).FieldIndex(seg) >= 0,
+                     "unknown field " << seg << " on " << schema.model(cur).name());
+    out.field = seg;
+  }
+  out.final_model = cur;
+  return out;
+}
+
+// --- SymObj ----------------------------------------------------------------------------------
+
+Sym SymObj::attr(const std::string& field) const {
+  const soir::ModelDef& m = ctx_->schema().model(model_id());
+  if (m.IsPk(field) || field == "id") {
+    return Sym(ctx_, soir::MakeRefOf(expr_));
+  }
+  int idx = m.FieldIndex(field);
+  NOCTUA_CHECK_MSG(idx >= 0, "unknown field " << field << " on " << m.name());
+  const soir::FieldDef& f = m.field(idx);
+  Type t = Type::Int();
+  switch (f.type) {
+    case soir::FieldType::kBool:
+      t = Type::Bool();
+      break;
+    case soir::FieldType::kInt:
+      t = Type::Int();
+      break;
+    case soir::FieldType::kFloat:
+      t = Type::Float();
+      break;
+    case soir::FieldType::kString:
+      t = Type::String();
+      break;
+    case soir::FieldType::kDatetime:
+      t = Type::Datetime();
+      break;
+    case soir::FieldType::kRef:
+      t = Type::Int();
+      break;
+  }
+  return Sym(ctx_, soir::MakeGetField(expr_, field, t));
+}
+
+SymObj SymObj::with(const std::string& field, const Sym& value) const {
+  return SymObj(ctx_, soir::MakeSetField(expr_, field, value.expr()));
+}
+
+void SymObj::save() const {
+  const soir::ModelDef& m = ctx_->schema().model(model_id());
+  // Database-level validators become commit preconditions (paper §2.3: utility classes
+  // like PositiveIntegerField carry consistency-relevant semantics).
+  for (const soir::FieldDef& f : m.fields()) {
+    if (f.positive) {
+      ctx_->Guard(soir::MakeCmp(CmpOp::kGe, soir::MakeGetField(expr_, f.name, Type::Int()),
+                                soir::MakeIntLit(0)));
+    }
+    if (!f.choices.empty()) {
+      ExprP any;
+      for (const std::string& c : f.choices) {
+        ExprP eq = soir::MakeCmp(CmpOp::kEq,
+                                 soir::MakeGetField(expr_, f.name, Type::String()),
+                                 soir::MakeStrLit(c));
+        any = any ? soir::MakeOr(any, eq) : eq;
+      }
+      ctx_->Guard(any);
+    }
+  }
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kUpdate;
+  cmd.a = soir::MakeSingleton(expr_);
+  ctx_->Record(std::move(cmd));
+}
+
+namespace {
+// Client-side cascade expansion (Django performs cascades in Python, not in SQL).
+void CascadeDelete(TraceCtx* ctx, const ExprP& set, int depth) {
+  const soir::Schema& schema = ctx->schema();
+  int model = set->type.model_id;
+  if (depth < static_cast<int>(schema.num_models())) {
+    for (const soir::RelationDef& rel : schema.relations()) {
+      if (rel.to_model == model && rel.kind == soir::RelationKind::kManyToOne &&
+          rel.on_delete == soir::OnDelete::kCascade && rel.from_model != model) {
+        ExprP children =
+            soir::MakeFollow(set, {soir::RelStep{rel.id, /*forward=*/false}}, rel.from_model);
+        CascadeDelete(ctx, children, depth + 1);
+      }
+    }
+  }
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kDelete;
+  cmd.a = set;
+  ctx->Record(std::move(cmd));
+}
+}  // namespace
+
+void SymObj::destroy() const { CascadeDelete(ctx_, soir::MakeSingleton(expr_), 0); }
+
+Sym SymObj::ref() const { return Sym(ctx_, soir::MakeRefOf(expr_)); }
+
+SymObj SymObj::rel(const std::string& key) const {
+  auto [rel_id, forward] = ctx_->schema().FindRelation(model_id(), key);
+  NOCTUA_CHECK_MSG(rel_id >= 0, "unknown related key " << key);
+  const soir::RelationDef& rel = ctx_->schema().relation(rel_id);
+  int target = forward ? rel.to_model : rel.from_model;
+  ExprP set = soir::MakeFollow(soir::MakeSingleton(expr_), {soir::RelStep{rel_id, forward}},
+                               target);
+  // Django raises RelatedObjectDoesNotExist when the FK is null.
+  ctx_->Guard(soir::MakeExists(set));
+  return SymObj(ctx_, soir::MakeAny(set));
+}
+
+SymSet SymObj::rel_set(const std::string& key) const {
+  auto [rel_id, forward] = ctx_->schema().FindRelation(model_id(), key);
+  NOCTUA_CHECK_MSG(rel_id >= 0, "unknown related key " << key);
+  const soir::RelationDef& rel = ctx_->schema().relation(rel_id);
+  int target = forward ? rel.to_model : rel.from_model;
+  return SymSet(ctx_, soir::MakeFollow(soir::MakeSingleton(expr_),
+                                       {soir::RelStep{rel_id, forward}}, target));
+}
+
+// --- SymSet ----------------------------------------------------------------------------------
+
+SymSet SymSet::filter(const std::string& key, const Sym& value) const {
+  LookupPath lp = ResolveLookup(ctx_->schema(), model_id(), key);
+  return SymSet(ctx_, soir::MakeFilter(expr_, lp.steps, lp.field, lp.op, value.expr()));
+}
+
+SymSet SymSet::filter(const std::string& key, const SymObj& target) const {
+  LookupPath lp = ResolveLookup(ctx_->schema(), model_id(), key);
+  NOCTUA_CHECK_MSG(lp.target_is_relation, "object-valued filter needs a relation path");
+  return SymSet(ctx_, soir::MakeFilter(expr_, lp.steps, lp.field, lp.op,
+                                       soir::MakeRefOf(target.expr())));
+}
+
+SymObj SymSet::get(const std::string& key, const Sym& value) const {
+  SymSet matched = filter(key, value);
+  ctx_->Guard(soir::MakeExists(matched.expr()));
+  return SymObj(ctx_, soir::MakeAny(matched.expr()));
+}
+
+SymObj SymSet::get(const std::string& key, const SymObj& target) const {
+  SymSet matched = filter(key, target);
+  ctx_->Guard(soir::MakeExists(matched.expr()));
+  return SymObj(ctx_, soir::MakeAny(matched.expr()));
+}
+
+Sym SymSet::exists() const { return Sym(ctx_, soir::MakeExists(expr_)); }
+
+Sym SymSet::count() const {
+  return Sym(ctx_, soir::MakeAggregate(expr_, soir::AggOp::kCount, ""));
+}
+
+Sym SymSet::aggregate(soir::AggOp op, const std::string& field) const {
+  return Sym(ctx_, soir::MakeAggregate(expr_, op, field));
+}
+
+SymSet SymSet::order_by(const std::string& field) const {
+  bool asc = true;
+  std::string f = field;
+  if (!f.empty() && f[0] == '-') {
+    asc = false;
+    f = f.substr(1);
+  }
+  return SymSet(ctx_, soir::MakeOrderBy(expr_, f, asc));
+}
+
+SymSet SymSet::reversed() const { return SymSet(ctx_, soir::MakeReverse(expr_)); }
+
+SymObj SymSet::first() const {
+  ctx_->Guard(soir::MakeExists(expr_));
+  return SymObj(ctx_, soir::MakeFirst(expr_));
+}
+
+SymObj SymSet::last() const {
+  ctx_->Guard(soir::MakeExists(expr_));
+  return SymObj(ctx_, soir::MakeLast(expr_));
+}
+
+SymObj SymSet::any() const {
+  ctx_->Guard(soir::MakeExists(expr_));
+  return SymObj(ctx_, soir::MakeAny(expr_));
+}
+
+SymSet SymSet::follow(const std::string& key) const {
+  auto [rel_id, forward] = ctx_->schema().FindRelation(model_id(), key);
+  NOCTUA_CHECK_MSG(rel_id >= 0, "unknown related key " << key);
+  const soir::RelationDef& rel = ctx_->schema().relation(rel_id);
+  int target = forward ? rel.to_model : rel.from_model;
+  return SymSet(ctx_, soir::MakeFollow(expr_, {soir::RelStep{rel_id, forward}}, target));
+}
+
+void SymSet::RecordValidatorGuards(ExprP updated_set, const std::string& field) const {
+  const soir::ModelDef& m = ctx_->schema().model(model_id());
+  int idx = m.FieldIndex(field);
+  if (idx < 0) {
+    return;
+  }
+  const soir::FieldDef& f = m.field(idx);
+  if (f.positive) {
+    // No member of the updated set may have a negative value.
+    ExprP bad = soir::MakeFilter(updated_set, {}, field, CmpOp::kLt, soir::MakeIntLit(0));
+    ctx_->Guard(soir::MakeNot(soir::MakeExists(bad)));
+  }
+  if (!f.choices.empty()) {
+    ExprP bad = updated_set;
+    for (const std::string& c : f.choices) {
+      bad = soir::MakeFilter(bad, {}, field, CmpOp::kNe, soir::MakeStrLit(c));
+    }
+    ctx_->Guard(soir::MakeNot(soir::MakeExists(bad)));
+  }
+}
+
+void SymSet::update(const std::string& field, const Sym& value) const {
+  ExprP updated = soir::MakeMapSet(expr_, field, value.expr());
+  RecordValidatorGuards(updated, field);
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kUpdate;
+  cmd.a = std::move(updated);
+  ctx_->Record(std::move(cmd));
+}
+
+void SymSet::update_each(const std::string& field,
+                         const std::function<Sym(SymObj)>& fn) const {
+  SymObj bound(ctx_, soir::MakeBoundObj(model_id()));
+  Sym value = fn(bound);
+  ExprP updated = soir::MakeMapSet(expr_, field, value.expr());
+  RecordValidatorGuards(updated, field);
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kUpdate;
+  cmd.a = std::move(updated);
+  ctx_->Record(std::move(cmd));
+}
+
+void SymSet::del() const { CascadeDelete(ctx_, expr_, 0); }
+
+void SymSet::relink(const std::string& key, const SymObj& target) const {
+  auto [rel_id, forward] = ctx_->schema().FindRelation(model_id(), key);
+  NOCTUA_CHECK_MSG(rel_id >= 0 && forward, "relink needs a forward related key");
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kRLink;
+  cmd.relation = rel_id;
+  cmd.a = expr_;
+  cmd.b = target.expr();
+  ctx_->Record(std::move(cmd));
+}
+
+}  // namespace noctua::analyzer

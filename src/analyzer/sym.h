@@ -1,0 +1,168 @@
+// Symbolic values — the C++ counterpart of the paper's Sym class (Figure 6).
+//
+// Operations on Sym values are overloaded to build SOIR IR expressions instead of
+// computing; concrete values mixed into symbolic expressions are lifted to literals; and
+// the implicit conversion to bool — the analogue of Python's __bool__ — is the branching
+// hook that drives path exploration (paper §5.1 "Path discovery"). Purely concrete
+// computations fold eagerly, so they never reach the path finder (Fig. 5 line 7).
+//
+// SymObj and SymSet add the ORM facade: filter / get / order_by / update / delete / ...
+// Their effectful methods do not touch any database — they record SOIR commands in the
+// TraceCtx, which is exactly how the paper's analyzer collects effects (§4.1).
+#ifndef SRC_ANALYZER_SYM_H_
+#define SRC_ANALYZER_SYM_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analyzer/trace.h"
+#include "src/soir/ast.h"
+
+namespace noctua::analyzer {
+
+class SymObj;
+class SymSet;
+
+// A scalar symbolic value (Bool / Int / Float / String / Datetime / Ref).
+class Sym {
+ public:
+  Sym() = default;
+  Sym(TraceCtx* ctx, soir::ExprP expr) : ctx_(ctx), expr_(std::move(expr)) {}
+  // Literal lifting: lets application code write `count + 1`, `action == "delete"`.
+  Sym(int64_t v) : expr_(soir::MakeIntLit(v)) {}          // NOLINT(runtime/explicit)
+  Sym(int v) : expr_(soir::MakeIntLit(v)) {}              // NOLINT(runtime/explicit)
+  Sym(bool v) : expr_(soir::MakeBoolLit(v)) {}            // NOLINT(runtime/explicit)
+  Sym(const char* s) : expr_(soir::MakeStrLit(s)) {}      // NOLINT(runtime/explicit)
+  Sym(const std::string& s) : expr_(soir::MakeStrLit(s)) {}  // NOLINT(runtime/explicit)
+
+  const soir::ExprP& expr() const { return expr_; }
+  TraceCtx* ctx() const { return ctx_; }
+
+  // The branching hook (Python __bool__): concrete values return directly; symbolic ones
+  // consult the path finder and record the taken side as a path condition. Explicit, so it
+  // fires only in boolean contexts (if/while/&&) — exactly where Python calls __bool__.
+  explicit operator bool() const;
+
+  Sym operator!() const;
+
+  friend Sym operator+(const Sym& a, const Sym& b);
+  friend Sym operator-(const Sym& a, const Sym& b);
+  friend Sym operator*(const Sym& a, const Sym& b);
+  Sym operator-() const;
+  friend Sym operator==(const Sym& a, const Sym& b);
+  friend Sym operator!=(const Sym& a, const Sym& b);
+  friend Sym operator<(const Sym& a, const Sym& b);
+  friend Sym operator<=(const Sym& a, const Sym& b);
+  friend Sym operator>(const Sym& a, const Sym& b);
+  friend Sym operator>=(const Sym& a, const Sym& b);
+  // Non-short-circuiting logical connectives (&& / || cannot be overloaded faithfully).
+  friend Sym operator&(const Sym& a, const Sym& b);
+  friend Sym operator|(const Sym& a, const Sym& b);
+
+ private:
+  friend class SymObj;
+  friend class SymSet;
+  TraceCtx* ctx_ = nullptr;
+  soir::ExprP expr_;
+};
+
+// String concatenation (kept off operator+ to avoid ambiguity with arithmetic).
+Sym SymConcat(const Sym& a, const Sym& b);
+
+// A symbolic object (one model instance).
+class SymObj {
+ public:
+  SymObj() = default;
+  SymObj(TraceCtx* ctx, soir::ExprP expr) : ctx_(ctx), expr_(std::move(expr)) {}
+
+  const soir::ExprP& expr() const { return expr_; }
+  int model_id() const { return expr_->type.model_id; }
+
+  // Field read; `attr(pk_name)` or attr("id") yields the object's Ref.
+  Sym attr(const std::string& field) const;
+  // Functional field update (SOIR setf) — returns the modified object.
+  SymObj with(const std::string& field, const Sym& value) const;
+  // Persists this object: records update(singleton(obj)) plus validator guards.
+  void save() const;
+  // Deletes this object (cascading per the schema's on_delete policies).
+  void destroy() const;
+  Sym ref() const;
+
+  // Follows a forward relation with multiplicity one (obj.author); records an existence
+  // guard, mirroring Django raising RelatedObjectDoesNotExist.
+  SymObj rel(const std::string& key) const;
+  // Follows any related key to a query set (obj.article_set, many-to-many keys).
+  SymSet rel_set(const std::string& key) const;
+
+ private:
+  TraceCtx* ctx_ = nullptr;
+  soir::ExprP expr_;
+};
+
+// A symbolic query set.
+class SymSet {
+ public:
+  SymSet() = default;
+  SymSet(TraceCtx* ctx, soir::ExprP expr) : ctx_(ctx), expr_(std::move(expr)) {}
+
+  const soir::ExprP& expr() const { return expr_; }
+  int model_id() const { return expr_->type.model_id; }
+
+  // Django-style lookup: `key` is a "__"-separated path of related keys ending in a field
+  // ("author__name"), optionally with a comparison suffix ("age__gte"). A path ending in a
+  // related key compares the target's primary key ("author" ~ author's pk).
+  SymSet filter(const std::string& key, const Sym& value) const;
+  SymSet filter(const std::string& key, const SymObj& target) const;
+
+  // filter + existence guard + arbitrary element (Django .get()).
+  SymObj get(const std::string& key, const Sym& value) const;
+  SymObj get(const std::string& key, const SymObj& target) const;
+
+  Sym exists() const;
+  Sym count() const;
+  Sym aggregate(soir::AggOp op, const std::string& field) const;
+
+  // Django order_by("field") / order_by("-field").
+  SymSet order_by(const std::string& field) const;
+  SymSet reversed() const;
+  SymObj first() const;  // records an existence guard
+  SymObj last() const;
+  SymObj any() const;
+
+  SymSet follow(const std::string& key) const;
+
+  // Bulk update (Django queryset.update(field=value)); validator guards are recorded for
+  // the written field.
+  void update(const std::string& field, const Sym& value) const;
+  // Bulk update where the new value depends on the current object (F-expressions),
+  // e.g. qs.update_each("follow", [](SymObj o) { return o.attr("follow") + 1; }).
+  void update_each(const std::string& field, const std::function<Sym(SymObj)>& fn) const;
+  // Bulk delete with client-side cascade expansion per on_delete (like Django).
+  void del() const;
+
+  // Re-links the given forward relation of every member to `target`
+  // (queryset.update(author=target) in Django).
+  void relink(const std::string& key, const SymObj& target) const;
+
+ private:
+  void RecordValidatorGuards(soir::ExprP updated_set, const std::string& field) const;
+  TraceCtx* ctx_ = nullptr;
+  soir::ExprP expr_;
+};
+
+// Resolves a Django-style lookup path against the schema. Returns the relation steps, the
+// final field name and the comparison operator (from a __gte/__lt/... suffix, default ==).
+struct LookupPath {
+  std::vector<soir::RelStep> steps;
+  std::string field;      // final data field, or the pk name when comparing a relation
+  soir::CmpOp op = soir::CmpOp::kEq;
+  bool target_is_relation = false;  // true when the path's last key was a related key
+  int final_model = -1;             // model the field lives on
+};
+LookupPath ResolveLookup(const soir::Schema& schema, int model_id, const std::string& key);
+
+}  // namespace noctua::analyzer
+
+#endif  // SRC_ANALYZER_SYM_H_

@@ -1,0 +1,59 @@
+#include "src/analyzer/trace.h"
+
+#include "src/soir/printer.h"
+#include "src/support/check.h"
+
+namespace noctua::analyzer {
+
+void TraceCtx::StartPath() {
+  args_.clear();
+  arg_exprs_.clear();
+  commands_.clear();
+  fresh_counter_ = 0;
+  finder_->StartPath();
+}
+
+bool TraceCtx::Branch(const soir::ExprP& cond) {
+  NOCTUA_CHECK_MSG(cond->kind != soir::ExprKind::kBoolLit,
+                   "concrete conditions must be folded before branching");
+  bool taken = finder_->Branch(soir::PrintExpr(schema_, *cond));
+  Guard(taken ? cond : soir::MakeNot(cond));
+  return taken;
+}
+
+void TraceCtx::Guard(soir::ExprP cond) {
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kGuard;
+  cmd.a = std::move(cond);
+  commands_.push_back(std::move(cmd));
+}
+
+void TraceCtx::Record(soir::Command cmd) { commands_.push_back(std::move(cmd)); }
+
+soir::ExprP TraceCtx::Arg(const std::string& name, soir::Type type, bool unique_id) {
+  auto it = arg_exprs_.find(name);
+  if (it != arg_exprs_.end()) {
+    NOCTUA_CHECK_MSG(it->second->type == type,
+                     "argument " << name << " used at two different types");
+    return it->second;
+  }
+  soir::ExprP e = soir::MakeArg(name, type);
+  args_.push_back(soir::ArgDef{name, type, unique_id});
+  arg_exprs_[name] = e;
+  return e;
+}
+
+std::string TraceCtx::FreshArgName(const std::string& prefix) {
+  return prefix + "_" + std::to_string(fresh_counter_++);
+}
+
+soir::CodePath TraceCtx::Finish(const std::string& op_name, const std::string& view_name) {
+  soir::CodePath path;
+  path.op_name = op_name;
+  path.view_name = view_name;
+  path.args = args_;
+  path.commands = commands_;
+  return path;
+}
+
+}  // namespace noctua::analyzer

@@ -1,0 +1,67 @@
+// TraceCtx: the per-path recording state of the embedded analyzer.
+//
+// While a view function executes under the analyzer, every symbolic branch, discovered
+// argument and database effect flows through this context (paper §4.1: "the debugger
+// notifies the path finder of any branching event, while the path finder maintains the
+// current path state"; effects and arguments are recorded as they are encountered).
+#ifndef SRC_ANALYZER_TRACE_H_
+#define SRC_ANALYZER_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analyzer/path_finder.h"
+#include "src/soir/ast.h"
+#include "src/soir/schema.h"
+
+namespace noctua::analyzer {
+
+// Thrown when the application logic aborts the request (e.g. `raise RuntimeError()` in
+// paper Fig. 3); the path is still counted but produces no effects.
+struct AbortPath {};
+
+class TraceCtx {
+ public:
+  TraceCtx(const soir::Schema& schema, PathFinder* finder)
+      : schema_(schema), finder_(finder) {}
+
+  const soir::Schema& schema() const { return schema_; }
+
+  // Resets per-path state before re-running the view function.
+  void StartPath();
+
+  // Decides a symbolic branch: consults the path finder and records the taken side as a
+  // path condition (guard). `cond` must not be a literal.
+  bool Branch(const soir::ExprP& cond);
+
+  // Records a guard that is required for the request to commit (object existence,
+  // uniqueness, validators) without branching.
+  void Guard(soir::ExprP cond);
+
+  void Record(soir::Command cmd);
+
+  // Returns (creating on first use) the expression for a named argument. Arguments are
+  // discovered during execution, exactly like POST parameters in the paper (§4.1).
+  soir::ExprP Arg(const std::string& name, soir::Type type, bool unique_id = false);
+
+  // A fresh argument name, e.g. for IDs of newly created objects.
+  std::string FreshArgName(const std::string& prefix);
+
+  [[noreturn]] void Abort() { throw AbortPath{}; }
+
+  // Packages the recorded path. Call after the view function returned normally.
+  soir::CodePath Finish(const std::string& op_name, const std::string& view_name);
+
+ private:
+  const soir::Schema& schema_;
+  PathFinder* finder_;
+  std::vector<soir::ArgDef> args_;
+  std::map<std::string, soir::ExprP> arg_exprs_;
+  std::vector<soir::Command> commands_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace noctua::analyzer
+
+#endif  // SRC_ANALYZER_TRACE_H_

@@ -1,0 +1,138 @@
+#include "src/analyzer/view_ctx.h"
+
+#include "src/support/check.h"
+
+namespace noctua::analyzer {
+
+using soir::CmpOp;
+using soir::ExprP;
+using soir::Type;
+
+SymObj ViewCtx::Deref(const std::string& model, const Sym& ref) {
+  int m = schema().ModelId(model);
+  NOCTUA_CHECK_MSG(ref.expr()->type.kind == Type::Kind::kRef,
+                   "Deref needs a Ref-typed value (use ParamRef/PostRef)");
+  // guard(exists<Model>(ref)); obj = deref(ref) — paper §3.1.3.
+  ExprP matched = soir::MakeFilter(soir::MakeAll(m), {}, schema().model(m).pk_name(),
+                                   CmpOp::kEq, ref.expr());
+  trace_->Guard(soir::MakeExists(matched));
+  return SymObj(trace_, soir::MakeDeref(ref.expr()));
+}
+
+SymObj ViewCtx::Create(const std::string& model,
+                       std::vector<std::pair<std::string, Sym>> fields,
+                       std::vector<std::pair<std::string, SymObj>> links) {
+  int m = schema().ModelId(model);
+  const soir::ModelDef& md = schema().model(m);
+
+  // The database generates a globally-unique ID for the new object; it enters the path as
+  // a unique-id argument (§5.2) with the condition that it does not exist yet.
+  std::string id_name = trace_->FreshArgName("arg_new_" + md.name());
+  ExprP new_id = trace_->Arg(id_name, Type::Ref(m), /*unique_id=*/true);
+  ExprP already =
+      soir::MakeFilter(soir::MakeAll(m), {}, md.pk_name(), CmpOp::kEq, new_id);
+  trace_->Guard(soir::MakeNot(soir::MakeExists(already)));
+
+  // Assemble field values in schema order, defaulting unset fields.
+  std::vector<ExprP> values(md.fields().size());
+  for (auto& [name, sym] : fields) {
+    int idx = md.FieldIndex(name);
+    NOCTUA_CHECK_MSG(idx >= 0, "Create: unknown field " << name << " on " << md.name());
+    values[idx] = sym.expr();
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i]) {
+      const soir::FieldDef& fd = md.fields()[i];
+      switch (fd.type) {
+        case soir::FieldType::kBool:
+          values[i] = soir::MakeBoolLit(fd.default_int != 0);
+          break;
+        case soir::FieldType::kString:
+          values[i] = soir::MakeStrLit(fd.default_string);
+          break;
+        default:
+          values[i] = soir::MakeIntLit(fd.default_int);
+          break;
+      }
+    }
+  }
+
+  // Unique fields: the insert aborts if another object already holds the value
+  // (IntegrityError in Django); this is part of the commit precondition.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const soir::FieldDef& fd = md.fields()[i];
+    if (fd.unique) {
+      ExprP dup = soir::MakeFilter(soir::MakeAll(m), {}, fd.name, CmpOp::kEq, values[i]);
+      trace_->Guard(soir::MakeNot(soir::MakeExists(dup)));
+    }
+    if (fd.positive) {
+      trace_->Guard(soir::MakeCmp(CmpOp::kGe, values[i], soir::MakeIntLit(0)));
+    }
+  }
+
+  ExprP obj = soir::MakeNewObj(m, new_id, std::move(values));
+  soir::Command insert;
+  insert.kind = soir::CommandKind::kUpdate;
+  insert.a = soir::MakeSingleton(obj);
+  trace_->Record(std::move(insert));
+
+  SymObj result(trace_, obj);
+  for (auto& [key, target] : links) {
+    Link(key, result, target);
+  }
+  return result;
+}
+
+void ViewCtx::GuardUniqueTogether(const std::string& model,
+                                  std::vector<std::pair<std::string, SymObj>> rel_targets) {
+  int m = schema().ModelId(model);
+  ExprP matched = soir::MakeAll(m);
+  for (auto& [key, target] : rel_targets) {
+    LookupPath lp = ResolveLookup(schema(), m, key);
+    NOCTUA_CHECK_MSG(lp.target_is_relation, "GuardUniqueTogether needs relation keys");
+    matched = soir::MakeFilter(matched, lp.steps, lp.field, CmpOp::kEq,
+                               soir::MakeRefOf(target.expr()));
+  }
+  trace_->Guard(soir::MakeNot(soir::MakeExists(matched)));
+}
+
+namespace {
+std::pair<int, bool> RequireForward(const soir::Schema& schema, int model,
+                                    const std::string& key) {
+  auto [rel_id, forward] = schema.FindRelation(model, key);
+  NOCTUA_CHECK_MSG(rel_id >= 0, "unknown related key " << key);
+  return {rel_id, forward};
+}
+}  // namespace
+
+void ViewCtx::Link(const std::string& key, const SymObj& from, const SymObj& to) {
+  auto [rel_id, forward] = RequireForward(schema(), from.model_id(), key);
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kLink;
+  cmd.relation = rel_id;
+  cmd.a = forward ? from.expr() : to.expr();
+  cmd.b = forward ? to.expr() : from.expr();
+  trace_->Record(std::move(cmd));
+}
+
+void ViewCtx::Delink(const std::string& key, const SymObj& from, const SymObj& to) {
+  auto [rel_id, forward] = RequireForward(schema(), from.model_id(), key);
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kDelink;
+  cmd.relation = rel_id;
+  cmd.a = forward ? from.expr() : to.expr();
+  cmd.b = forward ? to.expr() : from.expr();
+  trace_->Record(std::move(cmd));
+}
+
+void ViewCtx::ClearLinks(const std::string& key, const SymObj& obj) {
+  auto [rel_id, forward] = RequireForward(schema(), obj.model_id(), key);
+  soir::Command cmd;
+  cmd.kind = soir::CommandKind::kClearLinks;
+  cmd.relation = rel_id;
+  cmd.a = obj.expr();
+  cmd.forward = forward;
+  trace_->Record(std::move(cmd));
+}
+
+}  // namespace noctua::analyzer

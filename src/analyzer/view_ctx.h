@@ -1,0 +1,84 @@
+// ViewCtx — the API surface application view functions are written against.
+//
+// A view function receives a ViewCtx and uses it to read request parameters, query models
+// and record effects, exactly like a Django view uses `request` and `Model.objects`. Under
+// the analyzer, every returned value is symbolic; parameter accesses are discovered as
+// code path arguments on first touch (paper §4.1 "whenever a new POST parameter is
+// accessed, it is automatically recorded as an additional argument").
+#ifndef SRC_ANALYZER_VIEW_CTX_H_
+#define SRC_ANALYZER_VIEW_CTX_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analyzer/sym.h"
+#include "src/analyzer/trace.h"
+
+namespace noctua::analyzer {
+
+class ViewCtx {
+ public:
+  explicit ViewCtx(TraceCtx* trace) : trace_(trace) {}
+
+  const soir::Schema& schema() const { return trace_->schema(); }
+  TraceCtx* trace() const { return trace_; }
+
+  // --- Request parameters (typed accessors; discovered as arguments on first use) --------
+  Sym Param(const std::string& name) { return ArgOf("arg_URL_" + name, soir::Type::String()); }
+  Sym ParamInt(const std::string& name) { return ArgOf("arg_URL_" + name, soir::Type::Int()); }
+  Sym ParamRef(const std::string& name, const std::string& model) {
+    return ArgOf("arg_URL_" + name, soir::Type::Ref(schema().ModelId(model)));
+  }
+  Sym Post(const std::string& name) { return ArgOf("arg_POST_" + name, soir::Type::String()); }
+  Sym PostInt(const std::string& name) { return ArgOf("arg_POST_" + name, soir::Type::Int()); }
+  Sym PostBool(const std::string& name) {
+    return ArgOf("arg_POST_" + name, soir::Type::Bool());
+  }
+  Sym PostRef(const std::string& name, const std::string& model) {
+    return ArgOf("arg_POST_" + name, soir::Type::Ref(schema().ModelId(model)));
+  }
+
+  // --- Model managers ---------------------------------------------------------------------
+  // Model.objects — the full query set of the model (SOIR all<model>).
+  SymSet M(const std::string& model) {
+    return SymSet(trace_, soir::MakeAll(schema().ModelId(model)));
+  }
+
+  // Dereferences a Ref-typed value (e.g. from ParamRef) into an object, guarding that it
+  // exists — the translation of Model.objects.get(pk=...) in the paper's Fig. 3 walkthrough.
+  SymObj Deref(const std::string& model, const Sym& ref);
+
+  // --- Object creation ----------------------------------------------------------------------
+  // Model.objects.create(...): allocates a globally-unique new ID (an argument marked
+  // unique_id, §5.2), guards against duplicates on unique fields, records the insert, and
+  // links the given forward relations. Fields not listed take their schema defaults.
+  SymObj Create(const std::string& model, std::vector<std::pair<std::string, Sym>> fields,
+                std::vector<std::pair<std::string, SymObj>> links = {});
+
+  // Declares a composite uniqueness constraint check for the *current request* — the
+  // "unique together" semantics of §6.4's FollowQuestion case: aborts (guards) unless no
+  // object already carries all the given relation targets.
+  void GuardUniqueTogether(const std::string& model,
+                           std::vector<std::pair<std::string, SymObj>> rel_targets);
+
+  // --- Relations ------------------------------------------------------------------------------
+  void Link(const std::string& key, const SymObj& from, const SymObj& to);
+  void Delink(const std::string& key, const SymObj& from, const SymObj& to);
+  void ClearLinks(const std::string& key, const SymObj& obj);
+
+  // --- Control --------------------------------------------------------------------------------
+  void Guard(const Sym& cond) { trace_->Guard(cond.expr()); }
+  [[noreturn]] void Abort() { trace_->Abort(); }
+
+ private:
+  Sym ArgOf(const std::string& name, soir::Type type) {
+    return Sym(trace_, trace_->Arg(name, type));
+  }
+
+  TraceCtx* trace_;
+};
+
+}  // namespace noctua::analyzer
+
+#endif  // SRC_ANALYZER_VIEW_CTX_H_

@@ -1,0 +1,70 @@
+#include "src/apps/blog.h"
+
+namespace noctua::apps {
+
+using analyzer::Sym;
+using analyzer::SymObj;
+using analyzer::SymSet;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+using soir::OnDelete;
+using soir::RelationKind;
+
+app::App MakeBlogApp() {
+  app::App app("blog", __FILE__);
+  soir::Schema& s = app.schema();
+
+  // class User(Model): name = TextField(primary_key=True)
+  s.AddModel("User", /*pk_name=*/"name");
+
+  // class Article(Model): url unique, author FK(User, SET_NULL), title, content, created.
+  s.AddModel("Article");
+  s.AddField("Article", FieldDef{.name = "url", .type = FieldType::kString, .unique = true});
+  s.AddField("Article", FieldDef{.name = "title", .type = FieldType::kString});
+  s.AddField("Article", FieldDef{.name = "content", .type = FieldType::kString});
+  s.AddField("Article", FieldDef{.name = "created", .type = FieldType::kDatetime});
+  s.AddRelation("author", "Article", "User", RelationKind::kManyToOne, OnDelete::kSetNull);
+
+  // class Comment(Model): user FK, article FK, text.
+  s.AddModel("Comment");
+  s.AddField("Comment", FieldDef{.name = "text", .type = FieldType::kString});
+  s.AddRelation("user", "Comment", "User", RelationKind::kManyToOne, OnDelete::kCascade);
+  s.AddRelation("article", "Comment", "Article", RelationKind::kManyToOne,
+                OnDelete::kCascade);
+
+  // def batch_update(request, username) — Figure 3, lines 13..23.
+  app.AddView("batch_update", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("username", "User"));
+    SymSet articles = v.M("Article").filter("author", user);
+    if (v.Post("action") == "delete") {
+      articles.del();
+    } else if (v.Post("action") == "transfer") {
+      SymObj to_user = v.Deref("User", v.PostRef("to_user", "User"));
+      articles.relink("author", to_user);
+    } else {
+      v.Abort();  // raise RuntimeError()
+    }
+  });
+
+  app.AddView("create_article", [](ViewCtx& v) {
+    SymObj author = v.Deref("User", v.PostRef("author", "User"));
+    v.Create("Article",
+             {{"url", v.Post("url")},
+              {"title", v.Post("title")},
+              {"content", v.Post("content")},
+              {"created", v.PostInt("now")}},
+             {{"author", author}});
+  });
+
+  app.AddView("add_comment", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.PostRef("user", "User"));
+    SymObj article = v.M("Article").get("url", v.Post("url"));
+    v.Create("Comment", {{"text", v.Post("text")}},
+             {{"user", user}, {"article", article}});
+  });
+
+  return app;
+}
+
+}  // namespace noctua::apps

@@ -1,0 +1,16 @@
+// The multi-user blog application of paper Figure 3 — used by the quickstart example and
+// the analyzer tests.
+#ifndef SRC_APPS_BLOG_H_
+#define SRC_APPS_BLOG_H_
+
+#include "src/app/app.h"
+
+namespace noctua::apps {
+
+// Models: User (pk name), Article (author FK -> User, unique url), Comment (user, article).
+// Views: batch_update (Fig. 3), create_article, add_comment.
+app::App MakeBlogApp();
+
+}  // namespace noctua::apps
+
+#endif  // SRC_APPS_BLOG_H_

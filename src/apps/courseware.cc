@@ -1,0 +1,57 @@
+#include "src/apps/courseware.h"
+
+namespace noctua::apps {
+
+using analyzer::SymObj;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+using soir::OnDelete;
+using soir::RelationKind;
+
+app::App MakeCoursewareApp() {
+  app::App app("courseware", __FILE__);
+  soir::Schema& s = app.schema();
+
+  s.AddModel("Student");
+  s.AddField("Student", FieldDef{.name = "name", .type = FieldType::kString});
+
+  s.AddModel("Course");
+  s.AddField("Course", FieldDef{.name = "title", .type = FieldType::kString});
+  s.AddField("Course", FieldDef{.name = "capacity", .type = FieldType::kInt});
+
+  // Enrolment references student and course with DO_NOTHING: referential integrity is an
+  // application invariant, not a storage guarantee (the Hamsaz formulation).
+  s.AddModel("Enrolment");
+  s.AddRelation("student", "Enrolment", "Student", RelationKind::kManyToOne,
+                OnDelete::kDoNothing);
+  s.AddRelation("course", "Enrolment", "Course", RelationKind::kManyToOne,
+                OnDelete::kDoNothing);
+
+  // Register(name): creates a student.
+  app.AddView("Register", [](ViewCtx& v) {
+    v.Create("Student", {{"name", v.Post("name")}});
+  });
+
+  // AddCourse(title): creates a course with a database-generated ID.
+  app.AddView("AddCourse", [](ViewCtx& v) {
+    v.Create("Course", {{"title", v.Post("title")}, {"capacity", v.PostInt("capacity")}});
+  });
+
+  // Enroll(student, course): requires both to exist (referential integrity).
+  app.AddView("Enroll", [](ViewCtx& v) {
+    SymObj student = v.Deref("Student", v.ParamRef("student", "Student"));
+    SymObj course = v.Deref("Course", v.ParamRef("course", "Course"));
+    v.Create("Enrolment", {}, {{"student", student}, {"course", course}});
+  });
+
+  // DeleteCourse(course): deletes by filter — no existence requirement, like Django's
+  // queryset.delete().
+  app.AddView("DeleteCourse", [](ViewCtx& v) {
+    v.M("Course").filter("id", v.ParamRef("course", "Course")).del();
+  });
+
+  return app;
+}
+
+}  // namespace noctua::apps

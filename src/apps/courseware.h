@@ -1,0 +1,20 @@
+// Courseware — the standard benchmark specified by Hamsaz, used for the correctness
+// comparison in paper Table 5.
+//
+// Three models (Student, Course, Enrolment) and two relations (paper Table 4). The only
+// invariant is referential integrity: enrolments must reference live students/courses.
+// Expected restrictions (paper §6.2): one commutativity failure (AddCourse, DeleteCourse)
+// — a freshly added course can carry the same ID an unrelated delete targets — and one
+// semantic failure (Enroll, DeleteCourse) — the course can be deleted under the enrolment.
+#ifndef SRC_APPS_COURSEWARE_H_
+#define SRC_APPS_COURSEWARE_H_
+
+#include "src/app/app.h"
+
+namespace noctua::apps {
+
+app::App MakeCoursewareApp();
+
+}  // namespace noctua::apps
+
+#endif  // SRC_APPS_COURSEWARE_H_

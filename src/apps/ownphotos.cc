@@ -1,0 +1,416 @@
+#include "src/apps/ownphotos.h"
+
+#include <string>
+#include <vector>
+
+namespace noctua::apps {
+
+using analyzer::Sym;
+using analyzer::SymObj;
+using analyzer::SymSet;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+using soir::OnDelete;
+using soir::RelationKind;
+
+namespace {
+
+// Registers a Django-REST-style viewset for `model`: create / partial_update / destroy /
+// share / unshare / favorite / retrieve endpoints, each with the usual permission branch
+// (only the owner may mutate). `text_fields` are the string columns partial_update may
+// patch; `share_rel` / `fav_rel` are optional M2M related keys to User.
+void RegisterViewSet(app::App& app, const std::string& model, const std::string& owner_rel,
+                     std::vector<std::string> text_fields, const std::string& share_rel,
+                     const std::string& fav_rel, bool has_public = true) {
+  std::string lower = model;
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(c));
+  }
+
+  app.AddView(lower + "_create", [model, owner_rel, text_fields, has_public](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    std::vector<std::pair<std::string, Sym>> fields;
+    for (const std::string& fld : text_fields) {
+      fields.emplace_back(fld, v.Post(fld));
+    }
+    if (has_public && v.PostBool("public")) {
+      fields.emplace_back("is_public", Sym(true));
+    }
+    v.Create(model, fields, {{owner_rel, user}});
+  });
+
+  app.AddView(lower + "_partial_update", [model, owner_rel, text_fields](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj obj = v.M(model).get("id", v.ParamRef("pk", model));
+    if (!(obj.rel(owner_rel).ref() == user.ref())) {
+      v.Abort();  // 403
+    }
+    // Each posted field patches independently (PATCH semantics).
+    for (const std::string& fld : text_fields) {
+      if (v.Post(fld) != "") {
+        obj = obj.with(fld, v.Post(fld));
+      }
+    }
+    obj.save();
+  });
+
+  app.AddView(lower + "_destroy", [model, owner_rel](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj obj = v.M(model).get("id", v.ParamRef("pk", model));
+    if (!(obj.rel(owner_rel).ref() == user.ref())) {
+      v.Abort();
+    }
+    obj.destroy();
+  });
+
+  if (!share_rel.empty()) {
+    app.AddView(lower + "_share", [model, owner_rel, share_rel](ViewCtx& v) {
+      SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+      SymObj obj = v.M(model).get("id", v.ParamRef("pk", model));
+      if (!(obj.rel(owner_rel).ref() == user.ref())) {
+        v.Abort();
+      }
+      SymObj target = v.Deref("User", v.PostRef("target", "User"));
+      v.Link(share_rel, obj, target);
+    });
+    app.AddView(lower + "_unshare", [model, owner_rel, share_rel](ViewCtx& v) {
+      SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+      SymObj obj = v.M(model).get("id", v.ParamRef("pk", model));
+      if (!(obj.rel(owner_rel).ref() == user.ref())) {
+        v.Abort();
+      }
+      SymObj target = v.Deref("User", v.PostRef("target", "User"));
+      v.Delink(share_rel, obj, target);
+    });
+  }
+  if (!fav_rel.empty()) {
+    app.AddView(lower + "_favorite", [model, fav_rel](ViewCtx& v) {
+      SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+      SymObj obj = v.M(model).get("id", v.ParamRef("pk", model));
+      if (v.PostBool("on")) {
+        v.Link(fav_rel, obj, user);
+      } else {
+        v.Delink(fav_rel, obj, user);
+      }
+    });
+  }
+
+  app.AddView(lower + "_retrieve", [model](ViewCtx& v) {
+    SymObj obj = v.M(model).get("id", v.ParamRef("pk", model));
+    (void)obj;
+  });
+
+  // DRF-style list endpoint: pagination / visibility / ordering flags multiply read-only
+  // code paths exactly as the original's filter backends do.
+  app.AddView(lower + "_list", [model, owner_rel, has_public](ViewCtx& v) {
+    SymSet qs(v.trace(), soir::MakeAll(v.schema().ModelId(model)));
+    if (v.PostBool("mine")) {
+      SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+      qs = qs.filter(owner_rel, user);
+    }
+    if (has_public && v.PostBool("public_only")) {
+      qs = qs.filter("is_public", Sym(true));
+    }
+    if (v.PostBool("count_only")) {
+      Sym n = qs.count();
+      (void)n;
+    } else {
+      Sym any = qs.exists();
+      (void)any;
+    }
+  });
+}
+
+// Album photo management endpoints shared by all five album flavors.
+void RegisterAlbumPhotoViews(app::App& app, const std::string& album) {
+  std::string lower = album;
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(c));
+  }
+  app.AddView(lower + "_add_photo", [album](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj a = v.M(album).get("id", v.ParamRef("pk", album));
+    if (!(a.rel("owner").ref() == user.ref())) {
+      v.Abort();
+    }
+    SymObj photo = v.M("Photo").get("id", v.PostRef("photo", "Photo"));
+    v.Link("photos", a, photo);
+    if (v.PostBool("as_cover")) {
+      v.Link("cover", a, photo);
+    }
+  });
+  app.AddView(lower + "_remove_photo", [album](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj a = v.M(album).get("id", v.ParamRef("pk", album));
+    if (!(a.rel("owner").ref() == user.ref())) {
+      v.Abort();
+    }
+    SymObj photo = v.M("Photo").get("id", v.PostRef("photo", "Photo"));
+    v.Delink("photos", a, photo);
+  });
+  app.AddView(lower + "_set_cover", [album](ViewCtx& v) {
+    SymObj a = v.M(album).get("id", v.ParamRef("pk", album));
+    if (v.PostBool("clear")) {
+      v.ClearLinks("cover", a);
+    } else {
+      SymObj photo = v.M("Photo").get("id", v.PostRef("photo", "Photo"));
+      v.Link("cover", a, photo);
+    }
+  });
+}
+
+}  // namespace
+
+app::App MakeOwnPhotosApp() {
+  app::App app("ownphotos", __FILE__);
+  soir::Schema& s = app.schema();
+
+  // --- 12 models -----------------------------------------------------------------------------
+  s.AddModel("User");
+  s.AddField("User", FieldDef{.name = "username", .type = FieldType::kString, .unique = true});
+  s.AddField("User", FieldDef{.name = "scan_directory", .type = FieldType::kString});
+
+  s.AddModel("Photo");
+  s.AddField("Photo", FieldDef{.name = "image_hash", .type = FieldType::kString,
+                               .unique = true});
+  s.AddField("Photo", FieldDef{.name = "caption", .type = FieldType::kString});
+  s.AddField("Photo", FieldDef{.name = "rating", .type = FieldType::kInt, .positive = true});
+  s.AddField("Photo", FieldDef{.name = "hidden", .type = FieldType::kBool});
+  s.AddField("Photo", FieldDef{.name = "added_on", .type = FieldType::kDatetime});
+
+  s.AddModel("Person");
+  s.AddField("Person", FieldDef{.name = "name", .type = FieldType::kString});
+  s.AddField("Person", FieldDef{.name = "kind", .type = FieldType::kString});
+
+  s.AddModel("Face");
+  s.AddField("Face", FieldDef{.name = "encoding", .type = FieldType::kString});
+  s.AddField("Face", FieldDef{.name = "confidence", .type = FieldType::kInt,
+                              .positive = true});
+
+  s.AddModel("Cluster");
+  s.AddField("Cluster", FieldDef{.name = "mean_encoding", .type = FieldType::kString});
+
+  s.AddModel("LongRunningJob");
+  s.AddField("LongRunningJob",
+             FieldDef{.name = "job_type", .type = FieldType::kString,
+                      .choices = {"scan", "train", "cluster"}, .default_string = "scan"});
+  s.AddField("LongRunningJob", FieldDef{.name = "finished", .type = FieldType::kBool});
+  s.AddField("LongRunningJob", FieldDef{.name = "progress", .type = FieldType::kInt,
+                                        .positive = true});
+
+  const std::vector<std::string> kAlbums = {"AlbumAuto", "AlbumUser", "AlbumDate",
+                                            "AlbumThing", "AlbumPlace"};
+  for (const std::string& album : kAlbums) {
+    s.AddModel(album);
+    s.AddField(album, FieldDef{.name = "title", .type = FieldType::kString});
+    s.AddField(album, FieldDef{.name = "description", .type = FieldType::kString});
+    s.AddField(album, FieldDef{.name = "is_public", .type = FieldType::kBool});
+  }
+
+  s.AddModel("Tag");
+  s.AddField("Tag", FieldDef{.name = "name", .type = FieldType::kString, .unique = true});
+
+  // --- 46 relations ----------------------------------------------------------------------------
+  // Photo graph (5).
+  s.AddRelation("owner", "Photo", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "photos");
+  s.AddRelation("shared_to", "Photo", "User", RelationKind::kManyToMany, OnDelete::kCascade,
+                "shared_photos");
+  s.AddRelation("liked_by", "Photo", "User", RelationKind::kManyToMany, OnDelete::kCascade,
+                "liked_photos");
+  s.AddRelation("tags", "Photo", "Tag", RelationKind::kManyToMany, OnDelete::kCascade,
+                "tagged_photos");
+  s.AddRelation("hidden_by", "Photo", "User", RelationKind::kManyToMany, OnDelete::kCascade,
+                "hidden_photos");
+  // Faces and people (6).
+  s.AddRelation("photo", "Face", "Photo", RelationKind::kManyToOne, OnDelete::kCascade,
+                "faces");
+  s.AddRelation("person", "Face", "Person", RelationKind::kManyToOne, OnDelete::kSetNull,
+                "faces_of");
+  s.AddRelation("suggested_person", "Face", "Person", RelationKind::kManyToOne,
+                OnDelete::kSetNull, "suggested_faces");
+  s.AddRelation("cover_photo", "Person", "Photo", RelationKind::kManyToOne,
+                OnDelete::kSetNull, "cover_of_people");
+  s.AddRelation("account", "Person", "User", RelationKind::kManyToOne, OnDelete::kSetNull,
+                "persons");
+  s.AddRelation("tagged_in", "Person", "Photo", RelationKind::kManyToMany, OnDelete::kCascade,
+                "people_tagged");
+  // Clusters (3).
+  s.AddRelation("cluster", "Face", "Cluster", RelationKind::kManyToOne, OnDelete::kSetNull,
+                "clustered_faces");
+  s.AddRelation("person", "Cluster", "Person", RelationKind::kManyToOne, OnDelete::kCascade,
+                "clusters");
+  s.AddRelation("members", "Cluster", "Face", RelationKind::kManyToMany, OnDelete::kCascade,
+                "member_of_clusters");
+  // Jobs (3).
+  s.AddRelation("target_album", "LongRunningJob", "AlbumUser", RelationKind::kManyToOne,
+                OnDelete::kSetNull, "album_jobs");
+  s.AddRelation("started_by", "LongRunningJob", "User", RelationKind::kManyToOne,
+                OnDelete::kCascade, "jobs");
+  s.AddRelation("target_person", "LongRunningJob", "Person", RelationKind::kManyToOne,
+                OnDelete::kSetNull, "jobs_targeting");
+  // Tags (2).
+  s.AddRelation("creator", "Tag", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "created_tags");
+  s.AddRelation("parent", "Tag", "Tag", RelationKind::kManyToOne, OnDelete::kSetNull,
+                "child_tags");
+  // Social (1).
+  s.AddRelation("blocked", "User", "User", RelationKind::kManyToMany, OnDelete::kCascade,
+                "blocked_by");
+  // Per album type: owner, cover, photos, shared_to, favorited_by + one extra for
+  // AlbumUser (collaborators): 5*5 + 1 = 26.
+  for (const std::string& album : kAlbums) {
+    s.AddRelation("owner", album, "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                  "own_" + album);
+    s.AddRelation("cover", album, "Photo", RelationKind::kManyToOne, OnDelete::kSetNull,
+                  "cover_of_" + album);
+    s.AddRelation("photos", album, "Photo", RelationKind::kManyToMany, OnDelete::kCascade,
+                  "in_" + album);
+    s.AddRelation("shared_to", album, "User", RelationKind::kManyToMany, OnDelete::kCascade,
+                  "shared_" + album);
+    s.AddRelation("favorited_by", album, "User", RelationKind::kManyToMany,
+                  OnDelete::kCascade, "favorite_" + album);
+  }
+  s.AddRelation("collaborators", "AlbumUser", "User", RelationKind::kManyToMany,
+                OnDelete::kCascade, "collaborating_on");
+
+  // --- Endpoints -------------------------------------------------------------------------------
+  // Viewsets for the five album types, photos, people, and tags — as in the original's
+  // REST routers.
+  for (const std::string& album : kAlbums) {
+    RegisterViewSet(app, album, "owner", {"title", "description"}, "shared_to",
+                    "favorited_by");
+  }
+  for (const std::string& album : kAlbums) {
+    RegisterAlbumPhotoViews(app, album);
+  }
+  RegisterViewSet(app, "Photo", "owner", {"caption"}, "shared_to", "liked_by",
+                  /*has_public=*/false);
+  RegisterViewSet(app, "Tag", "creator", {"name"}, "", "", /*has_public=*/false);
+  RegisterViewSet(app, "Person", "account", {"name", "kind"}, "", "", /*has_public=*/false);
+
+  // Hand-written endpoints beyond the generated CRUD families.
+
+  // upload_photo: ingests a photo and optionally files it into a user album.
+  app.AddView("upload_photo", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj photo = v.Create("Photo",
+                            {{"image_hash", v.Post("hash")},
+                             {"caption", v.Post("caption")},
+                             {"added_on", v.PostInt("now")}},
+                            {{"owner", user}});
+    if (v.PostBool("into_album")) {
+      SymObj album = v.M("AlbumUser").get("id", v.PostRef("album", "AlbumUser"));
+      v.Link("photos", album, photo);
+    }
+  });
+
+  // rate_photo: owner-only star rating with validation.
+  app.AddView("rate_photo", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj photo = v.M("Photo").get("id", v.ParamRef("pk", "Photo"));
+    if (!(photo.rel("owner").ref() == user.ref())) {
+      v.Abort();
+    }
+    Sym rating = v.PostInt("rating");
+    v.Guard(rating >= 0);
+    v.Guard(rating <= 5);
+    photo.with("rating", rating).save();
+  });
+
+  // hide_photo: toggles per-user visibility.
+  app.AddView("hide_photo", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj photo = v.M("Photo").get("id", v.ParamRef("pk", "Photo"));
+    if (v.PostBool("hide")) {
+      v.Link("hidden_by", photo, user);
+    } else {
+      v.Delink("hidden_by", photo, user);
+    }
+  });
+
+  // label_face: assigns a person to a detected face (confirming or overriding the
+  // suggestion), possibly creating the person.
+  app.AddView("label_face", [](ViewCtx& v) {
+    SymObj face = v.M("Face").get("id", v.ParamRef("pk", "Face"));
+    if (v.PostBool("new_person")) {
+      SymObj person = v.Create("Person", {{"name", v.Post("name")}, {"kind", Sym("USER")}});
+      v.Link("person", face, person);
+    } else {
+      SymObj person = v.M("Person").get("id", v.PostRef("person", "Person"));
+      v.Link("person", face, person);
+      if (v.PostBool("set_cover")) {
+        SymObj photo = face.rel("photo");
+        v.Link("cover_photo", person, photo);
+      }
+    }
+  });
+
+  // run_job: starts a background scan/train/cluster job; only one unfinished job of a
+  // kind may run.
+  app.AddView("run_job", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymSet running = v.M("LongRunningJob")
+                         .filter("started_by", user)
+                         .filter("finished", Sym(false));
+    if (running.exists()) {
+      v.Abort();
+    }
+    v.Create("LongRunningJob", {{"job_type", v.Post("kind")}, {"finished", Sym(false)}},
+             {{"started_by", user}});
+  });
+
+  // job_progress: the worker reports progress and may finish the job.
+  app.AddView("job_progress", [](ViewCtx& v) {
+    SymObj job = v.M("LongRunningJob").get("id", v.ParamRef("pk", "LongRunningJob"));
+    Sym progress = v.PostInt("progress");
+    v.Guard(progress >= 0);
+    if (v.PostBool("done")) {
+      job.with("finished", Sym(true)).with("progress", progress).save();
+    } else {
+      job.with("progress", progress).save();
+    }
+  });
+
+  // add_collaborator: shared user albums.
+  app.AddView("add_collaborator", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj album = v.M("AlbumUser").get("id", v.ParamRef("pk", "AlbumUser"));
+    if (!(album.rel("owner").ref() == user.ref())) {
+      v.Abort();
+    }
+    SymObj target = v.Deref("User", v.PostRef("target", "User"));
+    v.Link("collaborators", album, target);
+  });
+
+  // block_user: social blocking; also unshares this user's photos from the blocked user.
+  app.AddView("block_user", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj target = v.Deref("User", v.PostRef("target", "User"));
+    v.Link("blocked", user, target);
+    if (v.PostBool("unshare_all")) {
+      SymSet mine = v.M("Photo").filter("owner", user);
+      (void)mine;
+      v.ClearLinks("shared_photos", target);
+    }
+  });
+
+  // gallery: read-only browse with a few flavors.
+  app.AddView("gallery", [](ViewCtx& v) {
+    if (v.PostBool("favorites")) {
+      Sym n = v.M("Photo").filter("rating__gte", Sym(4)).count();
+      (void)n;
+    } else if (v.PostBool("recent")) {
+      SymObj latest = v.M("Photo").order_by("-added_on").first();
+      (void)latest;
+    } else {
+      Sym n = v.M("Photo").count();
+      (void)n;
+    }
+  });
+
+  return app;
+}
+
+}  // namespace noctua::apps

@@ -1,0 +1,20 @@
+// OwnPhotos — an open-source Google Photos clone, the largest evaluated application
+// (paper Table 4: 12 models, 46 relations, 545 code paths, 120 effectful paths).
+//
+// Like the original (a Django-REST project), most endpoints come from *viewsets*: CRUD
+// endpoint families constructed programmatically per model. That is exactly the dynamic
+// endpoint construction that motivates the paper's framework-integrated entry discovery
+// (§5.1) — the analyzer enumerates these endpoints from the registered application, not
+// from source text.
+#ifndef SRC_APPS_OWNPHOTOS_H_
+#define SRC_APPS_OWNPHOTOS_H_
+
+#include "src/app/app.h"
+
+namespace noctua::apps {
+
+app::App MakeOwnPhotosApp();
+
+}  // namespace noctua::apps
+
+#endif  // SRC_APPS_OWNPHOTOS_H_

@@ -1,0 +1,190 @@
+#include "src/apps/postgraduation.h"
+
+namespace noctua::apps {
+
+using analyzer::Sym;
+using analyzer::SymObj;
+using analyzer::SymSet;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+using soir::OnDelete;
+using soir::RelationKind;
+
+app::App MakePostGraduationApp() {
+  app::App app("postgraduation", __FILE__);
+  soir::Schema& s = app.schema();
+
+  // 8 models.
+  s.AddModel("Account");
+  s.AddField("Account", FieldDef{.name = "username", .type = FieldType::kString,
+                                 .unique = true});
+  s.AddField("Account", FieldDef{.name = "email", .type = FieldType::kString});
+  s.AddField("Account", FieldDef{.name = "is_staff", .type = FieldType::kBool});
+
+  s.AddModel("Student");
+  s.AddField("Student", FieldDef{.name = "name", .type = FieldType::kString});
+  s.AddField("Student", FieldDef{.name = "score", .type = FieldType::kInt,
+                                 .positive = true});
+  s.AddField("Student", FieldDef{.name = "enrolled", .type = FieldType::kBool});
+
+  s.AddModel("Supervisor");
+  s.AddField("Supervisor", FieldDef{.name = "name", .type = FieldType::kString});
+  s.AddField("Supervisor", FieldDef{.name = "quota", .type = FieldType::kInt,
+                                    .positive = true});
+
+  s.AddModel("Department");
+  s.AddField("Department", FieldDef{.name = "name", .type = FieldType::kString,
+                                    .unique = true});
+
+  s.AddModel("Application");
+  s.AddField("Application", FieldDef{.name = "status", .type = FieldType::kString,
+                                     .choices = {"pending", "accepted", "rejected"},
+                                     .default_string = "pending"});
+  s.AddField("Application", FieldDef{.name = "submitted", .type = FieldType::kDatetime});
+
+  s.AddModel("Notice");
+  s.AddField("Notice", FieldDef{.name = "title", .type = FieldType::kString});
+  s.AddField("Notice", FieldDef{.name = "body", .type = FieldType::kString});
+  s.AddField("Notice", FieldDef{.name = "pinned", .type = FieldType::kBool});
+
+  s.AddModel("Message");
+  s.AddField("Message", FieldDef{.name = "text", .type = FieldType::kString});
+  s.AddField("Message", FieldDef{.name = "read", .type = FieldType::kBool});
+
+  s.AddModel("Score");
+  s.AddField("Score", FieldDef{.name = "subject", .type = FieldType::kString});
+  s.AddField("Score", FieldDef{.name = "value", .type = FieldType::kInt, .positive = true});
+
+  // 4 relations.
+  s.AddRelation("supervisor", "Student", "Supervisor", RelationKind::kManyToOne,
+                OnDelete::kSetNull);
+  s.AddRelation("department", "Supervisor", "Department", RelationKind::kManyToOne,
+                OnDelete::kSetNull);
+  s.AddRelation("applicant", "Application", "Student", RelationKind::kManyToOne,
+                OnDelete::kCascade);
+  s.AddRelation("student", "Score", "Student", RelationKind::kManyToOne,
+                OnDelete::kCascade);
+
+  // register_account: staff flag depends on an invite code.
+  app.AddView("register_account", [](ViewCtx& v) {
+    if (v.Post("invite") == "staff2024") {
+      v.Create("Account", {{"username", v.Post("username")},
+                           {"email", v.Post("email")},
+                           {"is_staff", Sym(true)}});
+    } else {
+      v.Create("Account", {{"username", v.Post("username")},
+                           {"email", v.Post("email")}});
+    }
+  });
+
+  // submit_application: a student applies; duplicate pending applications are rejected.
+  app.AddView("submit_application", [](ViewCtx& v) {
+    SymObj student = v.Deref("Student", v.ParamRef("student", "Student"));
+    SymSet pending = v.M("Application")
+                         .filter("applicant", student)
+                         .filter("status", Sym("pending"));
+    if (pending.exists()) {
+      v.Abort();
+    }
+    v.Create("Application", {{"submitted", v.PostInt("now")}}, {{"applicant", student}});
+  });
+
+  // review_application: accept (consuming supervisor quota) or reject.
+  app.AddView("review_application", [](ViewCtx& v) {
+    SymObj application = v.M("Application").get("id", v.ParamRef("app", "Application"));
+    if (v.Post("decision") == "accept") {
+      SymObj sup = v.Deref("Supervisor", v.PostRef("supervisor", "Supervisor"));
+      v.Guard(sup.attr("quota") >= 1);
+      sup.with("quota", sup.attr("quota") - 1).save();
+      application.with("status", Sym("accepted")).save();
+      SymObj student = application.rel("applicant");
+      student.with("enrolled", Sym(true)).save();
+      v.Link("supervisor", student, sup);
+    } else {
+      application.with("status", Sym("rejected")).save();
+    }
+  });
+
+  // withdraw_application: the student withdraws; cascades delete the application.
+  app.AddView("withdraw_application", [](ViewCtx& v) {
+    v.M("Application").filter("id", v.ParamRef("app", "Application")).del();
+  });
+
+  // post_notice: staff-only announcement, optionally pinned.
+  app.AddView("post_notice", [](ViewCtx& v) {
+    SymObj account = v.Deref("Account", v.ParamRef("account", "Account"));
+    if (!account.attr("is_staff")) {
+      v.Abort();
+    }
+    if (v.PostBool("pinned")) {
+      v.M("Notice").filter("pinned", Sym(true)).update("pinned", Sym(false));
+      v.Create("Notice",
+               {{"title", v.Post("title")}, {"body", v.Post("body")}, {"pinned", Sym(true)}});
+    } else {
+      v.Create("Notice", {{"title", v.Post("title")}, {"body", v.Post("body")}});
+    }
+  });
+
+  // send_message / mark_read: a tiny in-app inbox.
+  app.AddView("send_message", [](ViewCtx& v) {
+    v.Create("Message", {{"text", v.Post("text")}});
+  });
+  app.AddView("mark_read", [](ViewCtx& v) {
+    v.M("Message").filter("read", Sym(false)).update("read", Sym(true));
+  });
+
+  // record_score: adds a grade entry; the value must be a valid score.
+  app.AddView("record_score", [](ViewCtx& v) {
+    SymObj student = v.Deref("Student", v.ParamRef("student", "Student"));
+    Sym value = v.PostInt("value");
+    v.Guard(value >= 0);
+    v.Guard(value <= 100);
+    v.Create("Score", {{"subject", v.Post("subject")}, {"value", value}},
+             {{"student", student}});
+    Sym total = student.attr("score") + value;
+    student.with("score", total).save();
+  });
+
+  // transfer_student: moves a student to another supervisor, adjusting quotas.
+  app.AddView("transfer_student", [](ViewCtx& v) {
+    SymObj student = v.Deref("Student", v.ParamRef("student", "Student"));
+    SymObj to = v.Deref("Supervisor", v.PostRef("to", "Supervisor"));
+    v.Guard(to.attr("quota") >= 1);
+    SymObj from = student.rel("supervisor");
+    from.with("quota", from.attr("quota") + 1).save();
+    to.with("quota", to.attr("quota") - 1).save();
+    v.Link("supervisor", student, to);
+  });
+
+  // drop_student: removes a student (cascades to applications and scores); frees quota
+  // when the student had a supervisor.
+  app.AddView("drop_student", [](ViewCtx& v) {
+    SymObj student = v.Deref("Student", v.ParamRef("student", "Student"));
+    if (v.PostBool("refund_quota")) {
+      SymObj sup = student.rel("supervisor");
+      sup.with("quota", sup.attr("quota") + 1).save();
+    }
+    student.destroy();
+  });
+
+  // rename_department: staff maintenance endpoint.
+  app.AddView("rename_department", [](ViewCtx& v) {
+    SymObj dep = v.M("Department").get("id", v.ParamRef("dep", "Department"));
+    if (v.Post("name") == "") {
+      v.Abort();
+    }
+    dep.with("name", v.Post("name")).save();
+  });
+
+  // profile: read-only view of a student's record.
+  app.AddView("profile", [](ViewCtx& v) {
+    SymObj student = v.Deref("Student", v.ParamRef("student", "Student"));
+    Sym n = v.M("Score").filter("student", student).count();
+    (void)n;
+  });
+
+  return app;
+}
+
+}  // namespace noctua::apps

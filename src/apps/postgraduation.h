@@ -1,0 +1,15 @@
+// PostGraduation — a management system for postgraduates (paper Table 4: 8 models,
+// 4 relations). This application uses no order-related primitives, which is why the paper
+// selects it for the order-ablation experiment (Table 7 / Fig. 9).
+#ifndef SRC_APPS_POSTGRADUATION_H_
+#define SRC_APPS_POSTGRADUATION_H_
+
+#include "src/app/app.h"
+
+namespace noctua::apps {
+
+app::App MakePostGraduationApp();
+
+}  // namespace noctua::apps
+
+#endif  // SRC_APPS_POSTGRADUATION_H_

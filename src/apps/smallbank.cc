@@ -1,0 +1,74 @@
+#include "src/apps/smallbank.h"
+
+namespace noctua::apps {
+
+using analyzer::Sym;
+using analyzer::SymObj;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+
+app::App MakeSmallBankApp() {
+  app::App app("smallbank", __FILE__);
+  soir::Schema& s = app.schema();
+
+  s.AddModel("Account");
+  s.AddField("Account", FieldDef{.name = "owner", .type = FieldType::kString});
+  s.AddField("Account", FieldDef{.name = "checking", .type = FieldType::kInt});
+  s.AddField("Account", FieldDef{.name = "savings", .type = FieldType::kInt});
+
+  // Balance(acct): read-only — returns checking + savings. No effects; the verifier
+  // ignores it (paper §6.2 "Balance is a read-only operation (thus ignored)").
+  app.AddView("Balance", [](ViewCtx& v) {
+    SymObj acct = v.Deref("Account", v.ParamRef("acct", "Account"));
+    Sym total = acct.attr("checking") + acct.attr("savings");
+    (void)total;
+  });
+
+  // DepositChecking(acct, amount): amount must be non-negative.
+  app.AddView("DepositChecking", [](ViewCtx& v) {
+    SymObj acct = v.Deref("Account", v.ParamRef("acct", "Account"));
+    Sym amount = v.PostInt("amount");
+    v.Guard(amount >= 0);
+    acct.with("checking", acct.attr("checking") + amount).save();
+  });
+
+  // TransactSavings(acct, amount): deposit or withdrawal; the resulting savings balance
+  // must stay non-negative — the invariant behind the (TS, TS) restriction.
+  app.AddView("TransactSavings", [](ViewCtx& v) {
+    SymObj acct = v.Deref("Account", v.ParamRef("acct", "Account"));
+    Sym amount = v.PostInt("amount");
+    v.Guard(acct.attr("savings") + amount >= 0);
+    acct.with("savings", acct.attr("savings") + amount).save();
+  });
+
+  // SendPayment(src, dst, amount): moves checking funds; the source balance must cover
+  // the payment — the invariant behind (SP, SP) and (Amalgamate, SP).
+  app.AddView("SendPayment", [](ViewCtx& v) {
+    SymObj src = v.Deref("Account", v.ParamRef("src", "Account"));
+    SymObj dst = v.Deref("Account", v.ParamRef("dst", "Account"));
+    Sym amount = v.PostInt("amount");
+    v.Guard(amount >= 0);
+    v.Guard(src.attr("checking") >= amount);
+    src.with("checking", src.attr("checking") - amount).save();
+    dst.with("checking", dst.attr("checking") + amount).save();
+  });
+
+  // Amalgamate(src, dst, amount): moves src's checking funds into dst's checking. The
+  // request is speculatively executed at the origin site (paper §2.1), so the transferred
+  // amount — the full balance read there — reaches the replicas as an operation argument;
+  // the guard re-establishes sufficiency on replay.
+  app.AddView("Amalgamate", [](ViewCtx& v) {
+    SymObj src = v.Deref("Account", v.ParamRef("src", "Account"));
+    SymObj dst = v.Deref("Account", v.ParamRef("dst", "Account"));
+    Sym amount = v.PostInt("amount");
+    v.Guard(amount >= 0);
+    v.Guard(src.attr("checking") >= amount);
+    src.with("checking", src.attr("checking") - amount).save();
+    dst.with("checking", dst.attr("checking") + amount).save();
+  });
+
+  return app;
+}
+
+}  // namespace noctua::apps

@@ -1,0 +1,18 @@
+// SmallBank — the standard OLTP consistency benchmark (H-Store variant), used for the
+// correctness comparison against Rigi in paper Table 5.
+//
+// One model (Account) with checking and savings balances, no relations (paper Table 4:
+// 1 model, 0 relations). Five operations; Balance is read-only and therefore ignored by
+// the verifier, leaving four effectful operations (Table 4: 4 effectful paths).
+#ifndef SRC_APPS_SMALLBANK_H_
+#define SRC_APPS_SMALLBANK_H_
+
+#include "src/app/app.h"
+
+namespace noctua::apps {
+
+app::App MakeSmallBankApp();
+
+}  // namespace noctua::apps
+
+#endif  // SRC_APPS_SMALLBANK_H_

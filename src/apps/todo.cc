@@ -1,0 +1,97 @@
+#include "src/apps/todo.h"
+
+namespace noctua::apps {
+
+using analyzer::Sym;
+using analyzer::SymObj;
+using analyzer::SymSet;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+
+app::App MakeTodoApp() {
+  app::App app("todo", __FILE__);
+  soir::Schema& s = app.schema();
+
+  s.AddModel("Task");
+  s.AddField("Task", FieldDef{.name = "title", .type = FieldType::kString});
+  s.AddField("Task", FieldDef{.name = "note", .type = FieldType::kString});
+  s.AddField("Task", FieldDef{.name = "done", .type = FieldType::kBool});
+  s.AddField("Task", FieldDef{.name = "priority", .type = FieldType::kInt, .positive = true});
+  s.AddField("Task", FieldDef{.name = "created", .type = FieldType::kDatetime});
+
+  // add_task: creates a task; empty titles are rejected.
+  app.AddView("add_task", [](ViewCtx& v) {
+    if (v.Post("title") == "") {
+      v.Abort();
+    }
+    v.Create("Task", {{"title", v.Post("title")},
+                      {"note", v.Post("note")},
+                      {"priority", v.PostInt("priority")},
+                      {"created", v.PostInt("now")}});
+  });
+
+  // toggle_done: flips completion, or marks done depending on the `force` flag.
+  app.AddView("toggle_done", [](ViewCtx& v) {
+    SymObj task = v.M("Task").get("id", v.ParamRef("task", "Task"));
+    if (v.PostBool("force")) {
+      task.with("done", Sym(true)).save();
+    } else {
+      task.with("done", !task.attr("done")).save();
+    }
+  });
+
+  // edit_task: updates title and/or note depending on which fields the form posted.
+  app.AddView("edit_task", [](ViewCtx& v) {
+    SymObj task = v.M("Task").get("id", v.ParamRef("task", "Task"));
+    if (v.Post("title") != "") {
+      task = task.with("title", v.Post("title"));
+    }
+    if (v.Post("note") != "") {
+      task = task.with("note", v.Post("note"));
+    }
+    task.save();
+  });
+
+  // delete_task: removes one task (no existence requirement, filter semantics).
+  app.AddView("delete_task", [](ViewCtx& v) {
+    v.M("Task").filter("id", v.ParamRef("task", "Task")).del();
+  });
+
+  // clear_done: bulk-deletes completed tasks, optionally only low-priority ones.
+  app.AddView("clear_done", [](ViewCtx& v) {
+    SymSet done = v.M("Task").filter("done", Sym(true));
+    if (v.PostBool("only_low_priority")) {
+      done.filter("priority__lte", v.PostInt("threshold")).del();
+    } else {
+      done.del();
+    }
+  });
+
+  // reprioritize: bumps or lowers the priority of every pending task.
+  app.AddView("reprioritize", [](ViewCtx& v) {
+    SymSet pending = v.M("Task").filter("done", Sym(false));
+    if (v.PostBool("raise")) {
+      pending.update_each("priority", [](SymObj t) { return t.attr("priority") + 1; });
+    } else {
+      Sym level = v.PostInt("level");
+      v.Guard(level >= 0);
+      pending.update("priority", level);
+    }
+  });
+
+  // list_tasks: read-only; branches on the requested ordering.
+  app.AddView("list_tasks", [](ViewCtx& v) {
+    if (v.PostBool("by_priority")) {
+      SymObj top = v.M("Task").order_by("-priority").first();
+      (void)top;
+    } else {
+      Sym n = v.M("Task").count();
+      (void)n;
+    }
+  });
+
+  return app;
+}
+
+}  // namespace noctua::apps

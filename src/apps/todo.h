@@ -1,0 +1,13 @@
+// django-todo — a toy todo-list application (paper Table 4: 1 model, 0 relations).
+#ifndef SRC_APPS_TODO_H_
+#define SRC_APPS_TODO_H_
+
+#include "src/app/app.h"
+
+namespace noctua::apps {
+
+app::App MakeTodoApp();
+
+}  // namespace noctua::apps
+
+#endif  // SRC_APPS_TODO_H_

@@ -1,0 +1,299 @@
+#include "src/apps/zhihu.h"
+
+namespace noctua::apps {
+
+using analyzer::Sym;
+using analyzer::SymObj;
+using analyzer::SymSet;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+using soir::OnDelete;
+using soir::RelationKind;
+
+app::App MakeZhihuApp() {
+  app::App app("zhihu", __FILE__);
+  soir::Schema& s = app.schema();
+
+  // --- 14 models ---------------------------------------------------------------------------
+  s.AddModel("User");
+  s.AddField("User", FieldDef{.name = "username", .type = FieldType::kString, .unique = true});
+  s.AddField("User", FieldDef{.name = "bio", .type = FieldType::kString});
+  s.AddField("User", FieldDef{.name = "reputation", .type = FieldType::kInt});
+
+  s.AddModel("Question");
+  s.AddField("Question", FieldDef{.name = "title", .type = FieldType::kString});
+  s.AddField("Question", FieldDef{.name = "content", .type = FieldType::kString});
+  s.AddField("Question", FieldDef{.name = "follow", .type = FieldType::kInt});
+  s.AddField("Question", FieldDef{.name = "created", .type = FieldType::kDatetime});
+
+  s.AddModel("Answer");
+  s.AddField("Answer", FieldDef{.name = "content", .type = FieldType::kString});
+  s.AddField("Answer", FieldDef{.name = "votes", .type = FieldType::kInt});
+
+  s.AddModel("Comment");
+  s.AddField("Comment", FieldDef{.name = "text", .type = FieldType::kString});
+
+  s.AddModel("Topic");
+  s.AddField("Topic", FieldDef{.name = "name", .type = FieldType::kString, .unique = true});
+
+  s.AddModel("FollowQuestion");
+  s.AddField("FollowQuestion", FieldDef{.name = "created", .type = FieldType::kDatetime});
+
+  s.AddModel("FollowUser");
+  s.AddField("FollowUser", FieldDef{.name = "created", .type = FieldType::kDatetime});
+
+  s.AddModel("Vote");
+  s.AddField("Vote", FieldDef{.name = "positive", .type = FieldType::kBool});
+
+  s.AddModel("Collection");
+  s.AddField("Collection", FieldDef{.name = "name", .type = FieldType::kString});
+  s.AddField("Collection", FieldDef{.name = "is_public", .type = FieldType::kBool});
+
+  s.AddModel("CollectionItem");
+  s.AddField("CollectionItem", FieldDef{.name = "added", .type = FieldType::kDatetime});
+
+  s.AddModel("Notification");
+  s.AddField("Notification", FieldDef{.name = "text", .type = FieldType::kString});
+  s.AddField("Notification", FieldDef{.name = "read", .type = FieldType::kBool});
+
+  s.AddModel("Article");
+  s.AddField("Article", FieldDef{.name = "title", .type = FieldType::kString});
+  s.AddField("Article", FieldDef{.name = "content", .type = FieldType::kString});
+
+  s.AddModel("Draft");
+  s.AddField("Draft", FieldDef{.name = "content", .type = FieldType::kString});
+
+  s.AddModel("Report");
+  s.AddField("Report", FieldDef{.name = "reason", .type = FieldType::kString,
+                                .choices = {"spam", "abuse", "other"},
+                                .default_string = "other"});
+
+  // --- 25 relations ------------------------------------------------------------------------
+  s.AddRelation("author", "Question", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "questions");
+  s.AddRelation("question", "Answer", "Question", RelationKind::kManyToOne,
+                OnDelete::kCascade, "answers");
+  s.AddRelation("author", "Answer", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "user_answers");
+  s.AddRelation("answer", "Comment", "Answer", RelationKind::kManyToOne, OnDelete::kCascade,
+                "comments");
+  s.AddRelation("author", "Comment", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "user_comments");
+  s.AddRelation("reply_to", "Comment", "Comment", RelationKind::kManyToOne,
+                OnDelete::kSetNull, "replies");
+  s.AddRelation("user", "FollowQuestion", "User", RelationKind::kManyToOne,
+                OnDelete::kCascade, "question_follows");
+  s.AddRelation("question", "FollowQuestion", "Question", RelationKind::kManyToOne,
+                OnDelete::kCascade, "followers");
+  s.AddRelation("follower", "FollowUser", "User", RelationKind::kManyToOne,
+                OnDelete::kCascade, "following_edges");
+  s.AddRelation("followee", "FollowUser", "User", RelationKind::kManyToOne,
+                OnDelete::kCascade, "follower_edges");
+  s.AddRelation("user", "Vote", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "votes");
+  s.AddRelation("answer", "Vote", "Answer", RelationKind::kManyToOne, OnDelete::kCascade,
+                "answer_votes");
+  s.AddRelation("owner", "Collection", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "collections");
+  s.AddRelation("collection", "CollectionItem", "Collection", RelationKind::kManyToOne,
+                OnDelete::kCascade, "items");
+  s.AddRelation("answer", "CollectionItem", "Answer", RelationKind::kManyToOne,
+                OnDelete::kCascade, "collected_in");
+  s.AddRelation("user", "Notification", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "notifications");
+  s.AddRelation("actor", "Notification", "User", RelationKind::kManyToOne,
+                OnDelete::kSetNull, "triggered_notifications");
+  s.AddRelation("author", "Article", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "articles");
+  s.AddRelation("author", "Draft", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "drafts");
+  s.AddRelation("question", "Draft", "Question", RelationKind::kManyToOne, OnDelete::kCascade,
+                "question_drafts");
+  s.AddRelation("topics", "Question", "Topic", RelationKind::kManyToMany, OnDelete::kCascade,
+                "topic_questions");
+  s.AddRelation("parent", "Topic", "Topic", RelationKind::kManyToOne, OnDelete::kSetNull,
+                "children");
+  s.AddRelation("reporter", "Report", "User", RelationKind::kManyToOne, OnDelete::kCascade,
+                "reports");
+  s.AddRelation("answer", "Report", "Answer", RelationKind::kManyToOne, OnDelete::kCascade,
+                "answer_reports");
+  s.AddRelation("following_topics", "User", "Topic", RelationKind::kManyToMany,
+                OnDelete::kCascade, "topic_followers");
+
+  // --- Views ---------------------------------------------------------------------------------
+
+  // CreateQuestion (§6.4): a new Question with all counters initialized to zero.
+  app.AddView("CreateQuestion", [](ViewCtx& v) {
+    SymObj author = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj q = v.Create("Question",
+                        {{"title", v.Post("title")},
+                         {"content", v.Post("content")},
+                         {"follow", Sym(0)},
+                         {"created", v.PostInt("now")}},
+                        {{"author", author}});
+    (void)q;
+  });
+
+  // FollowQuestion (§6.4): subscribes a user — (user, question) is "unique together" —
+  // and increments the question's follow count.
+  app.AddView("FollowQuestion", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj q = v.Deref("Question", v.ParamRef("question", "Question"));
+    v.GuardUniqueTogether("FollowQuestion", {{"user", user}, {"question", q}});
+    v.Create("FollowQuestion", {{"created", v.PostInt("now")}},
+             {{"user", user}, {"question", q}});
+    q.with("follow", q.attr("follow") + 1).save();
+  });
+
+  // UnfollowQuestion: removes the subscription and decrements the counter.
+  app.AddView("UnfollowQuestion", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj q = v.Deref("Question", v.ParamRef("question", "Question"));
+    SymSet edge =
+        v.M("FollowQuestion").filter("user", user).filter("question", q);
+    v.Guard(edge.exists());
+    edge.del();
+    q.with("follow", q.attr("follow") - 1).save();
+  });
+
+  // PostAnswer: answers a question, optionally consuming a draft.
+  app.AddView("PostAnswer", [](ViewCtx& v) {
+    SymObj author = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj q = v.Deref("Question", v.ParamRef("question", "Question"));
+    if (v.PostBool("from_draft")) {
+      SymObj draft = v.M("Draft").filter("author", author).filter("question", q).any();
+      v.Create("Answer", {{"content", draft.attr("content")}, {"votes", Sym(0)}},
+               {{"question", q}, {"author", author}});
+      v.M("Draft").filter("author", author).filter("question", q).del();
+    } else {
+      v.Create("Answer", {{"content", v.Post("content")}, {"votes", Sym(0)}},
+               {{"question", q}, {"author", author}});
+    }
+  });
+
+  // SaveDraft: creates or replaces the user's draft for a question.
+  app.AddView("SaveDraft", [](ViewCtx& v) {
+    SymObj author = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj q = v.Deref("Question", v.ParamRef("question", "Question"));
+    v.M("Draft").filter("author", author).filter("question", q).del();
+    v.Create("Draft", {{"content", v.Post("content")}},
+             {{"author", author}, {"question", q}});
+  });
+
+  // VoteAnswer: one vote per (user, answer); adjusts the answer's counter and the
+  // author's reputation.
+  app.AddView("VoteAnswer", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj answer = v.M("Answer").get("id", v.ParamRef("answer", "Answer"));
+    v.GuardUniqueTogether("Vote", {{"user", user}, {"answer", answer}});
+    if (v.PostBool("positive")) {
+      v.Create("Vote", {{"positive", Sym(true)}}, {{"user", user}, {"answer", answer}});
+      answer.with("votes", answer.attr("votes") + 1).save();
+      SymObj author = answer.rel("author");
+      author.with("reputation", author.attr("reputation") + 10).save();
+    } else {
+      v.Create("Vote", {{"positive", Sym(false)}}, {{"user", user}, {"answer", answer}});
+      answer.with("votes", answer.attr("votes") - 1).save();
+    }
+  });
+
+  // AddComment: comments an answer, optionally as a reply; notifies the answer's author.
+  app.AddView("AddComment", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj answer = v.M("Answer").get("id", v.ParamRef("answer", "Answer"));
+    SymObj comment = v.Create("Comment", {{"text", v.Post("text")}},
+                              {{"answer", answer}, {"author", user}});
+    if (v.PostBool("is_reply")) {
+      SymObj parent = v.M("Comment").get("id", v.PostRef("reply_to", "Comment"));
+      v.Link("reply_to", comment, parent);
+    }
+    SymObj target = answer.rel("author");
+    v.Create("Notification", {{"text", v.Post("text")}, {"read", Sym(false)}},
+             {{"user", target}, {"actor", user}});
+  });
+
+  // FollowUser: social graph edge, unique together.
+  app.AddView("FollowUser", [](ViewCtx& v) {
+    SymObj follower = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj followee = v.Deref("User", v.PostRef("followee", "User"));
+    v.GuardUniqueTogether("FollowUser", {{"follower", follower}, {"followee", followee}});
+    v.Create("FollowUser", {{"created", v.PostInt("now")}},
+             {{"follower", follower}, {"followee", followee}});
+  });
+
+  // CollectAnswer: adds an answer to one of the user's collections.
+  app.AddView("CollectAnswer", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj answer = v.M("Answer").get("id", v.ParamRef("answer", "Answer"));
+    if (v.PostBool("new_collection")) {
+      SymObj col = v.Create("Collection",
+                            {{"name", v.Post("name")}, {"is_public", v.PostBool("public")}},
+                            {{"owner", user}});
+      v.Create("CollectionItem", {{"added", v.PostInt("now")}},
+               {{"collection", col}, {"answer", answer}});
+    } else {
+      SymObj col = v.M("Collection").get("id", v.PostRef("collection", "Collection"));
+      v.Create("CollectionItem", {{"added", v.PostInt("now")}},
+               {{"collection", col}, {"answer", answer}});
+    }
+  });
+
+  // TagQuestion: attaches a topic to a question (many-to-many link).
+  app.AddView("TagQuestion", [](ViewCtx& v) {
+    SymObj q = v.M("Question").get("id", v.ParamRef("question", "Question"));
+    SymObj topic = v.M("Topic").get("id", v.PostRef("topic", "Topic"));
+    v.Link("topics", q, topic);
+  });
+
+  // PublishArticle: standalone long-form post.
+  app.AddView("PublishArticle", [](ViewCtx& v) {
+    SymObj author = v.Deref("User", v.ParamRef("user", "User"));
+    if (v.Post("title") == "") {
+      v.Abort();
+    }
+    v.Create("Article", {{"title", v.Post("title")}, {"content", v.Post("content")}},
+             {{"author", author}});
+  });
+
+  // ReportAnswer: flags an answer for moderation.
+  app.AddView("ReportAnswer", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj answer = v.M("Answer").get("id", v.ParamRef("answer", "Answer"));
+    v.Create("Report", {{"reason", v.Post("reason")}},
+             {{"reporter", user}, {"answer", answer}});
+  });
+
+  // DeleteAnswer: the author retracts an answer (cascades votes/comments/reports).
+  app.AddView("DeleteAnswer", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    SymObj answer = v.M("Answer").get("id", v.ParamRef("answer", "Answer"));
+    SymObj author = answer.rel("author");
+    if (!(author.ref() == user.ref())) {
+      v.Abort();
+    }
+    answer.destroy();
+  });
+
+  // MarkNotificationsRead: inbox maintenance.
+  app.AddView("MarkNotificationsRead", [](ViewCtx& v) {
+    SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+    v.M("Notification").filter("user", user).filter("read", Sym(false))
+        .update("read", Sym(true));
+  });
+
+  // Timeline: read-only; branches on the feed flavor.
+  app.AddView("Timeline", [](ViewCtx& v) {
+    if (v.PostBool("hot")) {
+      Sym n = v.M("Question").filter("follow__gte", Sym(10)).count();
+      (void)n;
+    } else {
+      Sym n = v.M("Answer").count();
+      (void)n;
+    }
+  });
+
+  return app;
+}
+
+}  // namespace noctua::apps

@@ -1,0 +1,14 @@
+// zhihu — a Quora-like Q&A site clone (paper Table 4: 14 models, 25 relations). The
+// CreateQuestion / FollowQuestion operations drive the paper's case study (§6.4).
+#ifndef SRC_APPS_ZHIHU_H_
+#define SRC_APPS_ZHIHU_H_
+
+#include "src/app/app.h"
+
+namespace noctua::apps {
+
+app::App MakeZhihuApp();
+
+}  // namespace noctua::apps
+
+#endif  // SRC_APPS_ZHIHU_H_

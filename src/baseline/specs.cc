@@ -1,0 +1,211 @@
+#include "src/baseline/specs.h"
+
+#include "src/support/check.h"
+
+namespace noctua::baseline {
+
+using soir::CmpOp;
+using soir::CodePath;
+using soir::Command;
+using soir::CommandKind;
+using soir::ExprP;
+using soir::Type;
+
+namespace {
+
+Command Guard(ExprP cond) {
+  Command c;
+  c.kind = CommandKind::kGuard;
+  c.a = std::move(cond);
+  return c;
+}
+
+Command Update(ExprP set) {
+  Command c;
+  c.kind = CommandKind::kUpdate;
+  c.a = std::move(set);
+  return c;
+}
+
+Command Delete(ExprP set) {
+  Command c;
+  c.kind = CommandKind::kDelete;
+  c.a = std::move(set);
+  return c;
+}
+
+Command Link(int relation, ExprP from, ExprP to) {
+  Command c;
+  c.kind = CommandKind::kLink;
+  c.relation = relation;
+  c.a = std::move(from);
+  c.b = std::move(to);
+  return c;
+}
+
+// guard(exists(filter(pk == ref, all<m>)))
+Command ExistsGuard(const soir::Schema& s, int m, ExprP ref) {
+  ExprP matched =
+      soir::MakeFilter(soir::MakeAll(m), {}, s.model(m).pk_name(), CmpOp::kEq, std::move(ref));
+  return Guard(soir::MakeExists(matched));
+}
+
+}  // namespace
+
+std::vector<CodePath> SmallBankSpec(const soir::Schema& s) {
+  int account = s.ModelId("Account");
+  auto acct_obj = [&](ExprP ref) { return soir::MakeDeref(ref); };
+  auto field = [&](ExprP obj, const char* name) {
+    return soir::MakeGetField(std::move(obj), name, Type::Int());
+  };
+  std::vector<CodePath> out;
+
+  {  // DepositChecking(acct, amount): amount >= 0; checking += amount.
+    CodePath p;
+    p.op_name = "DepositChecking";
+    p.view_name = "DepositChecking";
+    ExprP acct = soir::MakeArg("acct", Type::Ref(account));
+    ExprP amount = soir::MakeArg("amount", Type::Int());
+    p.args = {{"acct", Type::Ref(account), false}, {"amount", Type::Int(), false}};
+    p.commands.push_back(ExistsGuard(s, account, acct));
+    p.commands.push_back(Guard(soir::MakeCmp(CmpOp::kGe, amount, soir::MakeIntLit(0))));
+    ExprP obj = acct_obj(acct);
+    ExprP updated = soir::MakeSetField(obj, "checking",
+                                       soir::MakeAdd(field(obj, "checking"), amount));
+    p.commands.push_back(Update(soir::MakeSingleton(updated)));
+    out.push_back(std::move(p));
+  }
+  {  // TransactSavings(acct, amount): savings + amount >= 0; savings += amount.
+    CodePath p;
+    p.op_name = "TransactSavings";
+    p.view_name = "TransactSavings";
+    ExprP acct = soir::MakeArg("acct", Type::Ref(account));
+    ExprP amount = soir::MakeArg("amount", Type::Int());
+    p.args = {{"acct", Type::Ref(account), false}, {"amount", Type::Int(), false}};
+    p.commands.push_back(ExistsGuard(s, account, acct));
+    ExprP obj = acct_obj(acct);
+    p.commands.push_back(Guard(soir::MakeCmp(
+        CmpOp::kGe, soir::MakeAdd(field(obj, "savings"), amount), soir::MakeIntLit(0))));
+    ExprP updated = soir::MakeSetField(obj, "savings",
+                                       soir::MakeAdd(field(obj, "savings"), amount));
+    p.commands.push_back(Update(soir::MakeSingleton(updated)));
+    out.push_back(std::move(p));
+  }
+  {  // SendPayment(src, dst, amount): 0 <= amount <= src.checking; transfer.
+    CodePath p;
+    p.op_name = "SendPayment";
+    p.view_name = "SendPayment";
+    ExprP src = soir::MakeArg("src", Type::Ref(account));
+    ExprP dst = soir::MakeArg("dst", Type::Ref(account));
+    ExprP amount = soir::MakeArg("amount", Type::Int());
+    p.args = {{"src", Type::Ref(account), false},
+              {"dst", Type::Ref(account), false},
+              {"amount", Type::Int(), false}};
+    p.commands.push_back(ExistsGuard(s, account, src));
+    p.commands.push_back(ExistsGuard(s, account, dst));
+    p.commands.push_back(Guard(soir::MakeCmp(CmpOp::kGe, amount, soir::MakeIntLit(0))));
+    ExprP sobj = acct_obj(src);
+    ExprP dobj = acct_obj(dst);
+    p.commands.push_back(Guard(soir::MakeCmp(CmpOp::kGe, field(sobj, "checking"), amount)));
+    p.commands.push_back(Update(soir::MakeSingleton(soir::MakeSetField(
+        sobj, "checking", soir::MakeSub(field(sobj, "checking"), amount)))));
+    p.commands.push_back(Update(soir::MakeSingleton(soir::MakeSetField(
+        dobj, "checking", soir::MakeAdd(field(dobj, "checking"), amount)))));
+    out.push_back(std::move(p));
+  }
+  {  // Amalgamate(src, dst, amount): moves the origin-read balance, like SendPayment.
+    CodePath p;
+    p.op_name = "Amalgamate";
+    p.view_name = "Amalgamate";
+    ExprP src = soir::MakeArg("src", Type::Ref(account));
+    ExprP dst = soir::MakeArg("dst", Type::Ref(account));
+    ExprP amount = soir::MakeArg("amount", Type::Int());
+    p.args = {{"src", Type::Ref(account), false},
+              {"dst", Type::Ref(account), false},
+              {"amount", Type::Int(), false}};
+    p.commands.push_back(ExistsGuard(s, account, src));
+    p.commands.push_back(ExistsGuard(s, account, dst));
+    p.commands.push_back(Guard(soir::MakeCmp(CmpOp::kGe, amount, soir::MakeIntLit(0))));
+    ExprP sobj = acct_obj(src);
+    ExprP dobj = acct_obj(dst);
+    p.commands.push_back(Guard(soir::MakeCmp(CmpOp::kGe, field(sobj, "checking"), amount)));
+    p.commands.push_back(Update(soir::MakeSingleton(soir::MakeSetField(
+        sobj, "checking", soir::MakeSub(field(sobj, "checking"), amount)))));
+    p.commands.push_back(Update(soir::MakeSingleton(soir::MakeSetField(
+        dobj, "checking", soir::MakeAdd(field(dobj, "checking"), amount)))));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<CodePath> CoursewareSpec(const soir::Schema& s) {
+  int student = s.ModelId("Student");
+  int course = s.ModelId("Course");
+  int enrolment = s.ModelId("Enrolment");
+  auto [rel_student, fwd1] = s.FindRelation(enrolment, "student");
+  auto [rel_course, fwd2] = s.FindRelation(enrolment, "course");
+  NOCTUA_CHECK(rel_student >= 0 && rel_course >= 0 && fwd1 && fwd2);
+
+  std::vector<CodePath> out;
+  auto insert_new = [&](CodePath& p, int model, const char* arg_name,
+                        std::vector<ExprP> fields) {
+    ExprP new_id = soir::MakeArg(arg_name, Type::Ref(model));
+    p.args.push_back({arg_name, Type::Ref(model), /*unique_id=*/true});
+    ExprP dup = soir::MakeFilter(soir::MakeAll(model), {}, s.model(model).pk_name(),
+                                 CmpOp::kEq, new_id);
+    p.commands.push_back(Guard(soir::MakeNot(soir::MakeExists(dup))));
+    ExprP obj = soir::MakeNewObj(model, new_id, std::move(fields));
+    p.commands.push_back(Update(soir::MakeSingleton(obj)));
+    return obj;
+  };
+
+  {  // Register(name)
+    CodePath p;
+    p.op_name = "Register";
+    p.view_name = "Register";
+    ExprP name = soir::MakeArg("name", Type::String());
+    p.args.push_back({"name", Type::String(), false});
+    insert_new(p, student, "new_student", {name});
+    out.push_back(std::move(p));
+  }
+  {  // AddCourse(title, capacity)
+    CodePath p;
+    p.op_name = "AddCourse";
+    p.view_name = "AddCourse";
+    ExprP title = soir::MakeArg("title", Type::String());
+    ExprP cap = soir::MakeArg("capacity", Type::Int());
+    p.args.push_back({"title", Type::String(), false});
+    p.args.push_back({"capacity", Type::Int(), false});
+    insert_new(p, course, "new_course", {title, cap});
+    out.push_back(std::move(p));
+  }
+  {  // Enroll(student, course)
+    CodePath p;
+    p.op_name = "Enroll";
+    p.view_name = "Enroll";
+    ExprP st = soir::MakeArg("student", Type::Ref(student));
+    ExprP co = soir::MakeArg("course", Type::Ref(course));
+    p.args.push_back({"student", Type::Ref(student), false});
+    p.args.push_back({"course", Type::Ref(course), false});
+    p.commands.push_back(ExistsGuard(s, student, st));
+    p.commands.push_back(ExistsGuard(s, course, co));
+    ExprP obj = insert_new(p, enrolment, "new_enrolment", {});
+    p.commands.push_back(Link(rel_student, obj, soir::MakeDeref(st)));
+    p.commands.push_back(Link(rel_course, obj, soir::MakeDeref(co)));
+    out.push_back(std::move(p));
+  }
+  {  // DeleteCourse(course): filter semantics, no existence requirement.
+    CodePath p;
+    p.op_name = "DeleteCourse";
+    p.view_name = "DeleteCourse";
+    ExprP co = soir::MakeArg("course", Type::Ref(course));
+    p.args.push_back({"course", Type::Ref(course), false});
+    ExprP matched =
+        soir::MakeFilter(soir::MakeAll(course), {}, s.model(course).pk_name(), CmpOp::kEq, co);
+    p.commands.push_back(Delete(matched));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace noctua::baseline

@@ -1,0 +1,27 @@
+// Baseline specifications for the Table 5 correctness comparison.
+//
+// Prior tools (Rigi for SmallBank, Hamsaz for Courseware) consume *specifications* —
+// explicit operation descriptions — rather than extracting semantics from application
+// code. This module hand-writes the SOIR for both benchmarks' operations, exactly as a
+// spec author would, and feeds it to the same verifier. Table 5's claim is that Noctua's
+// analyzer-extracted paths yield the same restriction set as these specs.
+#ifndef SRC_BASELINE_SPECS_H_
+#define SRC_BASELINE_SPECS_H_
+
+#include <vector>
+
+#include "src/soir/ast.h"
+#include "src/soir/schema.h"
+
+namespace noctua::baseline {
+
+// Hand-written SOIR for SmallBank's four effectful operations, against `schema` (the
+// schema from apps::MakeSmallBankApp()).
+std::vector<soir::CodePath> SmallBankSpec(const soir::Schema& schema);
+
+// Hand-written SOIR for Courseware's four operations.
+std::vector<soir::CodePath> CoursewareSpec(const soir::Schema& schema);
+
+}  // namespace noctua::baseline
+
+#endif  // SRC_BASELINE_SPECS_H_

@@ -1,0 +1,118 @@
+// Runtime values for the concrete ORM database and the SOIR interpreter.
+//
+// Floats and datetimes are stored as int64 (fixed-point / ticks), matching the pipeline's
+// convention. Refs (object IDs) are int64 too; for models with string primary keys the
+// workload generator maps the string space onto integers, which is transparent to the
+// application semantics.
+#ifndef SRC_ORM_VALUE_H_
+#define SRC_ORM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/check.h"
+
+namespace noctua::orm {
+
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kInt, kString, kRef };
+
+  Value() : kind_(Kind::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.i_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.i_ = i;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.s_ = std::move(s);
+    return v;
+  }
+  static Value Ref(int64_t id) {
+    Value v;
+    v.kind_ = Kind::kRef;
+    v.i_ = id;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool bool_v() const {
+    NOCTUA_DCHECK(kind_ == Kind::kBool);
+    return i_ != 0;
+  }
+  int64_t int_v() const {
+    NOCTUA_DCHECK(kind_ == Kind::kInt || kind_ == Kind::kRef);
+    return i_;
+  }
+  const std::string& str_v() const {
+    NOCTUA_DCHECK(kind_ == Kind::kString);
+    return s_;
+  }
+
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) {
+      return false;
+    }
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kString:
+        return s_ == o.s_;
+      default:
+        return i_ == o.i_;
+    }
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  // Total order used by ORDER BY and deterministic iteration. Nulls sort first; values of
+  // different kinds order by kind.
+  bool operator<(const Value& o) const {
+    if (kind_ != o.kind_) {
+      return kind_ < o.kind_;
+    }
+    switch (kind_) {
+      case Kind::kNull:
+        return false;
+      case Kind::kString:
+        return s_ < o.s_;
+      default:
+        return i_ < o.i_;
+    }
+  }
+
+  std::string ToString() const {
+    switch (kind_) {
+      case Kind::kNull:
+        return "null";
+      case Kind::kBool:
+        return i_ ? "true" : "false";
+      case Kind::kInt:
+        return std::to_string(i_);
+      case Kind::kString:
+        return "\"" + s_ + "\"";
+      case Kind::kRef:
+        return "#" + std::to_string(i_);
+    }
+    return "?";
+  }
+
+ private:
+  Kind kind_;
+  int64_t i_ = 0;
+  std::string s_;
+};
+
+}  // namespace noctua::orm
+
+#endif  // SRC_ORM_VALUE_H_

@@ -1,0 +1,219 @@
+#include "src/repl/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/support/check.h"
+
+namespace noctua::repl {
+
+void ConflictTable::AddPair(const std::string& a, const std::string& b) {
+  pairs_.insert({std::min(a, b), std::max(a, b)});
+}
+
+bool ConflictTable::Conflicts(const std::string& a, const std::string& b) const {
+  if (total_) {
+    return true;
+  }
+  return pairs_.count({std::min(a, b), std::max(a, b)}) != 0;
+}
+
+namespace {
+
+enum class EventKind : uint8_t {
+  kClientIssue,   // a client issues its next request
+  kCoordGrant,    // admission request reaches the coordinator
+  kExecute,       // request executes at its origin site
+  kApplyRemote,   // a propagated effect applies at a remote replica
+  kRelease,       // release reaches the coordinator
+};
+
+struct PendingOp {
+  int64_t id = 0;
+  int site = 0;
+  int client = 0;
+  Request request;
+  double issued_at = 0;
+};
+
+struct Event {
+  double time = 0;
+  EventKind kind = EventKind::kClientIssue;
+  int64_t op = -1;
+  int site = -1;    // kClientIssue/kApplyRemote: target site
+  int client = -1;  // kClientIssue
+  // Deterministic tie-breaking.
+  int64_t seq = 0;
+
+  bool operator>(const Event& o) const {
+    return time != o.time ? time > o.time : seq > o.seq;
+  }
+};
+
+}  // namespace
+
+struct Simulator::Site {
+  orm::Database db;
+  explicit Site(const soir::Schema* schema) : db(schema) {}
+};
+
+Simulator::Simulator(const soir::Schema& schema, const std::vector<soir::CodePath>& paths,
+                     ConflictTable conflicts, SimOptions options)
+    : schema_(schema), paths_(paths), conflicts_(std::move(conflicts)), options_(options) {}
+
+SimResult Simulator::Run() {
+  soir::Interp interp(schema_);
+  WorkloadGenerator workload(schema_, paths_, options_.write_ratio, options_.seed);
+
+  // Replicas: identical seeded initial state, per-site striped ID allocation.
+  std::vector<Site> sites;
+  sites.reserve(options_.num_sites);
+  orm::Database seeded(&schema_);
+  WorkloadGenerator::SeedDatabase(&seeded, options_.seed_rows_per_model, options_.seed);
+  for (int i = 0; i < options_.num_sites; ++i) {
+    sites.emplace_back(&schema_);
+    sites.back().db = seeded;
+    sites.back().db.StripeNewIds(i, options_.num_sites);
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::map<int64_t, PendingOp> ops;
+  int64_t next_op = 0;
+  int64_t next_seq = 0;
+
+  // Coordinator state: active op ids with their endpoint names, plus a FIFO wait queue.
+  std::map<int64_t, std::string> active;
+  std::vector<int64_t> waiting;
+
+  SimResult result;
+  double total_latency = 0;
+  const int coordinator_site = 0;
+
+  auto coord_delay = [&](int site) {
+    return site == coordinator_site ? 0.0 : options_.cross_site_latency_ms;
+  };
+  auto push = [&](double time, EventKind kind, int64_t op, int site = -1, int client = -1) {
+    queue.push(Event{time, kind, op, site, client, next_seq++});
+  };
+
+  // Admits every waiting op that conflicts with nothing active, in FIFO order.
+  auto admit_waiters = [&](double now) {
+    for (auto it = waiting.begin(); it != waiting.end();) {
+      const PendingOp& op = ops.at(*it);
+      const std::string& name = op.request.path->view_name;
+      bool blocked = false;
+      for (const auto& [_, other] : active) {
+        if (conflicts_.Conflicts(name, other)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) {
+        ++it;
+        continue;
+      }
+      active[op.id] = name;
+      // Grant travels back to the origin site, then the op executes.
+      push(now + coord_delay(op.site) + options_.local_exec_ms, EventKind::kExecute, op.id);
+      it = waiting.erase(it);
+    }
+  };
+
+  for (int s = 0; s < options_.num_sites; ++s) {
+    for (int c = 0; c < options_.clients_per_site; ++c) {
+      push(0.0, EventKind::kClientIssue, -1, s, c);
+    }
+  }
+
+  while (!queue.empty()) {
+    Event ev = queue.top();
+    queue.pop();
+    if (ev.time > options_.duration_ms && ev.kind == EventKind::kClientIssue) {
+      continue;  // stop issuing; drain in-flight work
+    }
+    switch (ev.kind) {
+      case EventKind::kClientIssue: {
+        PendingOp op;
+        op.id = next_op++;
+        op.site = ev.site;
+        op.client = ev.client;
+        op.request = workload.Next(&sites[ev.site].db);
+        op.issued_at = ev.time;
+        ops[op.id] = std::move(op);
+        const PendingOp& ref = ops.at(op.id);
+        bool coordinated = options_.strong_consistency || ref.request.is_write;
+        if (coordinated) {
+          push(ev.time + coord_delay(ref.site), EventKind::kCoordGrant, ref.id);
+        } else {
+          push(ev.time + options_.local_exec_ms, EventKind::kExecute, ref.id);
+        }
+        break;
+      }
+      case EventKind::kCoordGrant: {
+        waiting.push_back(ev.op);
+        admit_waiters(ev.time);
+        break;
+      }
+      case EventKind::kExecute: {
+        PendingOp& op = ops.at(ev.op);
+        bool committed = interp.Run(*op.request.path, op.request.args, &sites[op.site].db);
+        bool coordinated = options_.strong_consistency || op.request.is_write;
+        double done = ev.time;
+        ++result.completed_requests;
+        if (!committed) {
+          ++result.aborted_requests;
+        }
+        if (op.request.is_write && committed) {
+          ++result.committed_writes;
+          // Propagate the effect to every remote replica (asynchronous).
+          for (int s = 0; s < options_.num_sites; ++s) {
+            if (s != op.site) {
+              push(ev.time + options_.cross_site_latency_ms, EventKind::kApplyRemote, op.id,
+                   s);
+            }
+          }
+        }
+        if (coordinated) {
+          // The coordination entry is held until the effect has reached every replica, so
+          // conflicting operations apply in a single global order at all sites.
+          double propagated = committed && op.request.is_write
+                                  ? options_.cross_site_latency_ms
+                                  : 0.0;
+          push(ev.time + propagated + coord_delay(op.site), EventKind::kRelease, op.id);
+        }
+        total_latency += done - op.issued_at;
+        // Closed loop: the client issues its next request.
+        push(ev.time, EventKind::kClientIssue, -1, op.site, op.client);
+        break;
+      }
+      case EventKind::kApplyRemote: {
+        // Remote replicas apply the propagated mutations; guards were validated at the
+        // origin (paper §2.1).
+        PendingOp& op = ops.at(ev.op);
+        interp.Apply(*op.request.path, op.request.args, &sites[ev.site].db);
+        break;
+      }
+      case EventKind::kRelease: {
+        active.erase(ev.op);
+        admit_waiters(ev.time);
+        break;
+      }
+    }
+  }
+
+  result.duration_ms = options_.duration_ms;
+  result.avg_latency_ms =
+      result.completed_requests > 0 ? total_latency / result.completed_requests : 0;
+  std::set<int> order_models;
+  for (const soir::CodePath& p : paths_) {
+    std::set<int> m = soir::OrderRelevantModels(p);
+    order_models.insert(m.begin(), m.end());
+  }
+  result.converged = true;
+  for (int s = 1; s < options_.num_sites; ++s) {
+    result.converged = result.converged && sites[0].db.SameState(sites[s].db, order_models);
+  }
+  return result;
+}
+
+}  // namespace noctua::repl

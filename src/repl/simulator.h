@@ -1,0 +1,89 @@
+// Discrete-event geo-replication simulator for the end-to-end experiment (paper §6.5,
+// Figures 10 and 11).
+//
+// The deployment mirrors the paper's: N sites (3 in the experiment), each holding a full
+// database replica, plus a centralized coordination service that maintains the set of
+// currently active operations and admits an operation only when no conflicting operation
+// is active. Under PoR consistency the conflict relation is the restriction set computed
+// by the verifier, lifted to HTTP endpoints (the paper's simplification: "we did not use
+// the full analysis results, but only consider the HTTP endpoints"); under the strong
+// consistency (SC) baseline every request — including read-only ones — conflicts with
+// every other.
+//
+// Requests are issued by closed-loop clients at each site. Reads execute locally and
+// immediately. Writes acquire admission from the coordinator (one network round trip when
+// the coordinator is remote, plus queueing for conflicts), execute locally, and their
+// effects propagate asynchronously to the other replicas, where the extracted SOIR path
+// is re-executed (operation replication, §2.1).
+#ifndef SRC_REPL_SIMULATOR_H_
+#define SRC_REPL_SIMULATOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/repl/workload.h"
+#include "src/soir/interp.h"
+
+namespace noctua::repl {
+
+// Pairs of endpoint names that must not run concurrently.
+class ConflictTable {
+ public:
+  void AddPair(const std::string& a, const std::string& b);
+  bool Conflicts(const std::string& a, const std::string& b) const;
+  // Strong consistency: everything conflicts (overrides the pair set).
+  void SetTotal(bool total) { total_ = total; }
+  bool total() const { return total_; }
+  size_t size() const { return pairs_.size(); }
+
+ private:
+  std::set<std::pair<std::string, std::string>> pairs_;
+  bool total_ = false;
+};
+
+struct SimOptions {
+  int num_sites = 3;
+  int clients_per_site = 8;
+  double cross_site_latency_ms = 1.0;  // the paper's injected 1 ms
+  double local_exec_ms = 0.05;         // request execution cost at a replica
+  double duration_ms = 2000;
+  double write_ratio = 0.5;
+  // SC mode: every request (including reads) is coordinated (paper's baseline).
+  bool strong_consistency = false;
+  int seed_rows_per_model = 10;
+  uint64_t seed = 42;
+};
+
+struct SimResult {
+  uint64_t completed_requests = 0;
+  uint64_t committed_writes = 0;
+  uint64_t aborted_requests = 0;  // guard failures (HTTP 4xx)
+  double duration_ms = 0;
+  double avg_latency_ms = 0;
+  bool converged = false;  // replicas reached the same state after quiescence
+
+  double ThroughputOpsPerSec() const {
+    return duration_ms > 0 ? completed_requests / (duration_ms / 1000.0) : 0;
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(const soir::Schema& schema, const std::vector<soir::CodePath>& paths,
+            ConflictTable conflicts, SimOptions options);
+
+  SimResult Run();
+
+ private:
+  struct Site;
+  const soir::Schema& schema_;
+  const std::vector<soir::CodePath>& paths_;
+  ConflictTable conflicts_;
+  SimOptions options_;
+};
+
+}  // namespace noctua::repl
+
+#endif  // SRC_REPL_SIMULATOR_H_

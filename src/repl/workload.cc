@@ -1,0 +1,118 @@
+#include "src/repl/workload.h"
+
+#include "src/support/check.h"
+
+namespace noctua::repl {
+
+WorkloadGenerator::WorkloadGenerator(const soir::Schema& schema,
+                                     const std::vector<soir::CodePath>& paths,
+                                     double write_ratio, uint64_t seed)
+    : schema_(schema), write_ratio_(write_ratio), rng_(seed) {
+  for (const soir::CodePath& p : paths) {
+    (p.IsEffectful() ? writes_ : reads_).push_back(&p);
+  }
+  NOCTUA_CHECK_MSG(!writes_.empty(), "workload needs at least one effectful path");
+  if (reads_.empty()) {
+    write_ratio_ = 1.0;  // nothing to read; everything is a write
+  }
+}
+
+void WorkloadGenerator::SeedDatabase(orm::Database* db, int rows_per_model, uint64_t seed) {
+  Rng rng(seed);
+  const soir::Schema& schema = db->schema();
+  for (size_t m = 0; m < schema.num_models(); ++m) {
+    const soir::ModelDef& md = schema.model(static_cast<int>(m));
+    for (int i = 0; i < rows_per_model; ++i) {
+      orm::Row row;
+      for (const soir::FieldDef& fd : md.fields()) {
+        switch (fd.type) {
+          case soir::FieldType::kBool:
+            row.push_back(orm::Value::Bool(rng.NextBool()));
+            break;
+          case soir::FieldType::kString:
+            // Unique string columns get per-row values.
+            row.push_back(orm::Value::Str(fd.name + "_" + std::to_string(m) + "_" +
+                                          std::to_string(i)));
+            break;
+          default:
+            row.push_back(orm::Value::Int(fd.positive ? rng.NextInRange(1, 50)
+                                                      : rng.NextInRange(0, 50)));
+            break;
+        }
+      }
+      db->Upsert(static_cast<int>(m), db->NewId(static_cast<int>(m)), std::move(row));
+    }
+  }
+  // Wire every many-to-one relation so relation traversals find targets.
+  for (const soir::RelationDef& rel : schema.relations()) {
+    std::vector<int64_t> from = db->AllPks(rel.from_model);
+    std::vector<int64_t> to = db->AllPks(rel.to_model);
+    if (to.empty()) {
+      continue;
+    }
+    for (int64_t pk : from) {
+      db->Link(rel.id, pk, to[rng.NextBelow(to.size())]);
+    }
+  }
+}
+
+const std::vector<std::string>& WorkloadGenerator::StringPool(const soir::CodePath* path) {
+  auto it = string_pools_.find(path);
+  if (it != string_pools_.end()) {
+    return it->second;
+  }
+  std::vector<std::string>& pool = string_pools_[path];
+  soir::VisitExprs(*path, [&](const soir::Expr& e) {
+    if (e.kind == soir::ExprKind::kStrLit && !e.str.empty()) {
+      pool.push_back(e.str);
+    }
+  });
+  return pool;
+}
+
+Request WorkloadGenerator::Next(orm::Database* origin) {
+  bool is_write = rng_.NextDouble() < write_ratio_;
+  const auto& pool = is_write ? writes_ : reads_;
+  Request req = ForPath(*pool[rng_.NextBelow(pool.size())], origin);
+  req.is_write = is_write;
+  return req;
+}
+
+Request WorkloadGenerator::ForPath(const soir::CodePath& path, orm::Database* origin) {
+  Request req;
+  req.path = &path;
+  req.is_write = path.IsEffectful();
+
+  for (const soir::ArgDef& arg : req.path->args) {
+    switch (arg.type.kind) {
+      case soir::Type::Kind::kRef: {
+        if (arg.unique_id) {
+          req.args[arg.name] = orm::Value::Ref(origin->NewId(arg.type.model_id));
+          break;
+        }
+        std::vector<int64_t> pks = origin->AllPks(arg.type.model_id);
+        req.args[arg.name] =
+            pks.empty() ? orm::Value::Ref(0) : orm::Value::Ref(pks[rng_.NextBelow(pks.size())]);
+        break;
+      }
+      case soir::Type::Kind::kBool:
+        req.args[arg.name] = orm::Value::Bool(rng_.NextBool());
+        break;
+      case soir::Type::Kind::kString: {
+        const std::vector<std::string>& pool = StringPool(req.path);
+        if (!pool.empty() && rng_.Chance(0.7)) {
+          req.args[arg.name] = orm::Value::Str(pool[rng_.NextBelow(pool.size())]);
+        } else {
+          req.args[arg.name] = orm::Value::Str("w" + std::to_string(rng_.NextBelow(1000)));
+        }
+        break;
+      }
+      default:
+        req.args[arg.name] = orm::Value::Int(rng_.NextInRange(0, 20));
+        break;
+    }
+  }
+  return req;
+}
+
+}  // namespace noctua::repl

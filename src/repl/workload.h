@@ -1,0 +1,56 @@
+// Workload generation for the end-to-end experiment (paper §6.5): random HTTP-like
+// requests over an application's extracted code paths, with a configurable write ratio
+// ("the 15% workload means only 15% are writes").
+#ifndef SRC_REPL_WORKLOAD_H_
+#define SRC_REPL_WORKLOAD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/orm/database.h"
+#include "src/soir/ast.h"
+#include "src/soir/interp.h"
+#include "src/support/rng.h"
+
+namespace noctua::repl {
+
+struct Request {
+  const soir::CodePath* path = nullptr;
+  soir::ArgValues args;
+  bool is_write = false;
+};
+
+class WorkloadGenerator {
+ public:
+  // `paths` must outlive the generator. Read-only paths serve the (1 - write_ratio)
+  // fraction of requests.
+  WorkloadGenerator(const soir::Schema& schema, const std::vector<soir::CodePath>& paths,
+                    double write_ratio, uint64_t seed);
+
+  // Generates the next request, choosing argument values against the given replica state
+  // (existing row IDs for Ref args, fresh striped IDs for unique-id args).
+  Request Next(orm::Database* origin);
+
+  // Generates a request for one specific path (used by the differential property tests).
+  Request ForPath(const soir::CodePath& path, orm::Database* origin);
+
+  // Seeds `db` with `rows_per_model` rows per model so reads have something to find.
+  static void SeedDatabase(orm::Database* db, int rows_per_model, uint64_t seed);
+
+ private:
+  // String literals mentioned by a path's expressions — used to generate string arguments
+  // that can actually satisfy branch conditions like action == "delete".
+  const std::vector<std::string>& StringPool(const soir::CodePath* path);
+
+  const soir::Schema& schema_;
+  std::map<const soir::CodePath*, std::vector<std::string>> string_pools_;
+  std::vector<const soir::CodePath*> writes_;
+  std::vector<const soir::CodePath*> reads_;
+  double write_ratio_;
+  Rng rng_;
+};
+
+}  // namespace noctua::repl
+
+#endif  // SRC_REPL_WORKLOAD_H_

@@ -1,0 +1,193 @@
+#include "src/smt/ground.h"
+
+#include <unordered_set>
+
+#include "src/support/check.h"
+
+namespace noctua::smt {
+
+std::vector<Term> Grounder::DomainElements(const Sort& sort) {
+  std::vector<Term> out;
+  if (sort->is_ref()) {
+    int n = scope_.RefSize(sort->model_id());
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      out.push_back(f_->RefLit(sort, i));
+    }
+  } else if (sort->is_pair()) {
+    const Sort& s1 = sort->children()[0];
+    const Sort& s2 = sort->children()[1];
+    int n1 = scope_.RefSize(s1->model_id());
+    int n2 = scope_.RefSize(s2->model_id());
+    out.reserve(static_cast<size_t>(n1) * n2);
+    for (int i = 0; i < n1; ++i) {
+      for (int j = 0; j < n2; ++j) {
+        out.push_back(f_->MkPair(f_->RefLit(s1, i), f_->RefLit(s2, j)));
+      }
+    }
+  } else {
+    NOCTUA_UNREACHABLE("domain of non-finite sort");
+  }
+  return out;
+}
+
+Term Grounder::GroundBinder(Term t) {
+  int64_t var_id = t->int_payload();
+  const Sort& dom = t->binder_sort();
+  std::vector<Term> elems = DomainElements(dom);
+
+  // Instantiates body child `c` at domain element `e` and grounds the result (the body
+  // may contain nested binders).
+  auto inst = [&](size_t c, Term e) {
+    return Ground(SubstituteBoundVar(*f_, t->child(c), var_id, e));
+  };
+
+  switch (t->kind()) {
+    case TermKind::kForall: {
+      std::vector<Term> parts;
+      parts.reserve(elems.size());
+      for (Term e : elems) {
+        parts.push_back(inst(0, e));
+      }
+      return f_->And(std::move(parts));
+    }
+    case TermKind::kExists: {
+      std::vector<Term> parts;
+      parts.reserve(elems.size());
+      for (Term e : elems) {
+        parts.push_back(inst(0, e));
+      }
+      return f_->Or(std::move(parts));
+    }
+    case TermKind::kCount: {
+      Term acc = f_->IntLit(0);
+      for (Term e : elems) {
+        acc = f_->Add(acc, f_->Ite(inst(0, e), f_->IntLit(1), f_->IntLit(0)));
+      }
+      return acc;
+    }
+    case TermKind::kSum: {
+      Term acc = f_->IntLit(0);
+      for (Term e : elems) {
+        acc = f_->Add(acc, f_->Ite(inst(0, e), inst(1, e), f_->IntLit(0)));
+      }
+      return acc;
+    }
+    case TermKind::kMinAgg:
+    case TermKind::kMaxAgg: {
+      bool is_min = t->kind() == TermKind::kMinAgg;
+      Term acc = f_->IntLit(0);       // empty aggregates yield 0 by convention
+      Term found = f_->False();
+      for (Term e : elems) {
+        Term cond = inst(0, e);
+        Term val = inst(1, e);
+        Term better = is_min ? f_->Lt(val, acc) : f_->Lt(acc, val);
+        Term take = f_->And(cond, f_->Or(f_->Not(found), better));
+        acc = f_->Ite(take, val, acc);
+        found = f_->Or(found, cond);
+      }
+      return acc;
+    }
+    case TermKind::kArgExtreme: {
+      bool want_max = t->int_payload2() != 0;
+      NOCTUA_CHECK(!elems.empty());
+      Term acc = elems[0];            // empty sets yield element 0 by convention
+      Term acc_key = f_->IntLit(0);
+      Term found = f_->False();
+      for (Term e : elems) {
+        Term cond = inst(0, e);
+        Term key = inst(1, e);
+        // Strict improvement keeps the earliest element on ties (matching the evaluator).
+        Term better = want_max ? f_->Lt(acc_key, key) : f_->Lt(key, acc_key);
+        Term take = f_->And(cond, f_->Or(f_->Not(found), better));
+        acc = f_->Ite(take, e, acc);
+        acc_key = f_->Ite(take, key, acc_key);
+        found = f_->Or(found, cond);
+      }
+      return acc;
+    }
+    case TermKind::kArrayLambda:
+      // Lambdas only ever occur under Select, which beta-reduces at construction; a
+      // surviving lambda would mean an array-valued leaf, which the encoder never builds.
+      NOCTUA_UNREACHABLE("array lambda survived grounding");
+    default:
+      NOCTUA_UNREACHABLE("not a binder");
+  }
+}
+
+Term Grounder::Ground(Term t) {
+  if (!t->has_bound_var()) {
+    auto it = memo_.find(t);
+    if (it != memo_.end()) {
+      return it->second;
+    }
+  }
+  Term result;
+  switch (t->kind()) {
+    case TermKind::kForall:
+    case TermKind::kExists:
+    case TermKind::kCount:
+    case TermKind::kSum:
+    case TermKind::kMinAgg:
+    case TermKind::kMaxAgg:
+    case TermKind::kArgExtreme:
+      result = GroundBinder(t);
+      break;
+    default: {
+      if (t->children().empty()) {
+        result = t;
+        break;
+      }
+      std::vector<Term> kids;
+      kids.reserve(t->children().size());
+      bool changed = false;
+      for (Term c : t->children()) {
+        Term g = Ground(c);
+        changed = changed || g != c;
+        kids.push_back(g);
+      }
+      result = changed ? RebuildTerm(*f_, t, std::move(kids)) : t;
+      break;
+    }
+  }
+  if (!t->has_bound_var()) {
+    memo_.emplace(t, result);
+  }
+  return result;
+}
+
+bool Grounder::IsGroundAtom(Term t) {
+  if (t->kind() == TermKind::kConst) {
+    return !t->sort()->is_array() && !t->sort()->is_tuple();
+  }
+  if (t->kind() == TermKind::kSelect) {
+    Term base = t->child(0);
+    return base->kind() == TermKind::kConst && IsGroundIndex(t->child(1)) &&
+           !t->sort()->is_tuple();
+  }
+  if (t->kind() == TermKind::kProj) {
+    Term cell = t->child(0);
+    return cell->kind() == TermKind::kSelect && cell->child(0)->kind() == TermKind::kConst &&
+           IsGroundIndex(cell->child(1));
+  }
+  return false;
+}
+
+void Grounder::CollectAtoms(Term grounded, std::vector<Term>* atoms) {
+  std::unordered_set<Term> seen;
+  auto walk = [&](Term t, auto&& self) -> void {
+    if (!seen.insert(t).second) {
+      return;
+    }
+    if (IsGroundAtom(t)) {
+      atoms->push_back(t);
+      return;
+    }
+    for (Term c : t->children()) {
+      self(c, self);
+    }
+  };
+  walk(grounded, walk);
+}
+
+}  // namespace noctua::smt

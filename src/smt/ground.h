@@ -1,0 +1,48 @@
+// Finite-scope grounding: expands every binder (quantifiers, aggregates, lambdas) over
+// the scope's domains, producing a quantifier-free term whose only irreducible leaves are
+// *ground atoms* — scalar constants, `Select(array_const, ground_index)` cells, and
+// `Proj(cell, field)` tuple slots.
+//
+// This is the Kodkod/Alloy move: with Ref domains of size k fixed, first-order structure
+// is compiled away, and the solver's search happens by substituting ground atoms with
+// literals and letting the term factory's simplifier (constant folding, linear arithmetic
+// normalization, complementary-literal detection) collapse the residual formula.
+#ifndef SRC_SMT_GROUND_H_
+#define SRC_SMT_GROUND_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/smt/eval.h"  // for Scope
+#include "src/smt/term.h"
+
+namespace noctua::smt {
+
+class Grounder {
+ public:
+  Grounder(TermFactory* factory, const Scope& scope) : f_(factory), scope_(scope) {}
+
+  // Expands all binders in `t` over the scope. The result contains no binder nodes and no
+  // bound variables.
+  Term Ground(Term t);
+
+  // Ground atoms of a grounded term, in deterministic first-occurrence order:
+  // scalar constants, Select(const, ground index), Proj(Select(const, ground index), i).
+  static void CollectAtoms(Term grounded, std::vector<Term>* atoms);
+
+  // True if `t` is a ground atom in the sense above.
+  static bool IsGroundAtom(Term t);
+
+ private:
+  // Domain elements of a Ref or Pair sort as literal terms.
+  std::vector<Term> DomainElements(const Sort& sort);
+  Term GroundBinder(Term t);
+
+  TermFactory* f_;
+  Scope scope_;
+  std::unordered_map<Term, Term> memo_;
+};
+
+}  // namespace noctua::smt
+
+#endif  // SRC_SMT_GROUND_H_

@@ -1,0 +1,348 @@
+#include "src/smt/solver.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/smt/ground.h"
+#include "src/support/check.h"
+
+namespace noctua::smt {
+
+const char* SolveResultName(SolveResult r) {
+  switch (r) {
+    case SolveResult::kSat:
+      return "sat";
+    case SolveResult::kUnsat:
+      return "unsat";
+    case SolveResult::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string SmtModel::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values) {
+    out += "  " + name + " = " + value + "\n";
+  }
+  return out;
+}
+
+void Solver::HarvestLiterals(const std::vector<Term>& roots) {
+  std::set<int64_t> ints;
+  std::set<std::string> strings;
+  std::unordered_set<Term> seen;
+  std::vector<Term> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    Term t = stack.back();
+    stack.pop_back();
+    if (!seen.insert(t).second) {
+      continue;
+    }
+    if (t->kind() == TermKind::kIntLit) {
+      ints.insert(t->int_payload());
+    } else if (t->kind() == TermKind::kStrLit) {
+      strings.insert(t->str_payload());
+    }
+    for (Term c : t->children()) {
+      stack.push_back(c);
+    }
+  }
+
+  // Integer domain: every literal plus its neighbors (enough to cross any < / <= / ==
+  // threshold in the formula), plus 0 and 1 so "fresh" quantities exist.
+  std::set<int64_t> dom;
+  dom.insert(0);
+  dom.insert(1);
+  for (int64_t v : ints) {
+    dom.insert(v);
+    dom.insert(v - 1);
+    dom.insert(v + 1);
+  }
+  int_domain_.assign(dom.begin(), dom.end());
+  if (static_cast<int>(int_domain_.size()) > options_.max_int_domain) {
+    // Keep the values closest to zero: thresholds in application code are small, and
+    // small counterexamples are the ones we expect to exist.
+    std::sort(int_domain_.begin(), int_domain_.end(), [](int64_t a, int64_t b) {
+      int64_t aa = a < 0 ? -a : a;
+      int64_t bb = b < 0 ? -b : b;
+      return aa != bb ? aa < bb : a < b;
+    });
+    int_domain_.resize(options_.max_int_domain);
+    std::sort(int_domain_.begin(), int_domain_.end());
+  }
+
+  // String domain: the formula's literals plus fresh symbols distinct from all of them.
+  string_domain_.assign(strings.begin(), strings.end());
+  string_domain_.push_back("!fresh_a");
+  string_domain_.push_back("!fresh_b");
+  if (static_cast<int>(string_domain_.size()) > options_.max_string_domain) {
+    string_domain_.resize(options_.max_string_domain);
+  }
+}
+
+std::vector<Term> Solver::DomainFor(TermFactory& f, Term atom) const {
+  const Sort& sort = atom->sort();
+  std::vector<Term> out;
+  if (sort->is_bool()) {
+    out = {f.False(), f.True()};
+  } else if (sort->is_int()) {
+    out.reserve(int_domain_.size());
+    for (int64_t v : int_domain_) {
+      out.push_back(f.IntLit(v));
+    }
+  } else if (sort->is_string()) {
+    out.reserve(string_domain_.size());
+    for (const std::string& s : string_domain_) {
+      out.push_back(f.StrLit(s));
+    }
+  } else if (sort->is_ref()) {
+    int n = options_.scope.RefSize(sort->model_id());
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      out.push_back(f.RefLit(sort, i));
+    }
+  } else {
+    NOCTUA_UNREACHABLE("atom of composite sort");
+  }
+  return out;
+}
+
+namespace {
+
+// Renders a ground atom for model reporting: "c", "c[1]", "c[(0,1)]", "c[1].2".
+std::string AtomName(Term atom) {
+  switch (atom->kind()) {
+    case TermKind::kConst:
+      return atom->str_payload();
+    case TermKind::kSelect: {
+      Term idx = atom->child(1);
+      std::string i = idx->kind() == TermKind::kRefLit
+                          ? std::to_string(idx->int_payload())
+                          : "(" + std::to_string(idx->child(0)->int_payload()) + "," +
+                                std::to_string(idx->child(1)->int_payload()) + ")";
+      return AtomName(atom->child(0)) + "[" + i + "]";
+    }
+    case TermKind::kProj:
+      return AtomName(atom->child(0)) + "." + std::to_string(atom->int_payload());
+    default:
+      return atom->ToString();
+  }
+}
+
+// Multi-atom substitution with rebuild through the factory (simplifications re-fire).
+// Note that substituting a Ref-valued atom can *materialize* new ground atoms (assigning
+// x := #0 turns Select(data, x) into the cell Select(data, #0)), so callers must iterate
+// with the full assignment trail until a fixpoint is reached.
+Term SubstGround(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
+                 std::unordered_map<Term, Term>& memo) {
+  auto vit = values.find(t);
+  if (vit != values.end()) {
+    return vit->second;
+  }
+  if (t->children().empty()) {
+    return t;
+  }
+  auto it = memo.find(t);
+  if (it != memo.end()) {
+    return it->second;
+  }
+  std::vector<Term> kids;
+  kids.reserve(t->children().size());
+  bool changed = false;
+  for (Term c : t->children()) {
+    Term nc = SubstGround(f, c, values, memo);
+    changed = changed || nc != c;
+    kids.push_back(nc);
+  }
+  Term result = changed ? RebuildTerm(f, t, std::move(kids)) : t;
+  // The rebuilt term may expose an assigned atom (e.g. a fresh Select cell).
+  vit = values.find(result);
+  if (vit != values.end()) {
+    result = vit->second;
+  }
+  memo.emplace(t, result);
+  return result;
+}
+
+// Substitutes until no assigned atom remains reachable.
+Term SubstFixpoint(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
+                   std::unordered_map<Term, Term>& memo) {
+  for (int round = 0; round < 16; ++round) {
+    Term r = SubstGround(f, t, values, memo);
+    if (r == t) {
+      return r;
+    }
+    t = r;
+  }
+  return t;
+}
+
+// First ground atom in DFS order, memoized (nullptr when the term contains none).
+Term FindFirstAtom(Term t, std::unordered_map<Term, Term>& memo) {
+  auto it = memo.find(t);
+  if (it != memo.end()) {
+    return it->second;
+  }
+  Term found = nullptr;
+  if (Grounder::IsGroundAtom(t)) {
+    found = t;
+  } else {
+    for (Term c : t->children()) {
+      found = FindFirstAtom(c, memo);
+      if (found != nullptr) {
+        break;
+      }
+    }
+  }
+  memo.emplace(t, found);
+  return found;
+}
+
+}  // namespace
+
+SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assertions) {
+  Stopwatch watch;
+  stats_ = SolverStats{};
+  model_.values.clear();
+  Deadline deadline = options_.timeout_seconds > 0
+                          ? Deadline::AfterSeconds(options_.timeout_seconds)
+                          : Deadline::Never();
+
+  // Ground all binders over the finite scope, then flatten top-level conjunctions so each
+  // conjunct prunes independently.
+  Grounder grounder(&f, options_.scope);
+  std::vector<Term> pending;
+  for (Term a : raw_assertions) {
+    Term g = grounder.Ground(f.And(a, f.True()));  // And() normalizes/flattens
+    if (g->kind() == TermKind::kAnd) {
+      for (Term c : g->children()) {
+        pending.push_back(c);
+      }
+    } else {
+      pending.push_back(g);
+    }
+  }
+  for (Term a : pending) {
+    if (a->IsBoolLit(false)) {
+      stats_.seconds = watch.ElapsedSeconds();
+      return SolveResult::kUnsat;
+    }
+  }
+  pending.erase(std::remove_if(pending.begin(), pending.end(),
+                               [](Term a) { return a->IsBoolLit(true); }),
+                pending.end());
+
+  HarvestLiterals(pending);
+
+  std::unordered_map<Term, Term> atom_memo;
+  std::map<std::string, std::string>& model_values = model_.values;
+  std::vector<std::pair<Term, Term>> assigned;  // (atom, literal) trail
+  std::unordered_map<Term, Term> trail_map;     // same content, for substitution
+
+  struct Frame {
+    Term atom;
+    std::vector<Term> domain;
+    size_t next_value = 0;
+    std::vector<Term> pending;  // residual assertions before this frame's assignment
+  };
+
+  auto pick_atom = [&](const std::vector<Term>& ps) -> Term {
+    for (Term a : ps) {
+      Term atom = FindFirstAtom(a, atom_memo);
+      if (atom != nullptr) {
+        return atom;
+      }
+    }
+    return nullptr;
+  };
+
+  auto record_model = [&]() {
+    for (const auto& [atom, value] : assigned) {
+      model_values[AtomName(atom)] = value->ToString();
+    }
+  };
+
+  if (pending.empty()) {
+    stats_.seconds = watch.ElapsedSeconds();
+    return SolveResult::kSat;  // trivially true
+  }
+
+  Term first = pick_atom(pending);
+  NOCTUA_CHECK_MSG(first != nullptr, "undecided ground assertion without atoms");
+  stats_.num_atoms = 1;
+
+  std::vector<Frame> stack;
+  stack.push_back(Frame{first, DomainFor(f, first), 0, pending});
+
+  bool timed_out = false;
+  while (!stack.empty()) {
+    if ((++stats_.nodes_visited & 0x3f) == 0 && deadline.Expired()) {
+      timed_out = true;
+      break;
+    }
+    if (stats_.nodes_visited > options_.max_nodes) {
+      timed_out = true;
+      break;
+    }
+    Frame& frame = stack.back();
+    if (frame.next_value >= frame.domain.size()) {
+      if (!assigned.empty() && assigned.back().first == frame.atom) {
+        trail_map.erase(assigned.back().first);
+        assigned.pop_back();
+      }
+      stack.pop_back();
+      continue;
+    }
+    Term value = frame.domain[frame.next_value++];
+    if (!assigned.empty() && assigned.back().first == frame.atom) {
+      assigned.back().second = value;
+    } else {
+      assigned.emplace_back(frame.atom, value);
+    }
+    trail_map[frame.atom] = value;
+
+    // Substitute and simplify every residual assertion. The whole trail participates:
+    // assigning a Ref atom can materialize array cells that earlier frames already fixed.
+    std::unordered_map<Term, Term> memo;
+    std::vector<Term> next_pending;
+    bool conflict = false;
+    for (Term a : frame.pending) {
+      ++stats_.evaluations;
+      Term r = SubstFixpoint(f, a, trail_map, memo);
+      if (r->IsBoolLit(false)) {
+        conflict = true;
+        break;
+      }
+      if (r->IsBoolLit(true)) {
+        continue;
+      }
+      if (r->kind() == TermKind::kAnd) {
+        for (Term c : r->children()) {
+          next_pending.push_back(c);
+        }
+      } else {
+        next_pending.push_back(r);
+      }
+    }
+    if (conflict) {
+      continue;
+    }
+    if (next_pending.empty()) {
+      record_model();
+      stats_.seconds = watch.ElapsedSeconds();
+      return SolveResult::kSat;
+    }
+    Term next_atom = pick_atom(next_pending);
+    NOCTUA_CHECK_MSG(next_atom != nullptr, "undecided residual without atoms");
+    stats_.num_atoms = std::max(stats_.num_atoms, stack.size() + 1);
+    stack.push_back(Frame{next_atom, DomainFor(f, next_atom), 0, std::move(next_pending)});
+  }
+
+  stats_.seconds = watch.ElapsedSeconds();
+  return timed_out ? SolveResult::kUnknown : SolveResult::kUnsat;
+}
+
+}  // namespace noctua::smt

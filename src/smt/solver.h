@@ -1,0 +1,94 @@
+// A bounded model finder: the Noctua verification backend's decision procedure.
+//
+// This plays the role Z3 plays in the paper. The verifier's checking rules are refutation
+// queries — "is there a database state and arguments that break commutativity /
+// invalidate a precondition?" — and real counterexamples to such properties are small
+// (the small-scope hypothesis; every conflict in the paper's case studies is exhibited
+// with at most two objects per model). The solver therefore searches all assignments over
+// a finite scope:
+//
+//   * Ref sorts range over k elements per model (Scope).
+//   * Int atoms range over a domain harvested from the formula's integer literals
+//     (each literal ±1, plus 0 and 1) — sufficient to cross any comparison threshold.
+//   * String atoms range over the formula's string literals plus fresh distinct symbols.
+//   * Bool atoms range over {false, true}.
+//
+// Search is depth-first over atoms (the decomposed scalar unknowns, see eval.h) with
+// three-valued evaluation for pruning: after each assignment, pending assertions are
+// re-evaluated; any definitely-false assertion prunes the subtree, and assertions that
+// become definitely-true are dropped from deeper levels.
+//
+// kSat means a counterexample was found (the check FAILS); kUnsat means the property holds
+// within the scope; kUnknown means the deadline or node budget was exhausted, which the
+// verifier treats conservatively (restrict the pair), mirroring the paper's 2s timeout.
+#ifndef SRC_SMT_SOLVER_H_
+#define SRC_SMT_SOLVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/smt/eval.h"
+#include "src/smt/term.h"
+#include "src/support/stopwatch.h"
+
+namespace noctua::smt {
+
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+const char* SolveResultName(SolveResult r);
+
+// A satisfying assignment, reported atom-by-atom (atom names encode the constant, domain
+// index and tuple field, e.g. "S0_User_data[1].2"). Only atoms the search actually
+// decided appear; everything else is unconstrained.
+struct SmtModel {
+  std::map<std::string, std::string> values;
+
+  std::string ToString() const;
+};
+
+struct SolverStats {
+  uint64_t nodes_visited = 0;
+  uint64_t evaluations = 0;
+  double seconds = 0;
+  size_t num_atoms = 0;
+};
+
+struct SolverOptions {
+  Scope scope{2};
+  double timeout_seconds = 2.0;  // the paper's per-check timeout
+  int max_int_domain = 8;
+  int max_string_domain = 6;
+  uint64_t max_nodes = 50'000'000;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options) : options_(std::move(options)) {}
+
+  // Decides satisfiability of the conjunction of `assertions`. The factory must be the
+  // one that created the terms; grounding and substitute-and-simplify build new terms
+  // through it.
+  SolveResult CheckSat(TermFactory& factory, const std::vector<Term>& assertions);
+
+  // Valid after CheckSat returned kSat.
+  const SmtModel& model() const { return model_; }
+  const SolverStats& stats() const { return stats_; }
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  // Builds the candidate value domain (as literal terms) for one ground atom.
+  std::vector<Term> DomainFor(TermFactory& f, Term atom) const;
+  void HarvestLiterals(const std::vector<Term>& roots);
+
+  SolverOptions options_;
+  SmtModel model_;
+  SolverStats stats_;
+  std::vector<int64_t> int_domain_;
+  std::vector<std::string> string_domain_;
+};
+
+}  // namespace noctua::smt
+
+#endif  // SRC_SMT_SOLVER_H_

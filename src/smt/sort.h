@@ -1,0 +1,91 @@
+// SMT sorts for the Noctua verification backend.
+//
+// The verifier encodes database state with the paper's order-aware array-based encoding
+// (Table 2): every model state is a triple (ids, data, order). The sorts needed are:
+//
+//   Bool / Int / String        scalar sorts (Float and Datetime map to Int, see encoder)
+//   Ref(m)                     the ID sort of model m — finite-scope uninterpreted sort
+//   Pair(m1, m2)               an association in a relation between models m1 and m2
+//   Tuple(fields...)           object data (one component per model field)
+//   Array(index, element)      index is Ref or Pair; used for `data`, `order` and —
+//                              with Bool elements — for sets (`ids`, relation states)
+//
+// Sets are deliberately represented as Arrays to Bool: this keeps the term language small
+// and makes the finite-domain evaluator trivial (a set value is a bitmask over the scope).
+#ifndef SRC_SMT_SORT_H_
+#define SRC_SMT_SORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace noctua::smt {
+
+enum class SortKind : uint8_t {
+  kBool,
+  kInt,
+  kString,
+  kRef,    // model_id identifies which model's ID space
+  kPair,   // children: two Ref sorts
+  kTuple,  // children: field sorts
+  kArray,  // children: [index sort, element sort]
+};
+
+class SortData;
+// Sorts are immutable shared values; structural equality (operator==) is what matters.
+using Sort = std::shared_ptr<const SortData>;
+
+class SortData {
+ public:
+  SortData(SortKind kind, int model_id, std::vector<Sort> children)
+      : kind_(kind), model_id_(model_id), children_(std::move(children)) {}
+
+  SortKind kind() const { return kind_; }
+  int model_id() const { return model_id_; }
+  const std::vector<Sort>& children() const { return children_; }
+
+  bool is_bool() const { return kind_ == SortKind::kBool; }
+  bool is_int() const { return kind_ == SortKind::kInt; }
+  bool is_string() const { return kind_ == SortKind::kString; }
+  bool is_ref() const { return kind_ == SortKind::kRef; }
+  bool is_pair() const { return kind_ == SortKind::kPair; }
+  bool is_tuple() const { return kind_ == SortKind::kTuple; }
+  bool is_array() const { return kind_ == SortKind::kArray; }
+
+  // Array accessors (only valid for kArray).
+  const Sort& index_sort() const { return children_[0]; }
+  const Sort& element_sort() const { return children_[1]; }
+
+  // True for Array(_, Bool), the representation of sets.
+  bool is_set() const { return is_array() && children_[1]->is_bool(); }
+
+  // True for sorts over which the evaluator can enumerate all values given a scope
+  // (Ref and Pair). These are the only legal binder/index sorts.
+  bool is_finite_domain() const { return is_ref() || is_pair(); }
+
+  std::string ToString() const;
+
+ private:
+  SortKind kind_;
+  int model_id_;  // only meaningful for kRef
+  std::vector<Sort> children_;
+};
+
+// Structural sort equality.
+bool SortEq(const Sort& a, const Sort& b);
+
+// Sort constructors. Scalar sorts are interned singletons; composite sorts are cheap
+// shared values (equality is structural, so duplicates are harmless).
+Sort BoolSort();
+Sort IntSort();
+Sort StringSort();
+Sort RefSort(int model_id);
+Sort PairSort(const Sort& ref1, const Sort& ref2);
+Sort TupleSort(std::vector<Sort> fields);
+Sort ArraySort(const Sort& index, const Sort& element);
+Sort SetSort(const Sort& index);  // == ArraySort(index, Bool)
+
+}  // namespace noctua::smt
+
+#endif  // SRC_SMT_SORT_H_

@@ -1,0 +1,322 @@
+#include "src/soir/ast.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace noctua::soir {
+
+std::string Type::ToString(const Schema* schema) const {
+  auto model_name = [&](int id) {
+    return schema ? schema->model(id).name() : std::to_string(id);
+  };
+  switch (kind) {
+    case Kind::kBool:
+      return "Bool";
+    case Kind::kInt:
+      return "Int";
+    case Kind::kFloat:
+      return "Float";
+    case Kind::kString:
+      return "String";
+    case Kind::kDatetime:
+      return "Datetime";
+    case Kind::kObj:
+      return "Obj<" + model_name(model_id) + ">";
+    case Kind::kSet:
+      return "Set<" + model_name(model_id) + ">";
+    case Kind::kRef:
+      return "Ref<" + model_name(model_id) + ">";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kCount: return "cnt";
+    case AggOp::kSum: return "sum";
+    case AggOp::kMin: return "min";
+    case AggOp::kMax: return "max";
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Expr> New(ExprKind kind, Type type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->type = type;
+  return e;
+}
+}  // namespace
+
+ExprP MakeArg(const std::string& name, Type type) {
+  auto e = New(ExprKind::kArg, type);
+  e->str = name;
+  return e;
+}
+
+ExprP MakeBoolLit(bool v) {
+  auto e = New(ExprKind::kBoolLit, Type::Bool());
+  e->int_val = v ? 1 : 0;
+  return e;
+}
+
+ExprP MakeIntLit(int64_t v, Type::Kind kind) {
+  auto e = New(ExprKind::kIntLit, Type{kind, -1});
+  e->int_val = v;
+  return e;
+}
+
+ExprP MakeStrLit(const std::string& v) {
+  auto e = New(ExprKind::kStrLit, Type::String());
+  e->str = v;
+  return e;
+}
+
+ExprP MakeBoundObj(int model_id) { return New(ExprKind::kBoundObj, Type::Obj(model_id)); }
+
+namespace {
+ExprP Binary(ExprKind kind, Type type, ExprP a, ExprP b) {
+  auto e = New(kind, type);
+  e->children = {std::move(a), std::move(b)};
+  return e;
+}
+ExprP Unary(ExprKind kind, Type type, ExprP a) {
+  auto e = New(kind, type);
+  e->children = {std::move(a)};
+  return e;
+}
+}  // namespace
+
+ExprP MakeAnd(ExprP a, ExprP b) { return Binary(ExprKind::kAnd, Type::Bool(), a, b); }
+ExprP MakeOr(ExprP a, ExprP b) { return Binary(ExprKind::kOr, Type::Bool(), a, b); }
+ExprP MakeNot(ExprP a) { return Unary(ExprKind::kNot, Type::Bool(), a); }
+ExprP MakeAdd(ExprP a, ExprP b) { return Binary(ExprKind::kAdd, a->type, a, b); }
+ExprP MakeSub(ExprP a, ExprP b) { return Binary(ExprKind::kSub, a->type, a, b); }
+ExprP MakeMul(ExprP a, ExprP b) { return Binary(ExprKind::kMul, a->type, a, b); }
+ExprP MakeNegate(ExprP a) {
+  Type t = a->type;
+  return Unary(ExprKind::kNegate, t, std::move(a));
+}
+
+ExprP MakeCmp(CmpOp op, ExprP a, ExprP b) {
+  auto e = Binary(ExprKind::kCmp, Type::Bool(), std::move(a), std::move(b));
+  const_cast<Expr*>(e.get())->cmp_op = op;
+  return e;
+}
+
+ExprP MakeConcat(ExprP a, ExprP b) { return Binary(ExprKind::kConcat, Type::String(), a, b); }
+
+ExprP MakeGetField(ExprP obj, const std::string& field, Type field_type) {
+  auto e = Unary(ExprKind::kGetField, field_type, std::move(obj));
+  const_cast<Expr*>(e.get())->str = field;
+  return e;
+}
+
+ExprP MakeSetField(ExprP obj, const std::string& field, ExprP value) {
+  auto e = Binary(ExprKind::kSetField, obj->type, obj, std::move(value));
+  const_cast<Expr*>(e.get())->str = field;
+  return e;
+}
+
+ExprP MakeNewObj(int model_id, ExprP pk, std::vector<ExprP> field_values) {
+  auto e = New(ExprKind::kNewObj, Type::Obj(model_id));
+  e->children.push_back(std::move(pk));
+  for (auto& v : field_values) {
+    e->children.push_back(std::move(v));
+  }
+  return e;
+}
+
+ExprP MakeSingleton(ExprP obj) {
+  NOCTUA_CHECK(obj->type.kind == Type::Kind::kObj);
+  Type t = Type::Set(obj->type.model_id);
+  return Unary(ExprKind::kSingleton, t, std::move(obj));
+}
+
+ExprP MakeDeref(ExprP ref) {
+  NOCTUA_CHECK(ref->type.kind == Type::Kind::kRef);
+  Type t = Type::Obj(ref->type.model_id);
+  return Unary(ExprKind::kDeref, t, std::move(ref));
+}
+
+ExprP MakeAny(ExprP set) {
+  NOCTUA_CHECK(set->type.kind == Type::Kind::kSet);
+  Type t = Type::Obj(set->type.model_id);
+  return Unary(ExprKind::kAny, t, std::move(set));
+}
+
+ExprP MakeRefOf(ExprP obj) {
+  NOCTUA_CHECK(obj->type.kind == Type::Kind::kObj);
+  Type t = Type::Ref(obj->type.model_id);
+  return Unary(ExprKind::kRefOf, t, std::move(obj));
+}
+
+ExprP MakeAll(int model_id) { return New(ExprKind::kAll, Type::Set(model_id)); }
+
+ExprP MakeFilter(ExprP set, std::vector<RelStep> rel_path, const std::string& field, CmpOp op,
+                 ExprP value) {
+  auto e = Binary(ExprKind::kFilter, set->type, set, std::move(value));
+  Expr* m = const_cast<Expr*>(e.get());
+  m->rel_path = std::move(rel_path);
+  m->str = field;
+  m->cmp_op = op;
+  return e;
+}
+
+ExprP MakeFollow(ExprP set, std::vector<RelStep> rel_path, int result_model) {
+  auto e = Unary(ExprKind::kFollow, Type::Set(result_model), std::move(set));
+  const_cast<Expr*>(e.get())->rel_path = std::move(rel_path);
+  return e;
+}
+
+ExprP MakeOrderBy(ExprP set, const std::string& field, bool ascending) {
+  Type t = set->type;
+  auto e = Unary(ExprKind::kOrderBy, t, std::move(set));
+  Expr* m = const_cast<Expr*>(e.get());
+  m->str = field;
+  m->int_val = ascending ? 1 : 0;
+  return e;
+}
+
+ExprP MakeReverse(ExprP set) {
+  Type t = set->type;
+  return Unary(ExprKind::kReverse, t, std::move(set));
+}
+
+ExprP MakeFirst(ExprP set) {
+  NOCTUA_CHECK(set->type.kind == Type::Kind::kSet);
+  Type t = Type::Obj(set->type.model_id);
+  return Unary(ExprKind::kFirst, t, std::move(set));
+}
+
+ExprP MakeLast(ExprP set) {
+  NOCTUA_CHECK(set->type.kind == Type::Kind::kSet);
+  Type t = Type::Obj(set->type.model_id);
+  return Unary(ExprKind::kLast, t, std::move(set));
+}
+
+ExprP MakeAggregate(ExprP set, AggOp op, const std::string& field) {
+  auto e = Unary(ExprKind::kAggregate, Type::Int(), std::move(set));
+  Expr* m = const_cast<Expr*>(e.get());
+  m->agg_op = op;
+  m->str = field;
+  return e;
+}
+
+ExprP MakeExists(ExprP set) { return Unary(ExprKind::kExists, Type::Bool(), std::move(set)); }
+
+ExprP MakeMapSet(ExprP set, const std::string& field, ExprP value) {
+  auto e = Binary(ExprKind::kMapSet, set->type, set, std::move(value));
+  const_cast<Expr*>(e.get())->str = field;
+  return e;
+}
+
+// --- CodePath -------------------------------------------------------------------------------
+
+bool CodePath::IsEffectful() const {
+  return std::any_of(commands.begin(), commands.end(),
+                     [](const Command& c) { return c.kind != CommandKind::kGuard; });
+}
+
+namespace {
+void VisitExpr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  for (const ExprP& c : e.children) {
+    VisitExpr(*c, fn);
+  }
+}
+}  // namespace
+
+void VisitExprs(const CodePath& path, const std::function<void(const Expr&)>& fn) {
+  for (const Command& c : path.commands) {
+    if (c.a) {
+      VisitExpr(*c.a, fn);
+    }
+    if (c.b) {
+      VisitExpr(*c.b, fn);
+    }
+  }
+}
+
+std::set<int> OrderRelevantModels(const CodePath& path) {
+  std::set<int> out;
+  VisitExprs(path, [&](const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kFirst:
+      case ExprKind::kLast:
+      case ExprKind::kReverse:
+      case ExprKind::kOrderBy:
+        out.insert(e.child(0)->type.model_id);
+        break;
+      default:
+        break;
+    }
+  });
+  return out;
+}
+
+void CodePath::CollectFootprint(const Schema& schema, std::vector<int>* models_read,
+                                std::vector<int>* models_written,
+                                std::vector<int>* relations_touched) const {
+  auto add = [](std::vector<int>* v, int x) {
+    if (std::find(v->begin(), v->end(), x) == v->end()) {
+      v->push_back(x);
+    }
+  };
+  for (const Command& c : commands) {
+    switch (c.kind) {
+      case CommandKind::kGuard:
+        break;
+      case CommandKind::kUpdate:
+        add(models_written, c.a->type.model_id);
+        break;
+      case CommandKind::kDelete: {
+        int m = c.a->type.model_id;
+        add(models_written, m);
+        // Deleting rows removes every incident association.
+        for (const RelationDef& rel : schema.relations()) {
+          if (rel.from_model == m || rel.to_model == m) {
+            add(relations_touched, rel.id);
+          }
+        }
+        break;
+      }
+      case CommandKind::kLink:
+      case CommandKind::kDelink:
+      case CommandKind::kRLink:
+      case CommandKind::kClearLinks:
+        add(relations_touched, c.relation);
+        break;
+    }
+  }
+  VisitExprs(*this, [&](const Expr& e) {
+    if (e.kind == ExprKind::kAll || e.kind == ExprKind::kDeref) {
+      add(models_read, e.type.model_id);
+    }
+    if (e.kind == ExprKind::kFollow || e.kind == ExprKind::kFilter) {
+      // Relation traversals read the association sets and the data of every model along
+      // the path.
+      for (const RelStep& s : e.rel_path) {
+        add(relations_touched, s.relation);
+        const RelationDef& rel = schema.relation(s.relation);
+        add(models_read, s.forward ? rel.to_model : rel.from_model);
+      }
+    }
+  });
+}
+
+}  // namespace noctua::soir

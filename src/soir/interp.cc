@@ -1,0 +1,371 @@
+#include "src/soir/interp.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/check.h"
+
+namespace noctua::soir {
+namespace {
+
+bool CompareValues(CmpOp op, const orm::Value& a, const orm::Value& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a < b || a == b;
+    case CmpOp::kGt:
+      return b < a;
+    case CmpOp::kGe:
+      return b < a || a == b;
+  }
+  NOCTUA_UNREACHABLE("bad cmp op");
+}
+
+}  // namespace
+
+ObjVal Interp::LoadObj(const orm::Database& db, int model, int64_t pk, bool strict) const {
+  if (!db.Exists(model, pk)) {
+    if (strict) {
+      throw AbortError{};
+    }
+    // Apply mode: the mutation references the row by ID; materialize a default row (the
+    // concrete counterpart of the encoder reading unconstrained array data).
+    const ModelDef& md = schema_.model(model);
+    orm::Row row;
+    for (const FieldDef& fd : md.fields()) {
+      switch (fd.type) {
+        case FieldType::kBool:
+          row.push_back(orm::Value::Bool(fd.default_int != 0));
+          break;
+        case FieldType::kString:
+          row.push_back(orm::Value::Str(fd.default_string));
+          break;
+        default:
+          row.push_back(orm::Value::Int(fd.default_int));
+          break;
+      }
+    }
+    return ObjVal{model, pk, std::move(row)};
+  }
+  return ObjVal{model, pk, db.Get(model, pk)};
+}
+
+orm::Value Interp::GetField(const ObjVal& obj, const std::string& field) const {
+  const ModelDef& m = schema_.model(obj.model);
+  if (m.IsPk(field) || field == "id") {
+    return orm::Value::Ref(obj.pk);
+  }
+  int idx = m.FieldIndex(field);
+  NOCTUA_CHECK_MSG(idx >= 0, "unknown field " << field << " of " << m.name());
+  return obj.fields[idx];
+}
+
+std::vector<ObjVal> Interp::FollowPath(const orm::Database& db, const std::vector<ObjVal>& from,
+                                       const std::vector<RelStep>& path) const {
+  std::vector<ObjVal> current = from;
+  for (const RelStep& step : path) {
+    const RelationDef& rel = schema_.relation(step.relation);
+    int target_model = step.forward ? rel.to_model : rel.from_model;
+    std::set<int64_t> seen;
+    std::vector<int64_t> pks;
+    for (const ObjVal& o : current) {
+      for (int64_t pk : db.Associated(step.relation, o.pk, step.forward)) {
+        if (seen.insert(pk).second) {
+          pks.push_back(pk);
+        }
+      }
+    }
+    // Order targets by their storage order (deterministic).
+    std::sort(pks.begin(), pks.end(), [&](int64_t a, int64_t b) {
+      return db.OrderOf(target_model, a) < db.OrderOf(target_model, b);
+    });
+    std::vector<ObjVal> next;
+    next.reserve(pks.size());
+    for (int64_t pk : pks) {
+      if (db.Exists(target_model, pk)) {
+        next.push_back(ObjVal{target_model, pk, db.Get(target_model, pk)});
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+RtValue Interp::EvalRec(const Expr& e, Env& env) const {
+  auto scalar = [&](size_t i) { return EvalRec(*e.child(i), env).scalar; };
+  switch (e.kind) {
+    case ExprKind::kArg: {
+      auto it = env.args->find(e.str);
+      NOCTUA_CHECK_MSG(it != env.args->end(), "missing argument " << e.str);
+      return RtValue::Scalar(it->second);
+    }
+    case ExprKind::kBoolLit:
+      return RtValue::Scalar(orm::Value::Bool(e.int_val != 0));
+    case ExprKind::kIntLit:
+      return RtValue::Scalar(orm::Value::Int(e.int_val));
+    case ExprKind::kStrLit:
+      return RtValue::Scalar(orm::Value::Str(e.str));
+    case ExprKind::kBoundObj:
+      NOCTUA_CHECK_MSG(env.bound_obj != nullptr, "kBoundObj outside mapset");
+      return RtValue::Obj(*env.bound_obj);
+    case ExprKind::kAnd: {
+      orm::Value a = scalar(0);
+      if (!a.bool_v()) {
+        return RtValue::Scalar(orm::Value::Bool(false));
+      }
+      return RtValue::Scalar(orm::Value::Bool(scalar(1).bool_v()));
+    }
+    case ExprKind::kOr: {
+      orm::Value a = scalar(0);
+      if (a.bool_v()) {
+        return RtValue::Scalar(orm::Value::Bool(true));
+      }
+      return RtValue::Scalar(orm::Value::Bool(scalar(1).bool_v()));
+    }
+    case ExprKind::kNot:
+      return RtValue::Scalar(orm::Value::Bool(!scalar(0).bool_v()));
+    case ExprKind::kAdd:
+      return RtValue::Scalar(orm::Value::Int(scalar(0).int_v() + scalar(1).int_v()));
+    case ExprKind::kSub:
+      return RtValue::Scalar(orm::Value::Int(scalar(0).int_v() - scalar(1).int_v()));
+    case ExprKind::kMul:
+      return RtValue::Scalar(orm::Value::Int(scalar(0).int_v() * scalar(1).int_v()));
+    case ExprKind::kNegate:
+      return RtValue::Scalar(orm::Value::Int(-scalar(0).int_v()));
+    case ExprKind::kCmp:
+      return RtValue::Scalar(orm::Value::Bool(CompareValues(e.cmp_op, scalar(0), scalar(1))));
+    case ExprKind::kConcat:
+      return RtValue::Scalar(orm::Value::Str(scalar(0).str_v() + scalar(1).str_v()));
+    case ExprKind::kGetField: {
+      RtValue obj = EvalRec(*e.child(0), env);
+      NOCTUA_CHECK(obj.kind == RtValue::Kind::kObj);
+      return RtValue::Scalar(GetField(obj.obj, e.str));
+    }
+    case ExprKind::kSetField: {
+      RtValue obj = EvalRec(*e.child(0), env);
+      orm::Value v = scalar(1);
+      const ModelDef& m = schema_.model(obj.obj.model);
+      int idx = m.FieldIndex(e.str);
+      NOCTUA_CHECK_MSG(idx >= 0, "setf of unknown field " << e.str);
+      obj.obj.fields[idx] = std::move(v);
+      return obj;
+    }
+    case ExprKind::kNewObj: {
+      const ModelDef& m = schema_.model(e.type.model_id);
+      ObjVal obj;
+      obj.model = e.type.model_id;
+      obj.pk = scalar(0).int_v();
+      obj.fields.reserve(m.fields().size());
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        obj.fields.push_back(scalar(i));
+      }
+      NOCTUA_CHECK(obj.fields.size() == m.fields().size());
+      return RtValue::Obj(std::move(obj));
+    }
+    case ExprKind::kSingleton: {
+      RtValue obj = EvalRec(*e.child(0), env);
+      return RtValue::Set({obj.obj});
+    }
+    case ExprKind::kDeref: {
+      int64_t pk = scalar(0).int_v();
+      return RtValue::Obj(LoadObj(*env.db, e.type.model_id, pk, env.strict));
+    }
+    case ExprKind::kAny:
+    case ExprKind::kFirst: {
+      RtValue set = EvalRec(*e.child(0), env);
+      if (set.set.empty()) {
+        throw AbortError{};
+      }
+      return RtValue::Obj(set.set.front());
+    }
+    case ExprKind::kLast: {
+      RtValue set = EvalRec(*e.child(0), env);
+      if (set.set.empty()) {
+        throw AbortError{};
+      }
+      return RtValue::Obj(set.set.back());
+    }
+    case ExprKind::kRefOf: {
+      RtValue obj = EvalRec(*e.child(0), env);
+      return RtValue::Scalar(orm::Value::Ref(obj.obj.pk));
+    }
+    case ExprKind::kAll: {
+      std::vector<ObjVal> out;
+      for (int64_t pk : env.db->AllPks(e.type.model_id)) {
+        out.push_back(ObjVal{e.type.model_id, pk, env.db->Get(e.type.model_id, pk)});
+      }
+      return RtValue::Set(std::move(out));
+    }
+    case ExprKind::kFilter: {
+      RtValue base = EvalRec(*e.child(0), env);
+      orm::Value rhs = scalar(1);
+      std::vector<ObjVal> out;
+      for (const ObjVal& o : base.set) {
+        // Resolve the relation path from this object, then test the field on the targets
+        // (Django semantics: the filter matches if *some* related object satisfies it).
+        std::vector<ObjVal> targets = FollowPath(*env.db, {o}, e.rel_path);
+        bool match = false;
+        for (const ObjVal& t : targets) {
+          if (CompareValues(e.cmp_op, GetField(t, e.str), rhs)) {
+            match = true;
+            break;
+          }
+        }
+        if (match) {
+          out.push_back(o);
+        }
+      }
+      return RtValue::Set(std::move(out));
+    }
+    case ExprKind::kFollow: {
+      RtValue base = EvalRec(*e.child(0), env);
+      return RtValue::Set(FollowPath(*env.db, base.set, e.rel_path));
+    }
+    case ExprKind::kOrderBy: {
+      RtValue base = EvalRec(*e.child(0), env);
+      bool asc = e.int_val != 0;
+      std::stable_sort(base.set.begin(), base.set.end(),
+                       [&](const ObjVal& a, const ObjVal& b) {
+                         orm::Value va = GetField(a, e.str);
+                         orm::Value vb = GetField(b, e.str);
+                         return asc ? va < vb : vb < va;
+                       });
+      return base;
+    }
+    case ExprKind::kReverse: {
+      RtValue base = EvalRec(*e.child(0), env);
+      std::reverse(base.set.begin(), base.set.end());
+      return base;
+    }
+    case ExprKind::kAggregate: {
+      RtValue base = EvalRec(*e.child(0), env);
+      if (e.agg_op == AggOp::kCount) {
+        return RtValue::Scalar(orm::Value::Int(static_cast<int64_t>(base.set.size())));
+      }
+      int64_t acc = 0;
+      bool any = false;
+      for (const ObjVal& o : base.set) {
+        int64_t v = GetField(o, e.str).int_v();
+        if (e.agg_op == AggOp::kSum) {
+          acc += v;
+        } else if (!any) {
+          acc = v;
+        } else if (e.agg_op == AggOp::kMin) {
+          acc = std::min(acc, v);
+        } else {
+          acc = std::max(acc, v);
+        }
+        any = true;
+      }
+      return RtValue::Scalar(orm::Value::Int(acc));  // empty aggregates yield 0
+    }
+    case ExprKind::kExists: {
+      RtValue base = EvalRec(*e.child(0), env);
+      return RtValue::Scalar(orm::Value::Bool(!base.set.empty()));
+    }
+    case ExprKind::kMapSet: {
+      RtValue base = EvalRec(*e.child(0), env);
+      const ModelDef& m = schema_.model(e.type.model_id);
+      int idx = m.FieldIndex(e.str);
+      NOCTUA_CHECK_MSG(idx >= 0, "mapset of unknown field " << e.str);
+      for (ObjVal& o : base.set) {
+        const ObjVal* saved = env.bound_obj;
+        env.bound_obj = &o;
+        orm::Value v = EvalRec(*e.child(1), env).scalar;
+        env.bound_obj = saved;
+        o.fields[idx] = std::move(v);
+      }
+      return base;
+    }
+  }
+  NOCTUA_UNREACHABLE("bad expr kind");
+}
+
+RtValue Interp::Eval(const Expr& e, const ArgValues& args, const orm::Database& db) const {
+  Env env{&args, &db, nullptr};
+  return EvalRec(e, env);
+}
+
+void Interp::ApplyCommand(const Command& cmd, Env& env, orm::Database* db) const {
+  switch (cmd.kind) {
+    case CommandKind::kGuard: {
+      RtValue v = EvalRec(*cmd.a, env);
+      if (!v.scalar.bool_v()) {
+        throw AbortError{};
+      }
+      break;
+    }
+    case CommandKind::kUpdate: {
+      RtValue set = EvalRec(*cmd.a, env);
+      for (const ObjVal& o : set.set) {
+        db->Upsert(o.model, o.pk, o.fields);
+      }
+      break;
+    }
+    case CommandKind::kDelete: {
+      RtValue set = EvalRec(*cmd.a, env);
+      for (const ObjVal& o : set.set) {
+        db->Erase(o.model, o.pk);
+      }
+      break;
+    }
+    case CommandKind::kLink: {
+      ObjVal from = EvalRec(*cmd.a, env).obj;
+      ObjVal to = EvalRec(*cmd.b, env).obj;
+      db->Link(cmd.relation, from.pk, to.pk);
+      break;
+    }
+    case CommandKind::kDelink: {
+      ObjVal from = EvalRec(*cmd.a, env).obj;
+      ObjVal to = EvalRec(*cmd.b, env).obj;
+      db->Delink(cmd.relation, from.pk, to.pk);
+      break;
+    }
+    case CommandKind::kRLink: {
+      RtValue set = EvalRec(*cmd.a, env);
+      ObjVal to = EvalRec(*cmd.b, env).obj;
+      for (const ObjVal& o : set.set) {
+        db->Link(cmd.relation, o.pk, to.pk);
+      }
+      break;
+    }
+    case CommandKind::kClearLinks: {
+      ObjVal obj = EvalRec(*cmd.a, env).obj;
+      db->ClearLinks(cmd.relation, obj.pk, cmd.forward);
+      break;
+    }
+  }
+}
+
+bool Interp::RunImpl(const CodePath& path, const ArgValues& args, orm::Database* db,
+                     bool enforce_guards) const {
+  orm::Database scratch = *db;  // transactional: commit only on success
+  Env env{&args, &scratch, nullptr, enforce_guards};
+  try {
+    for (const Command& cmd : path.commands) {
+      if (!enforce_guards && cmd.kind == CommandKind::kGuard) {
+        continue;
+      }
+      ApplyCommand(cmd, env, &scratch);
+    }
+  } catch (const AbortError&) {
+    return false;
+  }
+  *db = std::move(scratch);
+  return true;
+}
+
+bool Interp::Run(const CodePath& path, const ArgValues& args, orm::Database* db) const {
+  return RunImpl(path, args, db, /*enforce_guards=*/true);
+}
+
+bool Interp::Apply(const CodePath& path, const ArgValues& args, orm::Database* db) const {
+  return RunImpl(path, args, db, /*enforce_guards=*/false);
+}
+
+}  // namespace noctua::soir

@@ -1,0 +1,106 @@
+// Concrete interpreter for SOIR code paths.
+//
+// This gives SOIR an executable semantics against the orm::Database substrate. It serves
+// two roles in the reproduction:
+//   1. The geo-replication simulator replays extracted code paths at every site (the
+//      paper's operation-transfer model: replicas re-execute operations, §2.1).
+//   2. Differential property testing of the verifier: a pair of paths that the verifier
+//      judges commutative must commute on randomly generated concrete states.
+//
+// A code path runs transactionally: if any guard fails (or a partial query like deref of
+// a missing object occurs), the database is left untouched and Run returns false.
+#ifndef SRC_SOIR_INTERP_H_
+#define SRC_SOIR_INTERP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/orm/database.h"
+#include "src/soir/ast.h"
+
+namespace noctua::soir {
+
+// An object value flowing through expression evaluation: possibly-modified field values
+// detached from the store (SOIR objects are immutable records).
+struct ObjVal {
+  int model = -1;
+  int64_t pk = 0;
+  orm::Row fields;
+};
+
+// Runtime value: scalar, object, or (ordered) query set.
+struct RtValue {
+  enum class Kind : uint8_t { kScalar, kObj, kSet };
+  Kind kind = Kind::kScalar;
+  orm::Value scalar;
+  ObjVal obj;
+  std::vector<ObjVal> set;
+
+  static RtValue Scalar(orm::Value v) {
+    RtValue r;
+    r.kind = Kind::kScalar;
+    r.scalar = std::move(v);
+    return r;
+  }
+  static RtValue Obj(ObjVal o) {
+    RtValue r;
+    r.kind = Kind::kObj;
+    r.obj = std::move(o);
+    return r;
+  }
+  static RtValue Set(std::vector<ObjVal> s) {
+    RtValue r;
+    r.kind = Kind::kSet;
+    r.set = std::move(s);
+    return r;
+  }
+};
+
+using ArgValues = std::map<std::string, orm::Value>;
+
+class Interp {
+ public:
+  explicit Interp(const Schema& schema) : schema_(schema) {}
+
+  // Executes `path` with the given arguments against `db`. Returns true and applies all
+  // effects if every guard holds; returns false and leaves `db` unchanged otherwise.
+  bool Run(const CodePath& path, const ArgValues& args, orm::Database* db) const;
+
+  // Applies `path`'s *effects* without enforcing guards — the semantics of replaying a
+  // propagated mutation at a remote replica (paper §2.1: the origin validated the
+  // request; replicas apply its side effects). Returns false (leaving `db` unchanged)
+  // only if an expression itself cannot evaluate (e.g. deref of a missing row), which a
+  // correct restriction set prevents.
+  bool Apply(const CodePath& path, const ArgValues& args, orm::Database* db) const;
+
+  // Evaluates a single expression against `db` (for tests). Aborting expressions (deref
+  // of a missing row, any() of an empty set) throw AbortError.
+  RtValue Eval(const Expr& e, const ArgValues& args, const orm::Database& db) const;
+
+  struct AbortError {};
+
+ private:
+  struct Env {
+    const ArgValues* args;
+    const orm::Database* db;
+    const ObjVal* bound_obj = nullptr;  // kMapSet iteration variable
+    bool strict = true;  // false in apply mode: deref of a missing row yields a default
+                         // row instead of aborting (total replay, like the encoder)
+  };
+
+  bool RunImpl(const CodePath& path, const ArgValues& args, orm::Database* db,
+               bool enforce_guards) const;
+  RtValue EvalRec(const Expr& e, Env& env) const;
+  ObjVal LoadObj(const orm::Database& db, int model, int64_t pk, bool strict) const;
+  std::vector<ObjVal> FollowPath(const orm::Database& db, const std::vector<ObjVal>& from,
+                                 const std::vector<RelStep>& path) const;
+  orm::Value GetField(const ObjVal& obj, const std::string& field) const;
+  void ApplyCommand(const Command& cmd, Env& env, orm::Database* db) const;
+
+  const Schema& schema_;
+};
+
+}  // namespace noctua::soir
+
+#endif  // SRC_SOIR_INTERP_H_

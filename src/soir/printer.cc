@@ -1,0 +1,136 @@
+#include "src/soir/printer.h"
+
+#include "src/support/check.h"
+
+namespace noctua::soir {
+namespace {
+
+std::string PrintRelPath(const Schema& schema, const std::vector<RelStep>& path) {
+  std::string out;
+  for (const RelStep& s : path) {
+    const RelationDef& rel = schema.relation(s.relation);
+    out += (s.forward ? rel.name + "+" : rel.reverse_name + "-") + ".";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Schema& schema, const Expr& e) {
+  auto p = [&](size_t i) { return PrintExpr(schema, *e.child(i)); };
+  switch (e.kind) {
+    case ExprKind::kArg:
+      return e.str;
+    case ExprKind::kBoolLit:
+      return e.int_val ? "true" : "false";
+    case ExprKind::kIntLit:
+      return std::to_string(e.int_val);
+    case ExprKind::kStrLit:
+      return "\"" + e.str + "\"";
+    case ExprKind::kBoundObj:
+      return "it";
+    case ExprKind::kAnd:
+      return "(" + p(0) + " and " + p(1) + ")";
+    case ExprKind::kOr:
+      return "(" + p(0) + " or " + p(1) + ")";
+    case ExprKind::kNot:
+      return "not(" + p(0) + ")";
+    case ExprKind::kAdd:
+      return "(" + p(0) + " + " + p(1) + ")";
+    case ExprKind::kSub:
+      return "(" + p(0) + " - " + p(1) + ")";
+    case ExprKind::kMul:
+      return "(" + p(0) + " * " + p(1) + ")";
+    case ExprKind::kNegate:
+      return "-(" + p(0) + ")";
+    case ExprKind::kCmp:
+      return "(" + p(0) + " " + CmpOpName(e.cmp_op) + " " + p(1) + ")";
+    case ExprKind::kConcat:
+      return "concat(" + p(0) + ", " + p(1) + ")";
+    case ExprKind::kGetField:
+      return p(0) + "." + e.str;
+    case ExprKind::kSetField:
+      return "setf(" + e.str + ", " + p(1) + ", " + p(0) + ")";
+    case ExprKind::kNewObj: {
+      const ModelDef& m = schema.model(e.type.model_id);
+      std::string out = "new " + m.name() + "{" + m.pk_name() + ": " + p(0);
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        out += ", " + m.field(static_cast<int>(i) - 1).name + ": " + p(i);
+      }
+      return out + "}";
+    }
+    case ExprKind::kSingleton:
+      return "singleton(" + p(0) + ")";
+    case ExprKind::kDeref:
+      return "deref<" + schema.model(e.type.model_id).name() + ">(" + p(0) + ")";
+    case ExprKind::kAny:
+      return "any(" + p(0) + ")";
+    case ExprKind::kRefOf:
+      return "ref(" + p(0) + ")";
+    case ExprKind::kAll:
+      return "all<" + schema.model(e.type.model_id).name() + ">";
+    case ExprKind::kFilter:
+      return "filter(" + PrintRelPath(schema, e.rel_path) + e.str + " " + CmpOpName(e.cmp_op) +
+             " " + p(1) + ", " + p(0) + ")";
+    case ExprKind::kFollow:
+      return "follow(" + PrintRelPath(schema, e.rel_path) + ", " + p(0) + ")";
+    case ExprKind::kOrderBy:
+      return "orderby(" + e.str + (e.int_val ? " asc" : " desc") + ", " + p(0) + ")";
+    case ExprKind::kReverse:
+      return "reverse(" + p(0) + ")";
+    case ExprKind::kFirst:
+      return "first(" + p(0) + ")";
+    case ExprKind::kLast:
+      return "last(" + p(0) + ")";
+    case ExprKind::kAggregate:
+      return std::string(AggOpName(e.agg_op)) + "(" + (e.str.empty() ? "" : e.str + ", ") +
+             p(0) + ")";
+    case ExprKind::kExists:
+      return "exists(" + p(0) + ")";
+    case ExprKind::kMapSet:
+      return "mapset(" + e.str + " := " + p(1) + ", " + p(0) + ")";
+  }
+  NOCTUA_UNREACHABLE("bad expr kind");
+}
+
+std::string PrintCommand(const Schema& schema, const Command& c) {
+  switch (c.kind) {
+    case CommandKind::kGuard:
+      return "guard(" + PrintExpr(schema, *c.a) + ")";
+    case CommandKind::kUpdate:
+      return "update(" + PrintExpr(schema, *c.a) + ")";
+    case CommandKind::kDelete:
+      return "delete(" + PrintExpr(schema, *c.a) + ")";
+    case CommandKind::kLink:
+      return "link<" + schema.relation(c.relation).name + ">(" + PrintExpr(schema, *c.a) +
+             ", " + PrintExpr(schema, *c.b) + ")";
+    case CommandKind::kDelink:
+      return "delink<" + schema.relation(c.relation).name + ">(" + PrintExpr(schema, *c.a) +
+             ", " + PrintExpr(schema, *c.b) + ")";
+    case CommandKind::kRLink:
+      return "rlink<" + schema.relation(c.relation).name + ">(" + PrintExpr(schema, *c.a) +
+             ", " + PrintExpr(schema, *c.b) + ")";
+    case CommandKind::kClearLinks:
+      return "clearlinks<" + schema.relation(c.relation).name + ">(" +
+             PrintExpr(schema, *c.a) + (c.forward ? ", forward)" : ", backward)");
+  }
+  NOCTUA_UNREACHABLE("bad command kind");
+}
+
+std::string PrintCodePath(const Schema& schema, const CodePath& path) {
+  std::string out = "path " + path.op_name + " (view " + path.view_name + ")\n";
+  out += "  args:";
+  for (const ArgDef& a : path.args) {
+    out += " " + a.name + ":" + a.type.ToString(&schema);
+    if (a.unique_id) {
+      out += "!";
+    }
+  }
+  out += "\n";
+  for (const Command& c : path.commands) {
+    out += "  " + PrintCommand(schema, c) + "\n";
+  }
+  return out;
+}
+
+}  // namespace noctua::soir

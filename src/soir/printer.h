@@ -1,0 +1,20 @@
+// Pretty printer for SOIR expressions, commands and code paths.
+#ifndef SRC_SOIR_PRINTER_H_
+#define SRC_SOIR_PRINTER_H_
+
+#include <string>
+
+#include "src/soir/ast.h"
+#include "src/soir/schema.h"
+
+namespace noctua::soir {
+
+std::string PrintExpr(const Schema& schema, const Expr& e);
+std::string PrintCommand(const Schema& schema, const Command& c);
+
+// Renders the full path: header, arguments, then one command per line.
+std::string PrintCodePath(const Schema& schema, const CodePath& path);
+
+}  // namespace noctua::soir
+
+#endif  // SRC_SOIR_PRINTER_H_

@@ -1,0 +1,48 @@
+// Lightweight assertion and fatal-error macros used across the Noctua codebase.
+//
+// NOCTUA_CHECK is always on (it guards logic invariants of the analyzer/verifier, which
+// must hold in release builds too); NOCTUA_DCHECK compiles out in NDEBUG builds.
+#ifndef SRC_SUPPORT_CHECK_H_
+#define SRC_SUPPORT_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace noctua {
+
+[[noreturn]] inline void FatalError(const char* file, int line, const std::string& msg) {
+  std::cerr << "[noctua fatal] " << file << ":" << line << ": " << msg << std::endl;
+  std::abort();
+}
+
+}  // namespace noctua
+
+#define NOCTUA_CHECK(cond)                                                       \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::noctua::FatalError(__FILE__, __LINE__, "check failed: " #cond);          \
+    }                                                                            \
+  } while (0)
+
+#define NOCTUA_CHECK_MSG(cond, msg)                                              \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::ostringstream noctua_os_;                                             \
+      noctua_os_ << "check failed: " #cond << " — " << msg;                      \
+      ::noctua::FatalError(__FILE__, __LINE__, noctua_os_.str());                \
+    }                                                                            \
+  } while (0)
+
+#define NOCTUA_UNREACHABLE(msg) ::noctua::FatalError(__FILE__, __LINE__, msg)
+
+#ifdef NDEBUG
+#define NOCTUA_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define NOCTUA_DCHECK(cond) NOCTUA_CHECK(cond)
+#endif
+
+#endif  // SRC_SUPPORT_CHECK_H_

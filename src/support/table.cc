@@ -1,0 +1,50 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace noctua {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  NOCTUA_CHECK_MSG(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "| ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      // First column left-aligned (names); the rest right-aligned (numbers).
+      Align a = c == 0 ? Align::kLeft : Align::kRight;
+      line += Pad(row[c], widths[c], a);
+      line += c + 1 == row.size() ? " |" : " | ";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|-";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c], '-');
+    sep += c + 1 == widths.size() ? "-|" : "-|-";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace noctua

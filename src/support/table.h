@@ -1,0 +1,27 @@
+// Plain-text table renderer used by the benchmark harnesses to print paper-style tables
+// (Table 4/5/6/7) with aligned columns.
+#ifndef SRC_SUPPORT_TABLE_H_
+#define SRC_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace noctua {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a header separator line.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace noctua
+
+#endif  // SRC_SUPPORT_TABLE_H_

@@ -1,0 +1,236 @@
+#include "src/verifier/checker.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+#include "src/support/stopwatch.h"
+
+namespace noctua::verifier {
+
+using smt::Term;
+
+const char* CheckOutcomeName(CheckOutcome o) {
+  switch (o) {
+    case CheckOutcome::kPass:
+      return "pass";
+    case CheckOutcome::kFail:
+      return "fail";
+    case CheckOutcome::kTimeout:
+      return "timeout";
+    case CheckOutcome::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+bool Checker::Independent(const soir::CodePath& p, const soir::CodePath& q) const {
+  std::vector<int> rp, wp, relp, rq, wq, relq;
+  p.CollectFootprint(schema_, &rp, &wp, &relp);
+  q.CollectFootprint(schema_, &rq, &wq, &relq);
+  auto intersects = [](const std::vector<int>& a, const std::vector<int>& b) {
+    return std::any_of(a.begin(), a.end(), [&](int x) {
+      return std::find(b.begin(), b.end(), x) != b.end();
+    });
+  };
+  // Writes of one side may not touch anything the other side reads or writes, and the two
+  // sides may not touch a common relation (we do not split relation reads from writes, so
+  // this is conservative).
+  if (intersects(wp, rq) || intersects(wp, wq) || intersects(wq, rp)) {
+    return false;
+  }
+  if (intersects(relp, relq)) {
+    return false;
+  }
+  return true;
+}
+
+CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
+                                const std::vector<Term>& assertions, bool any_unsupported,
+                                CheckStats* stats) {
+  if (any_unsupported) {
+    return CheckOutcome::kUnsupported;
+  }
+  smt::Solver solver(options_.solver);
+  smt::SolveResult r = solver.CheckSat(factory, assertions);
+  if (stats != nullptr) {
+    stats->solver_nodes = solver.stats().nodes_visited;
+  }
+  switch (r) {
+    case smt::SolveResult::kUnsat:
+      return CheckOutcome::kPass;
+    case smt::SolveResult::kSat:
+      return CheckOutcome::kFail;
+    case smt::SolveResult::kUnknown:
+      return CheckOutcome::kTimeout;
+  }
+  return CheckOutcome::kTimeout;
+}
+
+CheckOutcome Checker::CheckCommutativity(const soir::CodePath& p, const soir::CodePath& q,
+                                         const std::set<int>* order_models,
+                                         CheckStats* stats) {
+  Stopwatch watch;
+  if (options_.independence_prefilter && Independent(p, q)) {
+    if (stats != nullptr) {
+      stats->prefiltered = true;
+      stats->seconds = watch.ElapsedSeconds();
+    }
+    return CheckOutcome::kPass;
+  }
+
+  // Order information is materialized only for models whose order this pair (or, when
+  // provided by the caller, any operation of the app) observes — the decoupling of §4.2.
+  std::set<int> order;
+  if (order_models != nullptr) {
+    order = *order_models;
+  } else {
+    order = Encoder::OrderRelevantModels(p);
+    std::set<int> oq = Encoder::OrderRelevantModels(q);
+    order.insert(oq.begin(), oq.end());
+  }
+  EncoderOptions enc_options = options_.encoder;
+  enc_options.order_models = order;
+
+  smt::TermFactory factory;
+  Encoder enc(schema_, &factory, enc_options);
+
+  EncState s0 = enc.FreshState("S0");
+
+  // S0 + P(x) + Q(y)
+  Encoder::PathResult pq1 = enc.ApplyPath(p, s0, "x");
+  Encoder::PathResult pq2 = enc.ApplyPath(q, pq1.post, "y");
+  // S0 + Q(y) + P(x)  (same argument constants: same prefixes)
+  Encoder::PathResult qp1 = enc.ApplyPath(q, s0, "y");
+  Encoder::PathResult qp2 = enc.ApplyPath(p, qp1.post, "x");
+
+  bool unsupported =
+      pq1.unsupported || pq2.unsupported || qp1.unsupported || qp2.unsupported;
+
+  // Assertion order is a search heuristic: the (negated) goal first, so the solver's
+  // atom selection is driven by what can actually refute the property; then the most
+  // constraining facts; axioms last.
+  std::vector<Term> assertions;
+  assertions.push_back(factory.Not(enc.StateEq(pq2.post, qp2.post, order)));
+
+  // The replayed effects must be producible: assert their preconditions on fresh origin
+  // states (paper §5.2), or directly on S0 in the cheaper shared mode.
+  if (options_.fresh_origin_states) {
+    EncState sa = enc.FreshState("Sa");
+    EncState sb = enc.FreshState("Sb");
+    Encoder::PathResult pre_p = enc.ApplyPath(p, sa, "x");
+    Encoder::PathResult pre_q = enc.ApplyPath(q, sb, "y");
+    unsupported = unsupported || pre_p.unsupported || pre_q.unsupported;
+    // Freshness of database-generated IDs holds w.r.t. the shared initial state only:
+    // an op's origin state may causally follow the other op (e.g. following a question
+    // right after it was created), so new IDs may be live there.
+    assertions.push_back(enc.UniqueIdAxiom(s0));
+    assertions.push_back(pre_p.pre);
+    assertions.push_back(pre_q.pre);
+    assertions.push_back(enc.StateAxioms(sa));
+    assertions.push_back(enc.StateAxioms(sb));
+  } else {
+    assertions.push_back(enc.UniqueIdAxiom(s0));
+    assertions.push_back(pq1.pre);
+    assertions.push_back(qp1.pre);
+  }
+  assertions.push_back(pq1.defs);
+  assertions.push_back(pq2.defs);
+  assertions.push_back(qp1.defs);
+  assertions.push_back(qp2.defs);
+  assertions.push_back(enc.StateAxioms(s0));
+
+  CheckOutcome outcome = RunSolver(factory, {factory.And(std::move(assertions))}, unsupported, stats);
+  if (stats != nullptr) {
+    stats->seconds = watch.ElapsedSeconds();
+  }
+  return outcome;
+}
+
+CheckOutcome Checker::CheckNotInvalidate(const soir::CodePath& p, const soir::CodePath& q,
+                                         CheckStats* stats) {
+  Stopwatch watch;
+  if (options_.independence_prefilter && Independent(p, q)) {
+    if (stats != nullptr) {
+      stats->prefiltered = true;
+      stats->seconds = watch.ElapsedSeconds();
+    }
+    return CheckOutcome::kPass;
+  }
+
+  EncoderOptions enc_options = options_.encoder;
+  {
+    std::set<int> order = Encoder::OrderRelevantModels(p);
+    std::set<int> oq = Encoder::OrderRelevantModels(q);
+    order.insert(oq.begin(), oq.end());
+    enc_options.order_models = order;
+  }
+  smt::TermFactory factory;
+  Encoder enc(schema_, &factory, enc_options);
+
+  EncState s0 = enc.FreshState("S0");
+
+  // g_P(x, S0) holds...
+  Encoder::PathResult p_before = enc.ApplyPath(p, s0, "x");
+
+  // ...Q's effect is applied (replayed on S0; its own precondition is asserted on a fresh
+  // origin state, since the effect was generated elsewhere)...
+  Encoder::PathResult q_applied = enc.ApplyPath(q, s0, "y");
+  bool unsupported = p_before.unsupported || q_applied.unsupported;
+
+  // ...and yet g_P(x, S0 + Q(y)) is violated. The negated goal goes first (search
+  // heuristic, see CheckCommutativity).
+  Encoder::PathResult p_after = enc.ApplyPath(p, q_applied.post, "x");
+  unsupported = unsupported || p_after.unsupported;
+
+  std::vector<Term> assertions;
+  assertions.push_back(factory.Not(p_after.pre));
+  assertions.push_back(p_before.pre);
+  assertions.push_back(enc.UniqueIdAxiom(s0));
+  if (options_.fresh_origin_states) {
+    EncState sb = enc.FreshState("Sb");
+    Encoder::PathResult pre_q = enc.ApplyPath(q, sb, "y");
+    unsupported = unsupported || pre_q.unsupported;
+    assertions.push_back(pre_q.pre);
+    assertions.push_back(enc.StateAxioms(sb));
+  } else {
+    assertions.push_back(q_applied.pre);
+  }
+  assertions.push_back(q_applied.defs);
+  assertions.push_back(enc.StateAxioms(s0));
+
+  CheckOutcome outcome = RunSolver(factory, {factory.And(std::move(assertions))}, unsupported, stats);
+  if (stats != nullptr) {
+    stats->seconds = watch.ElapsedSeconds();
+  }
+  return outcome;
+}
+
+CheckOutcome Checker::CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
+                                    CheckStats* stats) {
+  CheckStats s1, s2;
+  CheckOutcome a = CheckNotInvalidate(p, q, &s1);
+  CheckOutcome b = a == CheckOutcome::kPass ? CheckNotInvalidate(q, p, &s2)
+                                            : CheckOutcome::kPass;
+  if (stats != nullptr) {
+    stats->seconds = s1.seconds + s2.seconds;
+    stats->solver_nodes = s1.solver_nodes + s2.solver_nodes;
+    stats->prefiltered = s1.prefiltered && s2.prefiltered;
+  }
+  // The worse of the two directions decides.
+  auto severity = [](CheckOutcome o) {
+    switch (o) {
+      case CheckOutcome::kPass:
+        return 0;
+      case CheckOutcome::kFail:
+        return 1;
+      case CheckOutcome::kTimeout:
+        return 2;
+      case CheckOutcome::kUnsupported:
+        return 3;
+    }
+    return 3;
+  };
+  return severity(a) >= severity(b) ? a : b;
+}
+
+}  // namespace noctua::verifier

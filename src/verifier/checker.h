@@ -1,0 +1,85 @@
+// The VERIFIER: instantiates the checking rules of paper §2.2.1 as counterexample
+// queries, runs the SMT backend, and assembles the restriction set.
+//
+//   Commutativity(P, Q):   ∀S,x,y.  S + P(x) + Q(y) = S + Q(y) + P(x)
+//   Semantic(P, Q):        NotInvalidate(P,Q) ∧ NotInvalidate(Q,P)
+//   NotInvalidate(P, Q):   ∀S,x,y.  g_P(x,S) ⟹ g_P(x, S + Q(y))
+//
+// Each rule is refuted: the solver searches for a state and arguments witnessing a
+// violation (§5.2 "Generation"). Preconditions of the replayed effects are asserted on
+// fresh states (the effect must be producible somewhere). A pair is restricted iff either
+// rule fails, times out, or hits an unsupported construct (conservative fallback, §3.3).
+#ifndef SRC_VERIFIER_CHECKER_H_
+#define SRC_VERIFIER_CHECKER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/smt/solver.h"
+#include "src/soir/ast.h"
+#include "src/verifier/encoder.h"
+
+namespace noctua::verifier {
+
+enum class CheckOutcome : uint8_t {
+  kPass,         // no counterexample within scope: the pair is safe under this rule
+  kFail,         // counterexample found: restrict
+  kTimeout,      // solver gave up: restrict conservatively
+  kUnsupported,  // encoding hit an unsupported construct: restrict conservatively
+};
+
+const char* CheckOutcomeName(CheckOutcome o);
+inline bool OutcomeRestricts(CheckOutcome o) { return o != CheckOutcome::kPass; }
+
+struct CheckerOptions {
+  smt::SolverOptions solver;
+  EncoderOptions encoder;
+  // Skip the solver when the two paths touch provably disjoint parts of the schema.
+  bool independence_prefilter = true;
+  // Assert replayed effects' preconditions on fresh origin states (paper §5.2); when
+  // false, preconditions are asserted on the shared initial state (cheaper, stricter).
+  bool fresh_origin_states = true;
+};
+
+struct CheckStats {
+  double seconds = 0;
+  uint64_t solver_nodes = 0;
+  bool prefiltered = false;
+};
+
+class Checker {
+ public:
+  Checker(const soir::Schema& schema, CheckerOptions options)
+      : schema_(schema), options_(std::move(options)) {}
+
+  const CheckerOptions& options() const { return options_; }
+
+  // Rule 1. `order_models` is the set of models whose relative order matters for state
+  // equality (models whose insertion order is observed by any operation of the app);
+  // pass nullptr to derive it from the pair alone.
+  CheckOutcome CheckCommutativity(const soir::CodePath& p, const soir::CodePath& q,
+                                  const std::set<int>* order_models = nullptr,
+                                  CheckStats* stats = nullptr);
+
+  // Rule 2, one direction: can Q's effect invalidate P's precondition?
+  CheckOutcome CheckNotInvalidate(const soir::CodePath& p, const soir::CodePath& q,
+                                  CheckStats* stats = nullptr);
+
+  // Rule 2, both directions (the paper's semantic check).
+  CheckOutcome CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
+                             CheckStats* stats = nullptr);
+
+ private:
+  // True when the two paths' footprints are disjoint, so both rules trivially pass.
+  bool Independent(const soir::CodePath& p, const soir::CodePath& q) const;
+  CheckOutcome RunSolver(smt::TermFactory& factory, const std::vector<smt::Term>& assertions,
+                         bool any_unsupported, CheckStats* stats);
+
+  const soir::Schema& schema_;
+  CheckerOptions options_;
+};
+
+}  // namespace noctua::verifier
+
+#endif  // SRC_VERIFIER_CHECKER_H_

@@ -1,0 +1,104 @@
+#include "src/verifier/report.h"
+
+#include "src/support/stopwatch.h"
+#include "src/support/strings.h"
+
+namespace noctua::verifier {
+
+size_t RestrictionReport::num_restrictions() const {
+  size_t n = 0;
+  for (const PairVerdict& v : pairs) {
+    n += v.Restricted() ? 1 : 0;
+  }
+  return n;
+}
+
+size_t RestrictionReport::com_failures() const {
+  size_t n = 0;
+  for (const PairVerdict& v : pairs) {
+    n += OutcomeRestricts(v.commutativity) ? 1 : 0;
+  }
+  return n;
+}
+
+size_t RestrictionReport::sem_failures() const {
+  size_t n = 0;
+  for (const PairVerdict& v : pairs) {
+    n += OutcomeRestricts(v.semantic) ? 1 : 0;
+  }
+  return n;
+}
+
+double RestrictionReport::com_seconds() const {
+  double t = 0;
+  for (const PairVerdict& v : pairs) {
+    t += v.com_seconds;
+  }
+  return t;
+}
+
+double RestrictionReport::sem_seconds() const {
+  double t = 0;
+  for (const PairVerdict& v : pairs) {
+    t += v.sem_seconds;
+  }
+  return t;
+}
+
+std::vector<std::string> RestrictionReport::RestrictedPairNames() const {
+  std::vector<std::string> out;
+  for (const PairVerdict& v : pairs) {
+    if (v.Restricted()) {
+      out.push_back("(" + v.p + ", " + v.q + ")");
+    }
+  }
+  return out;
+}
+
+std::string RestrictionReport::ToString() const {
+  std::string out = "checks: " + std::to_string(num_checks()) +
+                    ", restrictions: " + std::to_string(num_restrictions()) +
+                    ", com failures: " + std::to_string(com_failures()) +
+                    ", sem failures: " + std::to_string(sem_failures()) + "\n";
+  for (const PairVerdict& v : pairs) {
+    if (v.Restricted()) {
+      out += "  (" + v.p + ", " + v.q + "): com=" + CheckOutcomeName(v.commutativity) +
+             " sem=" + CheckOutcomeName(v.semantic) + "\n";
+    }
+  }
+  return out;
+}
+
+RestrictionReport AnalyzeRestrictions(const soir::Schema& schema,
+                                      const std::vector<soir::CodePath>& paths,
+                                      const CheckerOptions& options) {
+  Stopwatch watch;
+  Checker checker(schema, options);
+
+  // Models whose insertion order any operation observes: their relative order is part of
+  // state equality app-wide (a divergent order would be visible to those operations).
+  std::set<int> order_models;
+  for (const soir::CodePath& p : paths) {
+    std::set<int> m = Encoder::OrderRelevantModels(p);
+    order_models.insert(m.begin(), m.end());
+  }
+
+  RestrictionReport report;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    for (size_t j = i; j < paths.size(); ++j) {
+      PairVerdict v;
+      v.p = paths[i].op_name;
+      v.q = paths[j].op_name;
+      CheckStats cs, ss;
+      v.commutativity = checker.CheckCommutativity(paths[i], paths[j], &order_models, &cs);
+      v.semantic = checker.CheckSemantic(paths[i], paths[j], &ss);
+      v.com_seconds = cs.seconds;
+      v.sem_seconds = ss.seconds;
+      report.pairs.push_back(std::move(v));
+    }
+  }
+  report.total_seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace noctua::verifier

@@ -1,0 +1,53 @@
+// Restriction-set assembly: runs both checking rules over every unordered pair of
+// effectful code paths (including each path with itself) and aggregates the paper's
+// Table 5/6 statistics.
+#ifndef SRC_VERIFIER_REPORT_H_
+#define SRC_VERIFIER_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/soir/ast.h"
+#include "src/verifier/checker.h"
+
+namespace noctua::verifier {
+
+struct PairVerdict {
+  std::string p;
+  std::string q;
+  CheckOutcome commutativity = CheckOutcome::kPass;
+  CheckOutcome semantic = CheckOutcome::kPass;
+  double com_seconds = 0;
+  double sem_seconds = 0;
+
+  bool Restricted() const {
+    return OutcomeRestricts(commutativity) || OutcomeRestricts(semantic);
+  }
+};
+
+struct RestrictionReport {
+  std::vector<PairVerdict> pairs;
+  double total_seconds = 0;
+
+  size_t num_checks() const { return pairs.size(); }  // Table 6 "#Checks": pairs examined
+  size_t num_restrictions() const;
+  size_t com_failures() const;  // pairs whose commutativity check did not pass
+  size_t sem_failures() const;  // pairs whose semantic check did not pass
+  double com_seconds() const;
+  double sem_seconds() const;
+
+  // Names of restricted pairs, e.g. "(Amalgamate, SendPayment)".
+  std::vector<std::string> RestrictedPairNames() const;
+  std::string ToString() const;
+};
+
+// Runs both rules over every unordered pair of `paths` (which should be the effectful
+// paths of one application). Models whose insertion order is observed by *any* of the
+// paths are compared order-sensitively in every commutativity check.
+RestrictionReport AnalyzeRestrictions(const soir::Schema& schema,
+                                      const std::vector<soir::CodePath>& paths,
+                                      const CheckerOptions& options = {});
+
+}  // namespace noctua::verifier
+
+#endif  // SRC_VERIFIER_REPORT_H_

@@ -1,0 +1,253 @@
+// Tests for the embedded program analyzer: path finder exploration, symbolic values,
+// argument discovery, effect collection, and the Figure 3 blog walkthrough.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/analyzer/analyzer.h"
+#include "src/analyzer/path_finder.h"
+#include "src/apps/blog.h"
+#include "src/soir/printer.h"
+#include "src/support/check.h"
+
+namespace noctua::analyzer {
+namespace {
+
+using soir::CommandKind;
+
+TEST(PathFinderTest, SingleBranchYieldsTwoPaths) {
+  PathFinder pf;
+  std::vector<std::vector<bool>> runs;
+  do {
+    pf.StartPath();
+    runs.push_back({pf.Branch("c")});
+  } while (pf.NextPath());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], std::vector<bool>({true}));
+  EXPECT_EQ(runs[1], std::vector<bool>({false}));
+}
+
+TEST(PathFinderTest, NestedBranchesEnumerateAllCombinations) {
+  PathFinder pf;
+  std::set<std::pair<bool, bool>> seen;
+  do {
+    pf.StartPath();
+    bool a = pf.Branch("a");
+    bool b = pf.Branch(a ? "b1" : "b2");  // different conditions on each side
+    seen.insert({a, b});
+  } while (pf.NextPath());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(PathFinderTest, ShortCircuitedSecondBranch) {
+  // Mirrors `if a: ... (no b)` vs `else: if b: ...` — three paths total.
+  PathFinder pf;
+  int paths = 0;
+  do {
+    pf.StartPath();
+    if (!pf.Branch("a")) {
+      pf.Branch("b");
+    }
+    ++paths;
+  } while (pf.NextPath());
+  EXPECT_EQ(paths, 3);
+}
+
+TEST(PathFinderTest, RepeatedConditionGetsDistinctDecisions) {
+  // A while loop branching on the same printed condition: occurrence counting must
+  // unroll it rather than loop forever.
+  PathFinder::Options opts;
+  opts.max_decisions_per_path = 5;
+  PathFinder pf(opts);
+  size_t longest = 0;
+  do {
+    pf.StartPath();
+    size_t iters = 0;
+    while (pf.Branch("loop_cond")) {
+      ++iters;
+    }
+    longest = std::max(longest, iters);
+  } while (pf.NextPath());
+  EXPECT_EQ(longest, 5u);  // capped by the decision budget
+}
+
+TEST(PathFinderTest, MaxPathsBudget) {
+  PathFinder::Options opts;
+  opts.max_paths = 4;
+  PathFinder pf(opts);
+  int paths = 0;
+  do {
+    pf.StartPath();
+    for (int i = 0; i < 10; ++i) {
+      pf.Branch("c" + std::to_string(i));
+    }
+    ++paths;
+  } while (pf.NextPath());
+  EXPECT_EQ(paths, 4);
+  EXPECT_TRUE(pf.budget_exhausted());
+}
+
+// --- Sym folding --------------------------------------------------------------------------
+
+TEST(SymTest, ConcreteComputationsFoldEagerly) {
+  Sym a = 2;
+  Sym b = 3;
+  Sym sum = a + b;
+  EXPECT_EQ(sum.expr()->kind, soir::ExprKind::kIntLit);
+  EXPECT_EQ(sum.expr()->int_val, 5);
+  // Concrete comparisons produce literals and never reach the path finder, so a plain
+  // `if` on them needs no context.
+  EXPECT_TRUE(static_cast<bool>(Sym(2) < Sym(3)));
+  EXPECT_FALSE(static_cast<bool>(Sym("x") == Sym("y")));
+}
+
+TEST(SymTest, SymbolicComputationsBuildIr) {
+  soir::Schema schema;
+  PathFinder pf;
+  TraceCtx trace(schema, &pf);
+  trace.StartPath();
+  Sym x(&trace, trace.Arg("x", soir::Type::Int()));
+  Sym y = x + 1;
+  EXPECT_EQ(y.expr()->kind, soir::ExprKind::kAdd);
+  Sym c = y > 0;
+  EXPECT_EQ(c.expr()->kind, soir::ExprKind::kCmp);
+}
+
+// --- Blog app (Figure 3) --------------------------------------------------------------------
+
+class BlogTest : public ::testing::Test {
+ protected:
+  BlogTest() : app(apps::MakeBlogApp()), result(AnalyzeApp(app)) {}
+
+  const soir::CodePath& FindPath(const std::string& op) const {
+    for (const auto& p : result.paths) {
+      if (p.op_name == op) {
+        return p;
+      }
+    }
+    NOCTUA_UNREACHABLE("no such path: " + op);
+  }
+
+  app::App app;
+  AnalysisResult result;
+};
+
+TEST_F(BlogTest, BatchUpdateHasThreeCodePathsTwoEffectful) {
+  // Paper §4.1: batch_update corresponds to three code paths, of which the delete and
+  // transfer branches are effectful; the RuntimeError path aborts.
+  int total = 0;
+  int effectful = 0;
+  for (const auto& p : result.paths) {
+    if (p.view_name == "batch_update") {
+      ++total;
+      if (p.IsEffectful()) {
+        ++effectful;
+      }
+    }
+  }
+  EXPECT_EQ(total, 2);      // the aborted path produces no CodePath object
+  EXPECT_EQ(effectful, 2);  // BU_delete and BU_transfer
+}
+
+TEST_F(BlogTest, ArgumentsAreDiscoveredDuringExecution) {
+  const soir::CodePath& p = FindPath("batch_update#p1");  // the transfer path
+  std::set<std::string> names;
+  for (const auto& a : p.args) {
+    names.insert(a.name);
+  }
+  EXPECT_TRUE(names.count("arg_URL_username"));
+  EXPECT_TRUE(names.count("arg_POST_action"));
+  EXPECT_TRUE(names.count("arg_POST_to_user"));
+}
+
+TEST_F(BlogTest, DeletePathCascadesToComments) {
+  const soir::CodePath& p = FindPath("batch_update#p0");
+  // Deleting articles cascades to comments (FK article on_delete=CASCADE); the SET_NULL
+  // author relation must NOT cascade to users.
+  int deletes = 0;
+  std::set<int> deleted_models;
+  for (const auto& c : p.commands) {
+    if (c.kind == CommandKind::kDelete) {
+      ++deletes;
+      deleted_models.insert(c.a->type.model_id);
+    }
+  }
+  EXPECT_EQ(deletes, 2);
+  EXPECT_TRUE(deleted_models.count(app.schema().ModelId("Article")));
+  EXPECT_TRUE(deleted_models.count(app.schema().ModelId("Comment")));
+  EXPECT_FALSE(deleted_models.count(app.schema().ModelId("User")));
+}
+
+TEST_F(BlogTest, PathConditionsRecordBranchPolarity) {
+  const soir::CodePath& p0 = FindPath("batch_update#p0");
+  const soir::CodePath& p1 = FindPath("batch_update#p1");
+  std::string s0;
+  std::string s1;
+  for (const auto& c : p0.commands) {
+    if (c.kind == CommandKind::kGuard) {
+      s0 += soir::PrintCommand(app.schema(), c) + "\n";
+    }
+  }
+  for (const auto& c : p1.commands) {
+    if (c.kind == CommandKind::kGuard) {
+      s1 += soir::PrintCommand(app.schema(), c) + "\n";
+    }
+  }
+  EXPECT_NE(s0.find("== \"delete\""), std::string::npos);
+  EXPECT_NE(s1.find("not((arg_POST_action == \"delete\"))"), std::string::npos);
+  EXPECT_NE(s1.find("== \"transfer\""), std::string::npos);
+}
+
+TEST_F(BlogTest, CreateRecordsUniqueIdArgAndGuards) {
+  const soir::CodePath& p = FindPath("create_article#p0");
+  bool has_unique_arg = false;
+  for (const auto& a : p.args) {
+    if (a.unique_id) {
+      has_unique_arg = true;
+      EXPECT_EQ(a.type.kind, soir::Type::Kind::kRef);
+    }
+  }
+  EXPECT_TRUE(has_unique_arg);
+  // Guards: pk non-existence + url uniqueness + author existence.
+  int guards = 0;
+  for (const auto& c : p.commands) {
+    if (c.kind == CommandKind::kGuard) {
+      ++guards;
+    }
+  }
+  EXPECT_GE(guards, 3);
+  // Effects: insert + author link.
+  bool has_update = false;
+  bool has_link = false;
+  for (const auto& c : p.commands) {
+    has_update = has_update || c.kind == CommandKind::kUpdate;
+    has_link = has_link || c.kind == CommandKind::kLink;
+  }
+  EXPECT_TRUE(has_update);
+  EXPECT_TRUE(has_link);
+}
+
+TEST_F(BlogTest, RepeatedRunsAreDeterministic) {
+  AnalysisResult again = AnalyzeApp(app);
+  ASSERT_EQ(again.paths.size(), result.paths.size());
+  for (size_t i = 0; i < again.paths.size(); ++i) {
+    EXPECT_EQ(soir::PrintCodePath(app.schema(), again.paths[i]),
+              soir::PrintCodePath(app.schema(), result.paths[i]));
+  }
+}
+
+TEST_F(BlogTest, FootprintCollection) {
+  const soir::CodePath& p = FindPath("batch_update#p1");  // transfer
+  std::vector<int> reads;
+  std::vector<int> writes;
+  std::vector<int> rels;
+  p.CollectFootprint(app.schema(), &reads, &writes, &rels);
+  // transfer reads User and Article, writes no model rows, touches the author relation.
+  EXPECT_TRUE(std::find(reads.begin(), reads.end(), app.schema().ModelId("Article")) !=
+              reads.end());
+  EXPECT_TRUE(writes.empty());
+  EXPECT_FALSE(rels.empty());
+}
+
+}  // namespace
+}  // namespace noctua::analyzer

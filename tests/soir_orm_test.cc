@@ -1,0 +1,275 @@
+// Tests for the SOIR layer (schema, printer, concrete interpreter) and the in-memory
+// relational database substrate.
+#include <gtest/gtest.h>
+
+#include "src/apps/blog.h"
+#include "src/analyzer/analyzer.h"
+#include "src/orm/database.h"
+#include "src/soir/interp.h"
+#include "src/soir/printer.h"
+
+namespace noctua {
+namespace {
+
+using orm::Database;
+using orm::Row;
+using orm::Value;
+
+soir::Schema BankSchema() {
+  soir::Schema s;
+  s.AddModel("Account");
+  s.AddField("Account", soir::FieldDef{.name = "owner", .type = soir::FieldType::kString});
+  s.AddField("Account", soir::FieldDef{.name = "balance", .type = soir::FieldType::kInt});
+  return s;
+}
+
+TEST(SchemaTest, FieldLookupAndPk) {
+  soir::Schema s = BankSchema();
+  const soir::ModelDef& m = s.model(s.ModelId("Account"));
+  EXPECT_EQ(m.FieldIndex("owner"), 0);
+  EXPECT_EQ(m.FieldIndex("balance"), 1);
+  EXPECT_EQ(m.FieldIndex("id"), -1);
+  EXPECT_TRUE(m.IsPk("id"));
+  EXPECT_FALSE(m.IsPk("owner"));
+}
+
+TEST(SchemaTest, RelationResolution) {
+  soir::Schema s;
+  s.AddModel("User");
+  s.AddModel("Post");
+  s.AddRelation("author", "Post", "User");
+  auto [fwd, is_fwd] = s.FindRelation(s.ModelId("Post"), "author");
+  EXPECT_GE(fwd, 0);
+  EXPECT_TRUE(is_fwd);
+  auto [bwd, is_fwd2] = s.FindRelation(s.ModelId("User"), "post_set");
+  EXPECT_EQ(bwd, fwd);
+  EXPECT_FALSE(is_fwd2);
+  auto [none, _] = s.FindRelation(s.ModelId("User"), "nope");
+  EXPECT_EQ(none, -1);
+}
+
+TEST(DatabaseTest, UpsertGetEraseRoundTrip) {
+  soir::Schema s = BankSchema();
+  Database db(&s);
+  db.Upsert(0, 1, Row{Value::Str("alice"), Value::Int(100)});
+  EXPECT_TRUE(db.Exists(0, 1));
+  EXPECT_EQ(db.Get(0, 1)[1].int_v(), 100);
+  db.Upsert(0, 1, Row{Value::Str("alice"), Value::Int(50)});  // update keeps order
+  EXPECT_EQ(db.Get(0, 1)[1].int_v(), 50);
+  EXPECT_EQ(db.RowCount(0), 1u);
+  db.Erase(0, 1);
+  EXPECT_FALSE(db.Exists(0, 1));
+}
+
+TEST(DatabaseTest, InsertionOrderIsPreserved) {
+  soir::Schema s = BankSchema();
+  Database db(&s);
+  db.Upsert(0, 5, Row{Value::Str("c"), Value::Int(0)});
+  db.Upsert(0, 2, Row{Value::Str("a"), Value::Int(0)});
+  db.Upsert(0, 9, Row{Value::Str("b"), Value::Int(0)});
+  EXPECT_EQ(db.AllPks(0), (std::vector<int64_t>{5, 2, 9}));
+  db.Upsert(0, 2, Row{Value::Str("a2"), Value::Int(1)});  // update: order unchanged
+  EXPECT_EQ(db.AllPks(0), (std::vector<int64_t>{5, 2, 9}));
+}
+
+TEST(DatabaseTest, ForeignKeyLinkReplacesTarget) {
+  soir::Schema s;
+  s.AddModel("User");
+  s.AddModel("Post");
+  int rel = s.AddRelation("author", "Post", "User");
+  Database db(&s);
+  db.Link(rel, 1, 10);
+  db.Link(rel, 1, 20);  // many-to-one: replaces
+  EXPECT_FALSE(db.Linked(rel, 1, 10));
+  EXPECT_TRUE(db.Linked(rel, 1, 20));
+  EXPECT_EQ(db.Associated(rel, 1, true), (std::vector<int64_t>{20}));
+  EXPECT_EQ(db.Associated(rel, 20, false), (std::vector<int64_t>{1}));
+}
+
+TEST(DatabaseTest, EraseRemovesIncidentAssociations) {
+  soir::Schema s;
+  s.AddModel("User");
+  s.AddModel("Post");
+  int rel = s.AddRelation("author", "Post", "User", soir::RelationKind::kManyToOne,
+                          soir::OnDelete::kSetNull);
+  Database db(&s);
+  db.Upsert(1, 1, Row{});
+  db.Link(rel, 1, 10);
+  db.Erase(1, 1);  // delete the post (from side)
+  EXPECT_FALSE(db.Linked(rel, 1, 10));
+}
+
+TEST(DatabaseTest, DoNothingLeavesDanglingReference) {
+  soir::Schema s;
+  s.AddModel("Course");
+  s.AddModel("Enrolment");
+  int rel = s.AddRelation("course", "Enrolment", "Course", soir::RelationKind::kManyToOne,
+                          soir::OnDelete::kDoNothing);
+  Database db(&s);
+  db.Upsert(0, 7, Row{});
+  db.Link(rel, 3, 7);
+  db.Erase(0, 7);  // deleting the course keeps the enrolment's dangling edge
+  EXPECT_TRUE(db.Linked(rel, 3, 7));
+}
+
+TEST(DatabaseTest, StripedIdsAreDisjointAcrossSites) {
+  soir::Schema s = BankSchema();
+  Database site0(&s);
+  Database site1(&s);
+  site0.StripeNewIds(0, 2);
+  site1.StripeNewIds(1, 2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(seen.insert(site0.NewId(0)).second);
+    EXPECT_TRUE(seen.insert(site1.NewId(0)).second);
+  }
+}
+
+TEST(DatabaseTest, SameStateComparesRelativeOrder) {
+  soir::Schema s = BankSchema();
+  Database a(&s);
+  Database b(&s);
+  a.Upsert(0, 1, Row{Value::Str("x"), Value::Int(0)});
+  a.Upsert(0, 2, Row{Value::Str("y"), Value::Int(0)});
+  b.Upsert(0, 2, Row{Value::Str("y"), Value::Int(0)});
+  b.Upsert(0, 1, Row{Value::Str("x"), Value::Int(0)});
+  EXPECT_FALSE(a.SameState(b, {0}));  // same rows, different insertion order
+  EXPECT_TRUE(a.SameState(b));         // ...which is unobservable without order models
+  Database c(&s);
+  c.Upsert(0, 1, Row{Value::Str("x"), Value::Int(0)});
+  c.Upsert(0, 2, Row{Value::Str("y"), Value::Int(0)});
+  EXPECT_TRUE(a.SameState(c));
+}
+
+// --- Interpreter over extracted blog paths ----------------------------------------------------
+
+class BlogInterpTest : public ::testing::Test {
+ protected:
+  BlogInterpTest() : app(apps::MakeBlogApp()), db(&app.schema()) {
+    auto res = analyzer::AnalyzeApp(app);
+    paths = std::move(res.paths);
+    user_m = app.schema().ModelId("User");
+    article_m = app.schema().ModelId("Article");
+    comment_m = app.schema().ModelId("Comment");
+    auto [a, fwd] = app.schema().FindRelation(article_m, "author");
+    author_rel = a;
+    // Two users; two articles by user 1; one comment on article 0.
+    db.Upsert(user_m, 1, {});
+    db.Upsert(user_m, 2, {});
+    db.Upsert(article_m, 10,
+              {Value::Str("u10"), Value::Str("t"), Value::Str("c"), Value::Int(0)});
+    db.Upsert(article_m, 11,
+              {Value::Str("u11"), Value::Str("t"), Value::Str("c"), Value::Int(0)});
+    db.Link(author_rel, 10, 1);
+    db.Link(author_rel, 11, 1);
+    auto [ar, f2] = app.schema().FindRelation(comment_m, "article");
+    db.Upsert(comment_m, 100, {Value::Str("hi")});
+    db.Link(ar, 100, 10);
+  }
+
+  const soir::CodePath& Find(const std::string& op) const {
+    for (const auto& p : paths) {
+      if (p.op_name == op) {
+        return p;
+      }
+    }
+    NOCTUA_UNREACHABLE("no path " + op);
+  }
+
+  app::App app;
+  std::vector<soir::CodePath> paths;
+  Database db;
+  int user_m, article_m, comment_m, author_rel;
+};
+
+TEST_F(BlogInterpTest, DeletePathRemovesArticlesAndCascadesComments) {
+  soir::Interp interp(app.schema());
+  soir::ArgValues args{{"arg_URL_username", Value::Ref(1)},
+                       {"arg_POST_action", Value::Str("delete")}};
+  EXPECT_TRUE(interp.Run(Find("batch_update#p0"), args, &db));
+  EXPECT_EQ(db.RowCount(article_m), 0u);
+  EXPECT_EQ(db.RowCount(comment_m), 0u);  // cascade via the comment->article FK
+  EXPECT_EQ(db.RowCount(user_m), 2u);     // SET_NULL: users survive
+}
+
+TEST_F(BlogInterpTest, TransferPathRelinksAuthorship) {
+  soir::Interp interp(app.schema());
+  soir::ArgValues args{{"arg_URL_username", Value::Ref(1)},
+                       {"arg_POST_action", Value::Str("transfer")},
+                       {"arg_POST_to_user", Value::Ref(2)}};
+  EXPECT_TRUE(interp.Run(Find("batch_update#p1"), args, &db));
+  EXPECT_EQ(db.Associated(author_rel, 10, true), (std::vector<int64_t>{2}));
+  EXPECT_EQ(db.Associated(author_rel, 11, true), (std::vector<int64_t>{2}));
+}
+
+TEST_F(BlogInterpTest, GuardFailureRollsBackEverything) {
+  soir::Interp interp(app.schema());
+  // The branch guard (action == "delete") fails: path p0 with action="transfer".
+  soir::ArgValues args{{"arg_URL_username", Value::Ref(1)},
+                       {"arg_POST_action", Value::Str("transfer")}};
+  Database before = db;
+  EXPECT_FALSE(interp.Run(Find("batch_update#p0"), args, &db));
+  EXPECT_TRUE(db.SameState(before));
+}
+
+TEST_F(BlogInterpTest, MissingUserAborts) {
+  soir::Interp interp(app.schema());
+  soir::ArgValues args{{"arg_URL_username", Value::Ref(99)},
+                       {"arg_POST_action", Value::Str("delete")}};
+  EXPECT_FALSE(interp.Run(Find("batch_update#p0"), args, &db));
+  EXPECT_EQ(db.RowCount(article_m), 2u);
+}
+
+TEST_F(BlogInterpTest, CreateArticleInsertsAndLinks) {
+  soir::Interp interp(app.schema());
+  const soir::CodePath& create = Find("create_article#p0");
+  // Find the unique-id argument's name.
+  std::string id_arg;
+  for (const auto& arg : create.args) {
+    if (arg.unique_id) {
+      id_arg = arg.name;
+    }
+  }
+  ASSERT_FALSE(id_arg.empty());
+  soir::ArgValues args{{"arg_POST_author", Value::Ref(2)},
+                       {"arg_POST_url", Value::Str("fresh-url")},
+                       {"arg_POST_title", Value::Str("T")},
+                       {"arg_POST_content", Value::Str("C")},
+                       {"arg_POST_now", Value::Int(7)},
+                       {id_arg, Value::Ref(77)}};
+  EXPECT_TRUE(interp.Run(create, args, &db));
+  EXPECT_TRUE(db.Exists(article_m, 77));
+  EXPECT_EQ(db.Associated(author_rel, 77, true), (std::vector<int64_t>{2}));
+
+  // Re-running with the same unique URL violates the uniqueness guard.
+  args[id_arg] = Value::Ref(78);
+  EXPECT_FALSE(interp.Run(create, args, &db));
+  EXPECT_FALSE(db.Exists(article_m, 78));
+}
+
+TEST_F(BlogInterpTest, PrinterProducesReadableSoir) {
+  std::string text = soir::PrintCodePath(app.schema(), Find("batch_update#p0"));
+  EXPECT_NE(text.find("guard"), std::string::npos);
+  EXPECT_NE(text.find("delete("), std::string::npos);
+  EXPECT_NE(text.find("filter("), std::string::npos);
+  EXPECT_NE(text.find("author"), std::string::npos);
+}
+
+TEST_F(BlogInterpTest, ExpressionEvaluation) {
+  soir::Interp interp(app.schema());
+  soir::ArgValues args;
+  // count(all<Article>) == 2 against the seeded database.
+  soir::ExprP count = soir::MakeAggregate(soir::MakeAll(article_m), soir::AggOp::kCount, "");
+  EXPECT_EQ(interp.Eval(*count, args, db).scalar.int_v(), 2);
+  // exists(filter(url == "u10")) is true.
+  soir::ExprP match = soir::MakeExists(soir::MakeFilter(
+      soir::MakeAll(article_m), {}, "url", soir::CmpOp::kEq, soir::MakeStrLit("u10")));
+  EXPECT_TRUE(interp.Eval(*match, args, db).scalar.bool_v());
+  // first(orderby(url desc)) is article 11.
+  soir::ExprP last = soir::MakeFirst(soir::MakeOrderBy(soir::MakeAll(article_m), "url",
+                                                       /*ascending=*/false));
+  EXPECT_EQ(interp.Eval(*last, args, db).obj.pk, 11);
+}
+
+}  // namespace
+}  // namespace noctua
