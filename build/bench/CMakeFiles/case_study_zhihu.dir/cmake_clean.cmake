@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_zhihu.dir/case_study_zhihu.cc.o"
+  "CMakeFiles/case_study_zhihu.dir/case_study_zhihu.cc.o.d"
+  "case_study_zhihu"
+  "case_study_zhihu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_zhihu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

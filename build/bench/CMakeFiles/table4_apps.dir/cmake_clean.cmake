@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_apps.dir/table4_apps.cc.o"
+  "CMakeFiles/table4_apps.dir/table4_apps.cc.o.d"
+  "table4_apps"
+  "table4_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_correctness.dir/table5_correctness.cc.o"
+  "CMakeFiles/table5_correctness.dir/table5_correctness.cc.o.d"
+  "table5_correctness"
+  "table5_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

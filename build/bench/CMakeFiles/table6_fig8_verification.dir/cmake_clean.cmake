@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_fig8_verification.dir/table6_fig8_verification.cc.o"
+  "CMakeFiles/table6_fig8_verification.dir/table6_fig8_verification.cc.o.d"
+  "table6_fig8_verification"
+  "table6_fig8_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fig8_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

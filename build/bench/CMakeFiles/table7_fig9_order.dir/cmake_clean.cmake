@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_fig9_order.dir/table7_fig9_order.cc.o"
+  "CMakeFiles/table7_fig9_order.dir/table7_fig9_order.cc.o.d"
+  "table7_fig9_order"
+  "table7_fig9_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_fig9_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

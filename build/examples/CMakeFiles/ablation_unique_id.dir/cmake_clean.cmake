@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unique_id.dir/ablation_unique_id.cc.o"
+  "CMakeFiles/ablation_unique_id.dir/ablation_unique_id.cc.o.d"
+  "ablation_unique_id"
+  "ablation_unique_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unique_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_app.cc" "examples/CMakeFiles/custom_app.dir/custom_app.cc.o" "gcc" "examples/CMakeFiles/custom_app.dir/custom_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/noctua_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/noctua_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/noctua_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/noctua_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/soir/CMakeFiles/noctua_soir.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/noctua_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/orm/CMakeFiles/noctua_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/noctua_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_deploy.dir/geo_deploy.cc.o"
+  "CMakeFiles/geo_deploy.dir/geo_deploy.cc.o.d"
+  "geo_deploy"
+  "geo_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/analyzer.cc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/analyzer.cc.o" "gcc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/analyzer.cc.o.d"
+  "/root/repo/src/analyzer/path_finder.cc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/path_finder.cc.o" "gcc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/path_finder.cc.o.d"
+  "/root/repo/src/analyzer/sym.cc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/sym.cc.o" "gcc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/sym.cc.o.d"
+  "/root/repo/src/analyzer/trace.cc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/trace.cc.o" "gcc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/trace.cc.o.d"
+  "/root/repo/src/analyzer/view_ctx.cc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/view_ctx.cc.o" "gcc" "src/analyzer/CMakeFiles/noctua_analyzer.dir/view_ctx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soir/CMakeFiles/noctua_soir.dir/DependInfo.cmake"
+  "/root/repo/build/src/orm/CMakeFiles/noctua_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/noctua_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_analyzer.dir/analyzer.cc.o"
+  "CMakeFiles/noctua_analyzer.dir/analyzer.cc.o.d"
+  "CMakeFiles/noctua_analyzer.dir/path_finder.cc.o"
+  "CMakeFiles/noctua_analyzer.dir/path_finder.cc.o.d"
+  "CMakeFiles/noctua_analyzer.dir/sym.cc.o"
+  "CMakeFiles/noctua_analyzer.dir/sym.cc.o.d"
+  "CMakeFiles/noctua_analyzer.dir/trace.cc.o"
+  "CMakeFiles/noctua_analyzer.dir/trace.cc.o.d"
+  "CMakeFiles/noctua_analyzer.dir/view_ctx.cc.o"
+  "CMakeFiles/noctua_analyzer.dir/view_ctx.cc.o.d"
+  "libnoctua_analyzer.a"
+  "libnoctua_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

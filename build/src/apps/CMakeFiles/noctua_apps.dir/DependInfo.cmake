@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blog.cc" "src/apps/CMakeFiles/noctua_apps.dir/blog.cc.o" "gcc" "src/apps/CMakeFiles/noctua_apps.dir/blog.cc.o.d"
+  "/root/repo/src/apps/courseware.cc" "src/apps/CMakeFiles/noctua_apps.dir/courseware.cc.o" "gcc" "src/apps/CMakeFiles/noctua_apps.dir/courseware.cc.o.d"
+  "/root/repo/src/apps/ownphotos.cc" "src/apps/CMakeFiles/noctua_apps.dir/ownphotos.cc.o" "gcc" "src/apps/CMakeFiles/noctua_apps.dir/ownphotos.cc.o.d"
+  "/root/repo/src/apps/postgraduation.cc" "src/apps/CMakeFiles/noctua_apps.dir/postgraduation.cc.o" "gcc" "src/apps/CMakeFiles/noctua_apps.dir/postgraduation.cc.o.d"
+  "/root/repo/src/apps/smallbank.cc" "src/apps/CMakeFiles/noctua_apps.dir/smallbank.cc.o" "gcc" "src/apps/CMakeFiles/noctua_apps.dir/smallbank.cc.o.d"
+  "/root/repo/src/apps/todo.cc" "src/apps/CMakeFiles/noctua_apps.dir/todo.cc.o" "gcc" "src/apps/CMakeFiles/noctua_apps.dir/todo.cc.o.d"
+  "/root/repo/src/apps/zhihu.cc" "src/apps/CMakeFiles/noctua_apps.dir/zhihu.cc.o" "gcc" "src/apps/CMakeFiles/noctua_apps.dir/zhihu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analyzer/CMakeFiles/noctua_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/soir/CMakeFiles/noctua_soir.dir/DependInfo.cmake"
+  "/root/repo/build/src/orm/CMakeFiles/noctua_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/noctua_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

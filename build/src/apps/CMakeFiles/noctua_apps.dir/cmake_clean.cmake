@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_apps.dir/blog.cc.o"
+  "CMakeFiles/noctua_apps.dir/blog.cc.o.d"
+  "CMakeFiles/noctua_apps.dir/courseware.cc.o"
+  "CMakeFiles/noctua_apps.dir/courseware.cc.o.d"
+  "CMakeFiles/noctua_apps.dir/ownphotos.cc.o"
+  "CMakeFiles/noctua_apps.dir/ownphotos.cc.o.d"
+  "CMakeFiles/noctua_apps.dir/postgraduation.cc.o"
+  "CMakeFiles/noctua_apps.dir/postgraduation.cc.o.d"
+  "CMakeFiles/noctua_apps.dir/smallbank.cc.o"
+  "CMakeFiles/noctua_apps.dir/smallbank.cc.o.d"
+  "CMakeFiles/noctua_apps.dir/todo.cc.o"
+  "CMakeFiles/noctua_apps.dir/todo.cc.o.d"
+  "CMakeFiles/noctua_apps.dir/zhihu.cc.o"
+  "CMakeFiles/noctua_apps.dir/zhihu.cc.o.d"
+  "libnoctua_apps.a"
+  "libnoctua_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_baseline.dir/specs.cc.o"
+  "CMakeFiles/noctua_baseline.dir/specs.cc.o.d"
+  "libnoctua_baseline.a"
+  "libnoctua_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_orm.dir/database.cc.o"
+  "CMakeFiles/noctua_orm.dir/database.cc.o.d"
+  "libnoctua_orm.a"
+  "libnoctua_orm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_orm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

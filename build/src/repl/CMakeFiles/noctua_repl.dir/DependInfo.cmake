@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repl/simulator.cc" "src/repl/CMakeFiles/noctua_repl.dir/simulator.cc.o" "gcc" "src/repl/CMakeFiles/noctua_repl.dir/simulator.cc.o.d"
+  "/root/repo/src/repl/workload.cc" "src/repl/CMakeFiles/noctua_repl.dir/workload.cc.o" "gcc" "src/repl/CMakeFiles/noctua_repl.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soir/CMakeFiles/noctua_soir.dir/DependInfo.cmake"
+  "/root/repo/build/src/orm/CMakeFiles/noctua_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/noctua_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_repl.dir/simulator.cc.o"
+  "CMakeFiles/noctua_repl.dir/simulator.cc.o.d"
+  "CMakeFiles/noctua_repl.dir/workload.cc.o"
+  "CMakeFiles/noctua_repl.dir/workload.cc.o.d"
+  "libnoctua_repl.a"
+  "libnoctua_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/eval.cc" "src/smt/CMakeFiles/noctua_smt.dir/eval.cc.o" "gcc" "src/smt/CMakeFiles/noctua_smt.dir/eval.cc.o.d"
+  "/root/repo/src/smt/ground.cc" "src/smt/CMakeFiles/noctua_smt.dir/ground.cc.o" "gcc" "src/smt/CMakeFiles/noctua_smt.dir/ground.cc.o.d"
+  "/root/repo/src/smt/solver.cc" "src/smt/CMakeFiles/noctua_smt.dir/solver.cc.o" "gcc" "src/smt/CMakeFiles/noctua_smt.dir/solver.cc.o.d"
+  "/root/repo/src/smt/sort.cc" "src/smt/CMakeFiles/noctua_smt.dir/sort.cc.o" "gcc" "src/smt/CMakeFiles/noctua_smt.dir/sort.cc.o.d"
+  "/root/repo/src/smt/term.cc" "src/smt/CMakeFiles/noctua_smt.dir/term.cc.o" "gcc" "src/smt/CMakeFiles/noctua_smt.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/noctua_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

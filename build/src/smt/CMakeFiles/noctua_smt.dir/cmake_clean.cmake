@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_smt.dir/eval.cc.o"
+  "CMakeFiles/noctua_smt.dir/eval.cc.o.d"
+  "CMakeFiles/noctua_smt.dir/ground.cc.o"
+  "CMakeFiles/noctua_smt.dir/ground.cc.o.d"
+  "CMakeFiles/noctua_smt.dir/solver.cc.o"
+  "CMakeFiles/noctua_smt.dir/solver.cc.o.d"
+  "CMakeFiles/noctua_smt.dir/sort.cc.o"
+  "CMakeFiles/noctua_smt.dir/sort.cc.o.d"
+  "CMakeFiles/noctua_smt.dir/term.cc.o"
+  "CMakeFiles/noctua_smt.dir/term.cc.o.d"
+  "libnoctua_smt.a"
+  "libnoctua_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

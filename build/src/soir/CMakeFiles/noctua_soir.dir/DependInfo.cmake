@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soir/ast.cc" "src/soir/CMakeFiles/noctua_soir.dir/ast.cc.o" "gcc" "src/soir/CMakeFiles/noctua_soir.dir/ast.cc.o.d"
+  "/root/repo/src/soir/interp.cc" "src/soir/CMakeFiles/noctua_soir.dir/interp.cc.o" "gcc" "src/soir/CMakeFiles/noctua_soir.dir/interp.cc.o.d"
+  "/root/repo/src/soir/printer.cc" "src/soir/CMakeFiles/noctua_soir.dir/printer.cc.o" "gcc" "src/soir/CMakeFiles/noctua_soir.dir/printer.cc.o.d"
+  "/root/repo/src/soir/schema.cc" "src/soir/CMakeFiles/noctua_soir.dir/schema.cc.o" "gcc" "src/soir/CMakeFiles/noctua_soir.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/noctua_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/orm/CMakeFiles/noctua_orm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_soir.dir/ast.cc.o"
+  "CMakeFiles/noctua_soir.dir/ast.cc.o.d"
+  "CMakeFiles/noctua_soir.dir/interp.cc.o"
+  "CMakeFiles/noctua_soir.dir/interp.cc.o.d"
+  "CMakeFiles/noctua_soir.dir/printer.cc.o"
+  "CMakeFiles/noctua_soir.dir/printer.cc.o.d"
+  "CMakeFiles/noctua_soir.dir/schema.cc.o"
+  "CMakeFiles/noctua_soir.dir/schema.cc.o.d"
+  "libnoctua_soir.a"
+  "libnoctua_soir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_soir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

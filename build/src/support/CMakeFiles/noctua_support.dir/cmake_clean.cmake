@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_support.dir/strings.cc.o"
+  "CMakeFiles/noctua_support.dir/strings.cc.o.d"
+  "CMakeFiles/noctua_support.dir/table.cc.o"
+  "CMakeFiles/noctua_support.dir/table.cc.o.d"
+  "libnoctua_support.a"
+  "libnoctua_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnoctua_support.a"
+)

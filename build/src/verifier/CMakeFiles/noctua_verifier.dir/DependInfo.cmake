@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/checker.cc" "src/verifier/CMakeFiles/noctua_verifier.dir/checker.cc.o" "gcc" "src/verifier/CMakeFiles/noctua_verifier.dir/checker.cc.o.d"
+  "/root/repo/src/verifier/encoder.cc" "src/verifier/CMakeFiles/noctua_verifier.dir/encoder.cc.o" "gcc" "src/verifier/CMakeFiles/noctua_verifier.dir/encoder.cc.o.d"
+  "/root/repo/src/verifier/report.cc" "src/verifier/CMakeFiles/noctua_verifier.dir/report.cc.o" "gcc" "src/verifier/CMakeFiles/noctua_verifier.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soir/CMakeFiles/noctua_soir.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/noctua_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/orm/CMakeFiles/noctua_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/noctua_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

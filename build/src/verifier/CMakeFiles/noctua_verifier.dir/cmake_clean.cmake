@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noctua_verifier.dir/checker.cc.o"
+  "CMakeFiles/noctua_verifier.dir/checker.cc.o.d"
+  "CMakeFiles/noctua_verifier.dir/encoder.cc.o"
+  "CMakeFiles/noctua_verifier.dir/encoder.cc.o.d"
+  "CMakeFiles/noctua_verifier.dir/report.cc.o"
+  "CMakeFiles/noctua_verifier.dir/report.cc.o.d"
+  "libnoctua_verifier.a"
+  "libnoctua_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noctua_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

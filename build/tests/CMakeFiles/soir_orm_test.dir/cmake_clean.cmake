@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soir_orm_test.dir/soir_orm_test.cc.o"
+  "CMakeFiles/soir_orm_test.dir/soir_orm_test.cc.o.d"
+  "soir_orm_test"
+  "soir_orm_test.pdb"
+  "soir_orm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soir_orm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
