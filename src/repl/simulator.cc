@@ -1,6 +1,7 @@
 #include "src/repl/simulator.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "src/support/check.h"
@@ -18,15 +19,83 @@ bool ConflictTable::Conflicts(const std::string& a, const std::string& b) const 
   return pairs_.count({std::min(a, b), std::max(a, b)}) != 0;
 }
 
+ConflictTable ConservativeConflicts(const soir::Schema& schema,
+                                    const std::vector<soir::CodePath>& paths) {
+  struct Footprint {
+    std::set<int> touched;  // models read or written
+    std::set<int> written;
+    std::set<int> relations;
+    bool effectful = false;
+  };
+  std::map<std::string, Footprint> endpoints;
+  for (const soir::CodePath& p : paths) {
+    std::vector<int> reads, writes, rels;
+    p.CollectFootprint(schema, &reads, &writes, &rels);
+    Footprint& f = endpoints[p.view_name];
+    f.touched.insert(reads.begin(), reads.end());
+    f.touched.insert(writes.begin(), writes.end());
+    f.written.insert(writes.begin(), writes.end());
+    f.relations.insert(rels.begin(), rels.end());
+    f.effectful = f.effectful || p.IsEffectful();
+  }
+  auto intersects = [](const std::set<int>& a, const std::set<int>& b) {
+    for (int x : a) {
+      if (b.count(x)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ConflictTable table;
+  for (auto a = endpoints.begin(); a != endpoints.end(); ++a) {
+    for (auto b = a; b != endpoints.end(); ++b) {
+      const Footprint& fa = a->second;
+      const Footprint& fb = b->second;
+      bool conflict = intersects(fa.written, fb.touched) ||
+                      intersects(fb.written, fa.touched) ||
+                      ((fa.effectful || fb.effectful) &&
+                       intersects(fa.relations, fb.relations));
+      if (conflict) {
+        table.AddPair(a->first, b->first);
+      }
+    }
+  }
+  return table;
+}
+
 namespace {
 
 enum class EventKind : uint8_t {
-  kClientIssue,   // a client issues its next request
-  kCoordGrant,    // admission request reaches the coordinator
-  kExecute,       // request executes at its origin site
-  kApplyRemote,   // a propagated effect applies at a remote replica
-  kRelease,       // release reaches the coordinator
+  kClientIssue,      // a client issues its next request
+  kAdmitArrive,      // admission request reaches the coordinator
+  kGrantArrive,      // admission grant reaches the origin site (chaos mode only)
+  kExecute,          // request executes at its origin site
+  kEffectArrive,     // a propagated effect reaches a remote replica
+  kEffectAckArrive,  // a replica's apply-ack reaches the origin (chaos mode only)
+  kReleaseArrive,    // release reaches the coordinator
+  kReleaseAckArrive, // the coordinator's release-ack reaches the origin (chaos only)
+  kRetryTimer,       // origin-local retransmission timer (chaos mode only)
+  kCrash,            // a replica fails
+  kRestart,          // a failed replica comes back and catches up
+  kEvictCrashed,     // coordinator failure detector evicts a crashed site's grants
+  kAntiEntropy,      // periodic background sync applies missed effects from the log
 };
+
+// Retransmission stages, carried in retry-timer events.
+enum : uint8_t { kStageAdmit = 0, kStageEffect = 1, kStageRelease = 2 };
+
+// Origin-side protocol state of one request.
+enum class Phase : uint8_t {
+  kAwaitGrant,       // admission sent, waiting for the grant
+  kExecuting,        // grant received (or uncoordinated), execution scheduled
+  kAwaitAcks,        // executed, waiting for per-replica effect acks
+  kAwaitReleaseAck,  // release sent, waiting for the coordinator's ack
+  kDone,
+  kGivenUp,  // admission retries exhausted; the client moved on
+};
+
+// Coordinator-side state of one request id (the idempotent-dedup ledger).
+enum class CoordState : uint8_t { kNone, kWaiting, kActive, kReleased };
 
 struct PendingOp {
   int64_t id = 0;
@@ -34,14 +103,27 @@ struct PendingOp {
   int client = 0;
   Request request;
   double issued_at = 0;
+  bool coordinated = false;
+  Phase phase = Phase::kAwaitGrant;
+  CoordState coord = CoordState::kNone;
+  bool dead = false;          // origin crashed while the request was in flight
+  int64_t effect_seq = -1;    // per-origin sequence number of the committed effect
+  int interval = -1;          // index into the omniscient grant/release interval list
+  int admit_attempts = 0;
+  int release_attempts = 0;
+  std::map<int, int> effect_attempts;  // per target replica
+  std::set<int> await_acks;
+  std::set<int> acked;
 };
 
 struct Event {
   double time = 0;
   EventKind kind = EventKind::kClientIssue;
   int64_t op = -1;
-  int site = -1;    // kClientIssue/kApplyRemote: target site
+  int site = -1;    // kClientIssue/kEffectArrive/kEffectAckArrive/kCrash/...: subject site
   int client = -1;  // kClientIssue
+  uint8_t stage = 0;  // kRetryTimer
+  int attempt = 0;    // kRetryTimer
   // Deterministic tie-breaking.
   int64_t seq = 0;
 
@@ -50,11 +132,35 @@ struct Event {
   }
 };
 
+// One committed effect in global commit order. Replica catch-up replays this log, which
+// respects both per-origin sequence order and the coordinator's serialization of
+// conflicting operations.
+struct LogRecord {
+  int64_t op = 0;
+  int origin = 0;
+  int64_t seq = 0;
+};
+
+// [grant, release) window of one coordinated request, recorded by the omniscient safety
+// checker independently of the coordinator's own bookkeeping.
+struct GrantInterval {
+  double granted_at = 0;
+  double released_at = 0;
+  std::string endpoint;
+};
+
 }  // namespace
 
 struct Simulator::Site {
   orm::Database db;
-  explicit Site(const soir::Schema* schema) : db(schema) {}
+  bool down = false;
+  int64_t next_effect_seq = 0;             // numbering of effects this site originates
+  std::vector<int64_t> expected;           // next seq expected from each origin
+  std::vector<std::map<int64_t, int64_t>> gap_buffer;  // origin -> seq -> op id
+  size_t log_scan = 0;                     // prefix of the global log known applied here
+  std::set<int64_t> live_ops;              // in-flight requests originated here
+  explicit Site(const soir::Schema* schema, int num_sites)
+      : db(schema), expected(num_sites, 0), gap_buffer(num_sites) {}
 };
 
 Simulator::Simulator(const soir::Schema& schema, const std::vector<soir::CodePath>& paths,
@@ -64,6 +170,10 @@ Simulator::Simulator(const soir::Schema& schema, const std::vector<soir::CodePat
 SimResult Simulator::Run() {
   soir::Interp interp(schema_);
   WorkloadGenerator workload(schema_, paths_, options_.write_ratio, options_.seed);
+  // All fault decisions draw from a dedicated stream so a zero-fault plan leaves the
+  // workload's randomness — and therefore the perfect-network schedule — untouched.
+  Rng fault_rng(options_.seed ^ 0xFA017BADC0FFEEULL);
+  const bool chaos = !options_.faults.IsZero();
 
   // Replicas: identical seeded initial state, per-site striped ID allocation.
   std::vector<Site> sites;
@@ -71,7 +181,7 @@ SimResult Simulator::Run() {
   orm::Database seeded(&schema_);
   WorkloadGenerator::SeedDatabase(&seeded, options_.seed_rows_per_model, options_.seed);
   for (int i = 0; i < options_.num_sites; ++i) {
-    sites.emplace_back(&schema_);
+    sites.emplace_back(&schema_, options_.num_sites);
     sites.back().db = seeded;
     sites.back().db.StripeNewIds(i, options_.num_sites);
   }
@@ -85,21 +195,73 @@ SimResult Simulator::Run() {
   std::map<int64_t, std::string> active;
   std::vector<int64_t> waiting;
 
+  std::vector<LogRecord> log;
+  std::vector<GrantInterval> intervals;
+
   SimResult result;
-  double total_latency = 0;
+  std::vector<double> latencies;  // successful requests only (see SimResult contract)
   const int coordinator_site = 0;
 
   auto coord_delay = [&](int site) {
     return site == coordinator_site ? 0.0 : options_.cross_site_latency_ms;
   };
-  auto push = [&](double time, EventKind kind, int64_t op, int site = -1, int client = -1) {
-    queue.push(Event{time, kind, op, site, client, next_seq++});
+  auto push = [&](double time, EventKind kind, int64_t op, int site = -1, int client = -1,
+                  uint8_t stage = 0, int attempt = 0) {
+    queue.push(Event{time, kind, op, site, client, stage, attempt, next_seq++});
+  };
+  // Quiescence bound: no new transmissions once the drain grace expires, so retry chains
+  // terminate and the event queue empties even under persistent faults.
+  auto can_send = [&](double now) {
+    return now <= options_.duration_ms + options_.drain_grace_ms;
+  };
+  auto backoff = [&](int attempts) {
+    double t = options_.retry_timeout_ms;
+    for (int i = 1; i < attempts; ++i) {
+      t = std::min(t * options_.retry_backoff, options_.retry_timeout_cap_ms);
+    }
+    return std::min(t, options_.retry_timeout_cap_ms);
+  };
+  // Sends one protocol message over a (possibly faulty) link and schedules its arrivals.
+  // `from`/`to` use kCoordinatorEndpoint for the coordination service side.
+  auto transmit = [&](double now, int from, int to, double base_delay, EventKind kind,
+                      int64_t op, int site_field = -1) {
+    ++result.messages_sent;
+    const LinkFaults& lf = options_.faults.LinkFor(from, to);
+    MessageFate fate = options_.faults.SampleFate(lf, &fault_rng);
+    if (fate.dropped) {
+      ++result.messages_dropped;
+      return;
+    }
+    if (fate.copies > 1) {
+      ++result.messages_duplicated;
+    }
+    for (int copy = 0; copy < fate.copies; ++copy) {
+      double extra = options_.faults.SampleExtraDelay(lf, &fault_rng);
+      push(now + base_delay + extra, kind, op, site_field);
+    }
+  };
+
+  auto record_grant = [&](PendingOp& op, double now) {
+    op.interval = static_cast<int>(intervals.size());
+    intervals.push_back({now, std::numeric_limits<double>::infinity(),
+                         op.request.path->view_name});
+  };
+  auto record_release = [&](PendingOp& op, double now) {
+    if (op.interval >= 0) {
+      intervals[op.interval].released_at = now;
+    }
   };
 
   // Admits every waiting op that conflicts with nothing active, in FIFO order.
   auto admit_waiters = [&](double now) {
     for (auto it = waiting.begin(); it != waiting.end();) {
-      const PendingOp& op = ops.at(*it);
+      PendingOp& op = ops.at(*it);
+      if (op.dead || op.phase == Phase::kGivenUp) {
+        // A crashed or timed-out origin will never execute this request.
+        op.coord = CoordState::kReleased;
+        it = waiting.erase(it);
+        continue;
+      }
       const std::string& name = op.request.path->view_name;
       bool blocked = false;
       for (const auto& [_, other] : active) {
@@ -112,16 +274,123 @@ SimResult Simulator::Run() {
         ++it;
         continue;
       }
+      op.coord = CoordState::kActive;
       active[op.id] = name;
-      // Grant travels back to the origin site, then the op executes.
-      push(now + coord_delay(op.site) + options_.local_exec_ms, EventKind::kExecute, op.id);
+      record_grant(op, now);
+      if (chaos) {
+        // Grant travels back over the faulty link; admission retries from the origin
+        // cover a lost grant (the coordinator re-sends it on duplicate admission).
+        transmit(now, kCoordinatorEndpoint, op.site, coord_delay(op.site),
+                 EventKind::kGrantArrive, op.id);
+      } else {
+        // Perfect network: grant travels back to the origin, then the op executes
+        // (the seed model's combined event — keeps the schedule bit-identical).
+        op.phase = Phase::kExecuting;
+        push(now + coord_delay(op.site) + options_.local_exec_ms, EventKind::kExecute,
+             op.id);
+      }
       it = waiting.erase(it);
+    }
+  };
+
+  auto start_release = [&](PendingOp& op, double now) {
+    op.phase = Phase::kAwaitReleaseAck;
+    op.release_attempts = 1;
+    transmit(now, op.site, kCoordinatorEndpoint, coord_delay(op.site),
+             EventKind::kReleaseArrive, op.id);
+    push(now + backoff(op.release_attempts), EventKind::kRetryTimer, op.id, -1, -1,
+         kStageRelease, op.release_attempts);
+  };
+
+  // Applies one committed effect at a replica and advances its per-origin cursor.
+  auto apply_record = [&](int s, const PendingOp& op) {
+    interp.Apply(*op.request.path, op.request.args, &sites[s].db);
+  };
+  // Replays every logged effect the site has not applied yet, in global commit order.
+  // This is the anti-entropy / crash catch-up path; the log respects per-origin sequence
+  // order and the coordinator's serialization of conflicting operations.
+  auto catch_up = [&](int s) {
+    Site& site = sites[s];
+    for (size_t i = site.log_scan; i < log.size(); ++i) {
+      const LogRecord& rec = log[i];
+      if (rec.origin == s) {
+        continue;  // own writes were applied at execution time
+      }
+      int64_t& expected = site.expected[rec.origin];
+      if (rec.seq < expected) {
+        continue;  // already applied via direct delivery
+      }
+      NOCTUA_CHECK_MSG(rec.seq == expected, "commit log has a per-origin gap");
+      apply_record(s, ops.at(rec.op));
+      ++expected;
+      ++result.effects_replayed;
+    }
+    site.log_scan = log.size();
+    // Buffered out-of-order deliveries below the cursor are now stale.
+    for (int o = 0; o < options_.num_sites; ++o) {
+      std::erase_if(site.gap_buffer[o],
+                    [&](const auto& e) { return e.first < site.expected[o]; });
+    }
+  };
+
+  // In-order delivery of one direct effect message at replica `s`, with idempotent
+  // seq-based dedup and gap buffering. Acks every applied or already-applied effect.
+  auto deliver_effect = [&](int s, PendingOp& op, double now) {
+    Site& site = sites[s];
+    int origin = op.site;
+    int64_t& expected = site.expected[origin];
+    if (op.effect_seq < expected) {
+      ++result.duplicates_ignored;
+      if (chaos) {  // re-ack: the origin may have missed the first ack
+        transmit(now, s, origin, options_.cross_site_latency_ms,
+                 EventKind::kEffectAckArrive, op.id, s);
+      }
+      return;
+    }
+    if (op.effect_seq > expected) {
+      auto [_, inserted] = site.gap_buffer[origin].insert({op.effect_seq, op.id});
+      if (inserted) {
+        ++result.effect_gaps_buffered;
+      } else {
+        ++result.duplicates_ignored;
+      }
+      return;
+    }
+    apply_record(s, op);
+    ++expected;
+    if (chaos) {
+      transmit(now, s, origin, options_.cross_site_latency_ms, EventKind::kEffectAckArrive,
+               op.id, s);
+    }
+    // Drain any buffered successors that the gap was holding back.
+    auto& buffer = site.gap_buffer[origin];
+    auto it = buffer.find(expected);
+    while (it != buffer.end()) {
+      PendingOp& next = ops.at(it->second);
+      apply_record(s, next);
+      ++expected;
+      if (chaos) {
+        transmit(now, s, origin, options_.cross_site_latency_ms,
+                 EventKind::kEffectAckArrive, next.id, s);
+      }
+      buffer.erase(it);
+      it = buffer.find(expected);
     }
   };
 
   for (int s = 0; s < options_.num_sites; ++s) {
     for (int c = 0; c < options_.clients_per_site; ++c) {
       push(0.0, EventKind::kClientIssue, -1, s, c);
+    }
+  }
+  if (chaos) {
+    for (const CrashSchedule& crash : options_.faults.crashes) {
+      NOCTUA_CHECK(crash.site >= 0 && crash.site < options_.num_sites);
+      push(crash.at_ms, EventKind::kCrash, -1, crash.site);
+      push(crash.restart_ms, EventKind::kRestart, -1, crash.site);
+    }
+    for (int s = 0; s < options_.num_sites; ++s) {
+      push(options_.anti_entropy_interval_ms, EventKind::kAntiEntropy, -1, s);
     }
   }
 
@@ -133,77 +402,441 @@ SimResult Simulator::Run() {
     }
     switch (ev.kind) {
       case EventKind::kClientIssue: {
+        if (chaos && sites[ev.site].down) {
+          break;  // the replica is down; its clients respawn on restart
+        }
         PendingOp op;
         op.id = next_op++;
         op.site = ev.site;
         op.client = ev.client;
         op.request = workload.Next(&sites[ev.site].db);
         op.issued_at = ev.time;
+        op.coordinated = options_.strong_consistency || op.request.is_write;
         ops[op.id] = std::move(op);
-        const PendingOp& ref = ops.at(op.id);
-        bool coordinated = options_.strong_consistency || ref.request.is_write;
-        if (coordinated) {
-          push(ev.time + coord_delay(ref.site), EventKind::kCoordGrant, ref.id);
+        PendingOp& ref = ops.at(next_op - 1);
+        if (chaos) {
+          sites[ref.site].live_ops.insert(ref.id);
+        }
+        if (ref.coordinated) {
+          if (chaos) {
+            ref.admit_attempts = 1;
+            transmit(ev.time, ref.site, kCoordinatorEndpoint, coord_delay(ref.site),
+                     EventKind::kAdmitArrive, ref.id);
+            push(ev.time + backoff(ref.admit_attempts), EventKind::kRetryTimer, ref.id,
+                 -1, -1, kStageAdmit, ref.admit_attempts);
+          } else {
+            push(ev.time + coord_delay(ref.site), EventKind::kAdmitArrive, ref.id);
+          }
         } else {
+          ref.phase = Phase::kExecuting;
           push(ev.time + options_.local_exec_ms, EventKind::kExecute, ref.id);
         }
         break;
       }
-      case EventKind::kCoordGrant: {
-        waiting.push_back(ev.op);
-        admit_waiters(ev.time);
+      case EventKind::kAdmitArrive: {
+        if (chaos && options_.faults.CoordinatorDown(ev.time)) {
+          ++result.messages_dropped;  // the service processes nothing during an outage
+          break;
+        }
+        PendingOp& op = ops.at(ev.op);
+        if (op.dead) {
+          break;
+        }
+        switch (op.coord) {
+          case CoordState::kNone:
+            op.coord = CoordState::kWaiting;
+            waiting.push_back(op.id);
+            admit_waiters(ev.time);
+            break;
+          case CoordState::kWaiting:
+          case CoordState::kReleased:
+            ++result.duplicates_ignored;
+            break;
+          case CoordState::kActive:
+            // Retransmitted admission after a lost grant: re-send the grant. Granting is
+            // idempotent — the origin executes at most once (phase check on arrival).
+            ++result.duplicates_ignored;
+            transmit(ev.time, kCoordinatorEndpoint, op.site, coord_delay(op.site),
+                     EventKind::kGrantArrive, op.id);
+            break;
+        }
+        break;
+      }
+      case EventKind::kGrantArrive: {
+        PendingOp& op = ops.at(ev.op);
+        if (op.dead) {
+          break;
+        }
+        if (chaos && sites[op.site].down) {
+          ++result.messages_dropped;
+          break;
+        }
+        if (op.phase == Phase::kAwaitGrant) {
+          op.phase = Phase::kExecuting;
+          push(ev.time + options_.local_exec_ms, EventKind::kExecute, op.id);
+        } else if (op.phase == Phase::kGivenUp) {
+          // The client moved on; free the coordination entry.
+          if (can_send(ev.time)) {
+            transmit(ev.time, op.site, kCoordinatorEndpoint, coord_delay(op.site),
+                     EventKind::kReleaseArrive, op.id);
+          }
+        } else {
+          ++result.duplicates_ignored;  // duplicated grant: never execute twice
+        }
         break;
       }
       case EventKind::kExecute: {
         PendingOp& op = ops.at(ev.op);
+        if (op.dead) {
+          break;
+        }
         bool committed = interp.Run(*op.request.path, op.request.args, &sites[op.site].db);
-        bool coordinated = options_.strong_consistency || op.request.is_write;
         double done = ev.time;
         ++result.completed_requests;
         if (!committed) {
           ++result.aborted_requests;
+        } else {
+          latencies.push_back(done - op.issued_at);
+        }
+        if (chaos) {
+          sites[op.site].live_ops.erase(op.id);  // the client got its response
         }
         if (op.request.is_write && committed) {
           ++result.committed_writes;
+          op.effect_seq = sites[op.site].next_effect_seq++;
+          if (chaos) {
+            log.push_back({op.id, op.site, op.effect_seq});
+          }
           // Propagate the effect to every remote replica (asynchronous).
           for (int s = 0; s < options_.num_sites; ++s) {
             if (s != op.site) {
-              push(ev.time + options_.cross_site_latency_ms, EventKind::kApplyRemote, op.id,
-                   s);
+              if (chaos) {
+                op.await_acks.insert(s);
+                op.effect_attempts[s] = 1;
+                transmit(ev.time, op.site, s, options_.cross_site_latency_ms,
+                         EventKind::kEffectArrive, op.id, s);
+                push(ev.time + backoff(1), EventKind::kRetryTimer, op.id, s, -1,
+                     kStageEffect, 1);
+              } else {
+                push(ev.time + options_.cross_site_latency_ms, EventKind::kEffectArrive,
+                     op.id, s);
+              }
             }
           }
         }
-        if (coordinated) {
-          // The coordination entry is held until the effect has reached every replica, so
-          // conflicting operations apply in a single global order at all sites.
-          double propagated = committed && op.request.is_write
-                                  ? options_.cross_site_latency_ms
-                                  : 0.0;
-          push(ev.time + propagated + coord_delay(op.site), EventKind::kRelease, op.id);
+        if (op.coordinated) {
+          if (chaos) {
+            // The coordination entry is held until every live replica acked the effect,
+            // so conflicting operations apply in a single global order at all sites.
+            if (op.await_acks.empty()) {
+              start_release(op, ev.time);
+            } else {
+              op.phase = Phase::kAwaitAcks;
+            }
+          } else {
+            // Perfect network: effects arrive one latency leg later, deterministically,
+            // so the entry is released as soon as they have (the seed model).
+            double propagated =
+                committed && op.request.is_write ? options_.cross_site_latency_ms : 0.0;
+            push(ev.time + propagated + coord_delay(op.site), EventKind::kReleaseArrive,
+                 op.id);
+            op.phase = Phase::kDone;
+          }
+        } else {
+          op.phase = Phase::kDone;
         }
-        total_latency += done - op.issued_at;
         // Closed loop: the client issues its next request.
         push(ev.time, EventKind::kClientIssue, -1, op.site, op.client);
         break;
       }
-      case EventKind::kApplyRemote: {
+      case EventKind::kEffectArrive: {
         // Remote replicas apply the propagated mutations; guards were validated at the
-        // origin (paper §2.1).
-        PendingOp& op = ops.at(ev.op);
-        interp.Apply(*op.request.path, op.request.args, &sites[ev.site].db);
+        // origin (paper §2.1). Deliberately no `op.dead` check: a committed effect is
+        // durable state even if its origin crashed afterwards.
+        if (chaos && sites[ev.site].down) {
+          ++result.messages_dropped;
+          break;
+        }
+        deliver_effect(ev.site, ops.at(ev.op), ev.time);
         break;
       }
-      case EventKind::kRelease: {
-        active.erase(ev.op);
+      case EventKind::kEffectAckArrive: {
+        PendingOp& op = ops.at(ev.op);
+        if (op.dead) {
+          break;
+        }
+        if (sites[op.site].down) {
+          ++result.messages_dropped;
+          break;
+        }
+        if (!op.acked.insert(ev.site).second) {
+          ++result.duplicates_ignored;
+          break;
+        }
+        op.await_acks.erase(ev.site);
+        if (op.phase == Phase::kAwaitAcks && op.await_acks.empty()) {
+          start_release(op, ev.time);
+        }
+        break;
+      }
+      case EventKind::kReleaseArrive: {
+        if (chaos && options_.faults.CoordinatorDown(ev.time)) {
+          ++result.messages_dropped;
+          break;
+        }
+        PendingOp& op = ops.at(ev.op);
+        switch (op.coord) {
+          case CoordState::kActive:
+            op.coord = CoordState::kReleased;
+            active.erase(op.id);
+            record_release(op, ev.time);
+            admit_waiters(ev.time);
+            if (chaos && can_send(ev.time)) {
+              transmit(ev.time, kCoordinatorEndpoint, op.site, coord_delay(op.site),
+                       EventKind::kReleaseAckArrive, op.id);
+            }
+            break;
+          case CoordState::kWaiting:
+            // The origin gave up before the grant was issued.
+            op.coord = CoordState::kReleased;
+            std::erase(waiting, op.id);
+            break;
+          case CoordState::kNone:
+            op.coord = CoordState::kReleased;  // tombstone: a late admission is ignored
+            break;
+          case CoordState::kReleased:
+            ++result.duplicates_ignored;
+            if (chaos && can_send(ev.time)) {
+              transmit(ev.time, kCoordinatorEndpoint, op.site, coord_delay(op.site),
+                       EventKind::kReleaseAckArrive, op.id);
+            }
+            break;
+        }
+        break;
+      }
+      case EventKind::kReleaseAckArrive: {
+        PendingOp& op = ops.at(ev.op);
+        if (op.dead || sites[op.site].down) {
+          break;
+        }
+        if (op.phase == Phase::kAwaitReleaseAck) {
+          op.phase = Phase::kDone;
+        } else {
+          ++result.duplicates_ignored;
+        }
+        break;
+      }
+      case EventKind::kRetryTimer: {
+        PendingOp& op = ops.at(ev.op);
+        if (op.dead) {
+          break;
+        }
+        switch (ev.stage) {
+          case kStageAdmit: {
+            if (op.phase != Phase::kAwaitGrant || ev.attempt != op.admit_attempts) {
+              break;  // the grant arrived, or a newer retry chain took over
+            }
+            if (op.admit_attempts >= options_.max_retries || !can_send(ev.time)) {
+              op.phase = Phase::kGivenUp;
+              ++result.timed_out_requests;
+              sites[op.site].live_ops.erase(op.id);
+              // Best-effort release in case a grant was issued and lost in transit.
+              if (can_send(ev.time)) {
+                transmit(ev.time, op.site, kCoordinatorEndpoint, coord_delay(op.site),
+                         EventKind::kReleaseArrive, op.id);
+              }
+              // The client observes a timeout error and moves on.
+              push(ev.time, EventKind::kClientIssue, -1, op.site, op.client);
+              break;
+            }
+            ++op.admit_attempts;
+            ++result.retransmissions;
+            transmit(ev.time, op.site, kCoordinatorEndpoint, coord_delay(op.site),
+                     EventKind::kAdmitArrive, op.id);
+            push(ev.time + backoff(op.admit_attempts), EventKind::kRetryTimer, op.id, -1,
+                 -1, kStageAdmit, op.admit_attempts);
+            break;
+          }
+          case kStageEffect: {
+            int target = ev.site;
+            if (op.acked.count(target) || !op.await_acks.count(target) ||
+                ev.attempt != op.effect_attempts[target]) {
+              break;
+            }
+            if (op.effect_attempts[target] >= options_.max_retries ||
+                !can_send(ev.time)) {
+              // The replica is unreachable (typically crashed): release anyway; the
+              // catch-up log replays this effect in order before it serves again.
+              ++result.ack_giveups;
+              op.await_acks.erase(target);
+              if (op.phase == Phase::kAwaitAcks && op.await_acks.empty()) {
+                start_release(op, ev.time);
+              }
+              break;
+            }
+            ++op.effect_attempts[target];
+            ++result.retransmissions;
+            transmit(ev.time, op.site, target, options_.cross_site_latency_ms,
+                     EventKind::kEffectArrive, op.id, target);
+            push(ev.time + backoff(op.effect_attempts[target]), EventKind::kRetryTimer,
+                 op.id, target, -1, kStageEffect, op.effect_attempts[target]);
+            break;
+          }
+          case kStageRelease: {
+            if (op.phase != Phase::kAwaitReleaseAck ||
+                ev.attempt != op.release_attempts) {
+              break;
+            }
+            if (op.release_attempts >= options_.max_retries || !can_send(ev.time)) {
+              op.phase = Phase::kDone;  // assume the coordinator processed one release
+              break;
+            }
+            ++op.release_attempts;
+            ++result.retransmissions;
+            transmit(ev.time, op.site, kCoordinatorEndpoint, coord_delay(op.site),
+                     EventKind::kReleaseArrive, op.id);
+            push(ev.time + backoff(op.release_attempts), EventKind::kRetryTimer, op.id,
+                 -1, -1, kStageRelease, op.release_attempts);
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::kCrash: {
+        Site& site = sites[ev.site];
+        if (site.down) {
+          break;
+        }
+        site.down = true;
+        ++result.replica_crashes;
+        for (int64_t id : site.live_ops) {
+          // Requests still awaiting a grant or execution are lost with the process.
+          PendingOp& op = ops.at(id);
+          op.dead = true;
+          if (op.phase == Phase::kAwaitGrant || op.phase == Phase::kExecuting) {
+            ++result.crash_lost_requests;
+          }
+        }
+        site.live_ops.clear();
+        // Executed-but-unreleased requests also died; their origin will never send the
+        // release, so mark the whole cohort dead and let the failure detector evict.
+        for (auto& [id, op] : ops) {
+          if (op.site == ev.site && op.phase != Phase::kDone &&
+              op.phase != Phase::kGivenUp) {
+            op.dead = true;
+          }
+        }
+        push(ev.time + options_.crash_lease_ms, EventKind::kEvictCrashed, -1, ev.site);
+        break;
+      }
+      case EventKind::kEvictCrashed: {
+        // The coordinator's failure detector: drop every grant and admission held by
+        // requests that died with the crashed replica, unblocking their conflicts.
+        if (options_.faults.CoordinatorDown(ev.time)) {
+          // The service itself is down; detection resumes after the outage.
+          push(ev.time + options_.crash_lease_ms, EventKind::kEvictCrashed, -1, ev.site);
+          break;
+        }
+        std::vector<int64_t> evict;
+        for (const auto& [id, _] : active) {
+          PendingOp& op = ops.at(id);
+          if (op.dead && op.site == ev.site) {
+            evict.push_back(id);
+          }
+        }
+        for (int64_t id : evict) {
+          PendingOp& op = ops.at(id);
+          active.erase(id);
+          op.coord = CoordState::kReleased;
+          record_release(op, ev.time);
+        }
+        std::erase_if(waiting, [&](int64_t id) {
+          PendingOp& op = ops.at(id);
+          if (op.dead && op.site == ev.site) {
+            op.coord = CoordState::kReleased;
+            return true;
+          }
+          return false;
+        });
         admit_waiters(ev.time);
+        break;
+      }
+      case EventKind::kRestart: {
+        Site& site = sites[ev.site];
+        if (!site.down) {
+          break;
+        }
+        site.down = false;
+        ++result.replica_recoveries;
+        // Anti-entropy catch-up: replay every missed effect in commit order before
+        // serving clients again (restart-from-disk plus log sync).
+        catch_up(ev.site);
+        double ready = ev.time + options_.cross_site_latency_ms;  // sync round trip
+        for (int c = 0; c < options_.clients_per_site; ++c) {
+          push(ready, EventKind::kClientIssue, -1, ev.site, c);
+        }
+        break;
+      }
+      case EventKind::kAntiEntropy: {
+        if (ev.time > options_.duration_ms + options_.drain_grace_ms) {
+          break;  // stop the background schedule so the queue can drain
+        }
+        if (!sites[ev.site].down) {
+          catch_up(ev.site);
+        }
+        push(ev.time + options_.anti_entropy_interval_ms, EventKind::kAntiEntropy, -1,
+             ev.site);
         break;
       }
     }
   }
 
+  // Quiescence sync: faults have stopped; anti-entropy finishes healing every replica
+  // (including one that crashed and never restarted inside the horizon) before the
+  // convergence verdict.
+  if (chaos) {
+    for (int s = 0; s < options_.num_sites; ++s) {
+      catch_up(s);
+    }
+  }
+
   result.duration_ms = options_.duration_ms;
-  result.avg_latency_ms =
-      result.completed_requests > 0 ? total_latency / result.completed_requests : 0;
+  if (!latencies.empty()) {
+    double total = 0;
+    for (double l : latencies) {
+      total += l;
+    }
+    result.avg_latency_ms = total / latencies.size();
+    std::sort(latencies.begin(), latencies.end());
+    size_t idx = (latencies.size() * 99 + 99) / 100;  // ceil(0.99 n)
+    result.p99_latency_ms = latencies[std::min(idx, latencies.size()) - 1];
+  }
+
+  // Omniscient safety check: sweep the [grant, release) windows and count overlapping
+  // conflicting pairs. Independent of the coordinator's own dedup/eviction bookkeeping,
+  // so protocol bugs (double grants, leaked entries) show up here.
+  std::vector<int> order(intervals.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return intervals[a].granted_at != intervals[b].granted_at
+               ? intervals[a].granted_at < intervals[b].granted_at
+               : a < b;
+  });
+  std::vector<int> open;
+  for (int i : order) {
+    std::erase_if(open, [&](int j) {
+      return intervals[j].released_at <= intervals[i].granted_at;
+    });
+    for (int j : open) {
+      if (conflicts_.Conflicts(intervals[i].endpoint, intervals[j].endpoint)) {
+        ++result.conflict_violations;
+      }
+    }
+    open.push_back(i);
+  }
+
   std::set<int> order_models;
   for (const soir::CodePath& p : paths_) {
     std::set<int> m = soir::OrderRelevantModels(p);

@@ -15,6 +15,23 @@
 // the coordinator is remote, plus queueing for conflicts), execute locally, and their
 // effects propagate asynchronously to the other replicas, where the extracted SOIR path
 // is re-executed (operation replication, §2.1).
+//
+// Two network regimes:
+//   * `SimOptions::faults.IsZero()` (the default) — the paper's perfect network: fixed
+//     cross-site latency, lossless ordered delivery, no failures. This fast path
+//     reproduces the seed model's event schedule exactly, so the Figure 10/11 numbers
+//     are unaffected by the fault layer.
+//   * A non-zero FaultPlan switches on the hardened protocol: admission/release/effect
+//     messages are sent over faulty links with capped exponential-backoff retries and
+//     op-id idempotent dedup; propagated effects carry per-origin sequence numbers
+//     consumed through a gap-detecting apply queue; effect delivery is acked per replica
+//     and the coordination entry is held until every live replica acked (preserving the
+//     single global order of conflicting operations); crashed replicas freeze their
+//     state, are evicted from the coordinator after a failure-detection lease, and on
+//     restart catch up from the committed-effect log via anti-entropy before serving
+//     clients again. Periodic anti-entropy also heals deliveries that exhausted their
+//     retries, and a final quiescence sync closes any remaining gaps before the
+//     convergence check.
 #ifndef SRC_REPL_SIMULATOR_H_
 #define SRC_REPL_SIMULATOR_H_
 
@@ -23,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "src/repl/fault.h"
 #include "src/repl/workload.h"
 #include "src/soir/interp.h"
 
@@ -43,6 +61,15 @@ class ConflictTable {
   bool total_ = false;
 };
 
+// Conservative endpoint-level conflict table from syntactic footprints: two endpoints
+// conflict when one writes a model the other touches, or when they touch a common
+// relation. This over-approximates the verifier's restriction set lifted to endpoints
+// (the verifier's independence pre-filter proves exactly the complement disjoint), so it
+// is always safe to coordinate with; the chaos harness uses it for apps whose full SMT
+// verification is too slow for a unit test.
+ConflictTable ConservativeConflicts(const soir::Schema& schema,
+                                    const std::vector<soir::CodePath>& paths);
+
 struct SimOptions {
   int num_sites = 3;
   int clients_per_site = 8;
@@ -54,15 +81,56 @@ struct SimOptions {
   bool strong_consistency = false;
   int seed_rows_per_model = 10;
   uint64_t seed = 42;
+
+  // --- Fault injection & recovery protocol (ignored when `faults.IsZero()`) ------------
+  FaultPlan faults;                    // what goes wrong; default: perfect network
+  double retry_timeout_ms = 6.0;       // initial retransmission timeout
+  double retry_backoff = 2.0;          // timeout multiplier per attempt
+  double retry_timeout_cap_ms = 48.0;  // backoff ceiling
+  int max_retries = 10;                // retransmissions per message before giving up
+  double anti_entropy_interval_ms = 25.0;  // per-replica background sync period
+  double crash_lease_ms = 30.0;  // failure-detection delay before the coordinator evicts
+                                 // grants held by a crashed replica's requests
+  double drain_grace_ms = 300.0;  // no new transmissions after duration + grace, so the
+                                  // event queue quiesces even under persistent faults
 };
 
+// Counter definitions (the accounting contract relied on by tests and benches):
+//   * completed_requests — requests that finished at their origin: committed ones plus
+//     guard failures. The throughput basis.
+//   * aborted_requests — the guard-failure (HTTP 4xx) subset of completed_requests.
+//     Their latency is EXCLUDED from avg/p99_latency_ms: the latency statistics describe
+//     successful responses only, so an abort-heavy workload cannot silently skew them.
+//   * timed_out_requests / crash_lost_requests — requests that never completed (admission
+//     retries exhausted, or in flight on a replica when it crashed). Disjoint from
+//     completed_requests.
 struct SimResult {
   uint64_t completed_requests = 0;
   uint64_t committed_writes = 0;
   uint64_t aborted_requests = 0;  // guard failures (HTTP 4xx)
   double duration_ms = 0;
-  double avg_latency_ms = 0;
+  double avg_latency_ms = 0;  // mean user-perceived latency of successful requests
+  double p99_latency_ms = 0;  // 99th percentile of the same distribution
   bool converged = false;  // replicas reached the same state after quiescence
+
+  // --- Fault / recovery counters (all zero on the perfect-network fast path) -----------
+  uint64_t timed_out_requests = 0;   // gave up after max_retries admission attempts
+  uint64_t crash_lost_requests = 0;  // in-flight requests killed by a replica crash
+  uint64_t messages_sent = 0;        // transmissions, including retries and dup copies
+  uint64_t messages_dropped = 0;     // lost to link faults, outages, or down replicas
+  uint64_t messages_duplicated = 0;  // extra copies created by faulty links
+  uint64_t retransmissions = 0;      // timeout-driven resends
+  uint64_t duplicates_ignored = 0;   // deliveries discarded by op-id / seq-number dedup
+  uint64_t effect_gaps_buffered = 0; // out-of-order effects parked by the apply queue
+  uint64_t effects_replayed = 0;     // effects applied via anti-entropy / catch-up sync
+  uint64_t ack_giveups = 0;          // per-replica effect delivery abandoned (crash)
+  uint64_t replica_crashes = 0;
+  uint64_t replica_recoveries = 0;
+  // Omniscient safety check, independent of the coordinator's own bookkeeping: the
+  // number of conflicting operation pairs whose [grant, release) windows overlapped.
+  // Must be zero — a non-zero value means the protocol let restriction-set-conflicting
+  // operations run concurrently.
+  uint64_t conflict_violations = 0;
 
   double ThroughputOpsPerSec() const {
     return duration_ms > 0 ? completed_requests / (duration_ms / 1000.0) : 0;

@@ -6,6 +6,7 @@
 #ifndef SRC_SUPPORT_RNG_H_
 #define SRC_SUPPORT_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,22 @@ class Rng {
 
   // Returns true with the given probability.
   bool Chance(double p) { return NextDouble() < p; }
+
+  // Uniform real in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    NOCTUA_CHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Exponentially distributed real with the given mean (inverse-CDF sampling). Models
+  // heavy-tailed latency spikes in the fault-injection layer. mean <= 0 yields 0.
+  double NextExponential(double mean) {
+    if (mean <= 0) {
+      return 0;
+    }
+    // 1 - NextDouble() is in (0, 1], so the log argument never hits zero.
+    return -mean * std::log(1.0 - NextDouble());
+  }
 
   template <typename T>
   const T& Pick(const std::vector<T>& items) {

@@ -71,14 +71,20 @@ std::string RestrictionReport::ToString() const {
 
 RestrictionReport AnalyzeRestrictions(const soir::Schema& schema,
                                       const std::vector<soir::CodePath>& paths,
-                                      const CheckerOptions& options) {
+                                      const CheckerOptions& options,
+                                      const std::vector<soir::CodePath>& observers) {
   Stopwatch watch;
   Checker checker(schema, options);
 
   // Models whose insertion order any operation observes: their relative order is part of
   // state equality app-wide (a divergent order would be visible to those operations).
+  // Read-only `observers` contribute here without being pair-checked themselves.
   std::set<int> order_models;
   for (const soir::CodePath& p : paths) {
+    std::set<int> m = Encoder::OrderRelevantModels(p);
+    order_models.insert(m.begin(), m.end());
+  }
+  for (const soir::CodePath& p : observers) {
     std::set<int> m = Encoder::OrderRelevantModels(p);
     order_models.insert(m.begin(), m.end());
   }

@@ -44,9 +44,17 @@ struct RestrictionReport {
 // Runs both rules over every unordered pair of `paths` (which should be the effectful
 // paths of one application). Models whose insertion order is observed by *any* of the
 // paths are compared order-sensitively in every commutativity check.
+//
+// `observers` holds additional paths that are NOT checked pairwise but whose order
+// observations still count: a read-only endpoint that renders a model in insertion
+// order makes that order part of app-wide state equality, so two writes that insert
+// into the model must not be declared commutative merely because no *effectful* path
+// looks at the order. Callers assembling a deployment restriction set should pass the
+// application's full path list here; omitting it reproduces the narrower analysis.
 RestrictionReport AnalyzeRestrictions(const soir::Schema& schema,
                                       const std::vector<soir::CodePath>& paths,
-                                      const CheckerOptions& options = {});
+                                      const CheckerOptions& options = {},
+                                      const std::vector<soir::CodePath>& observers = {});
 
 }  // namespace noctua::verifier
 

@@ -33,6 +33,44 @@ TEST(ConflictTableTest, SymmetricLookup) {
   EXPECT_TRUE(t.Conflicts("a", "c"));
 }
 
+TEST(ConflictTableTest, SymmetryHoldsForEveryInsertionOrder) {
+  ConflictTable forward;
+  forward.AddPair("x", "y");
+  ConflictTable backward;
+  backward.AddPair("y", "x");
+  for (const ConflictTable* t : {&forward, &backward}) {
+    EXPECT_TRUE(t->Conflicts("x", "y"));
+    EXPECT_TRUE(t->Conflicts("y", "x"));
+  }
+  EXPECT_EQ(forward.size(), 1u);
+  EXPECT_EQ(backward.size(), 1u);
+}
+
+TEST(ConflictTableTest, SelfConflictPairs) {
+  ConflictTable t;
+  t.AddPair("deposit", "deposit");
+  EXPECT_TRUE(t.Conflicts("deposit", "deposit"));
+  EXPECT_FALSE(t.Conflicts("balance", "balance"));
+  EXPECT_FALSE(t.Conflicts("deposit", "balance"));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ConflictTableTest, SetTotalOverridesThePairSet) {
+  ConflictTable t;
+  t.AddPair("a", "b");
+  t.SetTotal(true);
+  EXPECT_TRUE(t.total());
+  // Total mode: everything conflicts, including pairs never added.
+  EXPECT_TRUE(t.Conflicts("p", "q"));
+  EXPECT_TRUE(t.Conflicts("p", "p"));
+  // Dropping total mode restores exactly the pair set.
+  t.SetTotal(false);
+  EXPECT_FALSE(t.total());
+  EXPECT_TRUE(t.Conflicts("a", "b"));
+  EXPECT_FALSE(t.Conflicts("p", "q"));
+  EXPECT_FALSE(t.Conflicts("p", "p"));
+}
+
 TEST(WorkloadTest, RespectsWriteRatio) {
   app::App a = apps::MakeSmallBankApp();
   auto res = analyzer::AnalyzeApp(a);
