@@ -25,8 +25,10 @@ int main() {
     }
   }
 
-  verifier::Checker checker(a.schema(), {});
-  verifier::CheckerOptions no_uid;
+  // One baseline checker; the ablated one is derived from its options with exactly the
+  // studied flag flipped, so the two configurations cannot silently diverge elsewhere.
+  verifier::Checker checker(a.schema());
+  verifier::CheckerOptions no_uid = checker.options();
   no_uid.encoder.unique_id_optimization = false;
   verifier::Checker checker_no_uid(a.schema(), no_uid);
 

@@ -12,24 +12,19 @@
 #include <string>
 #include <vector>
 
-#include "src/analyzer/analyzer.h"
 #include "src/apps/smallbank.h"
+#include "src/pipeline/pipeline.h"
 #include "src/repl/simulator.h"
 #include "src/support/strings.h"
-#include "src/verifier/report.h"
 
 int main() {
   using namespace noctua;
   app::App bank = apps::MakeSmallBankApp();
-  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(bank);
-  auto effectful = analysis.EffectfulPaths();
-  verifier::RestrictionReport report =
-      verifier::AnalyzeRestrictions(bank.schema(), effectful, {});
+  PipelineResult pipeline = Pipeline::Run(bank);
+  const analyzer::AnalysisResult& analysis = pipeline.analysis;
   repl::ConflictTable conflicts;
-  for (const auto& v : report.pairs) {
-    if (v.Restricted()) {
-      conflicts.AddPair(v.p.substr(0, v.p.find('#')), v.q.substr(0, v.q.find('#')));
-    }
+  for (const auto& [p, q] : pipeline.restrictions.RestrictedViewPairs()) {
+    conflicts.AddPair(p, q);
   }
 
   const std::vector<double> kDropRates = {0.0, 0.01, 0.02, 0.05, 0.1, 0.2};

@@ -8,6 +8,7 @@
 #include "bench/bench_util.h"
 #include "src/apps/postgraduation.h"
 #include "src/apps/zhihu.h"
+#include "src/pipeline/pipeline.h"
 #include "src/repl/simulator.h"
 #include "src/support/strings.h"
 #include "src/support/table.h"
@@ -37,16 +38,12 @@ int main() {
   cases.push_back({"PG (postgraduation)", apps::MakePostGraduationApp()});
 
   for (AppCase& c : cases) {
-    analyzer::AnalysisResult res = analyzer::AnalyzeApp(c.app);
-    auto eff = res.EffectfulPaths();
     fprintf(stderr, "[fig10] computing restriction set for %s...\n", c.label);
-    verifier::RestrictionReport report =
-        verifier::AnalyzeRestrictions(c.app.schema(), eff, {});
+    PipelineResult pipeline = Pipeline::Run(c.app);
+    const analyzer::AnalysisResult& res = pipeline.analysis;
     repl::ConflictTable conflicts;
-    for (const auto& v : report.pairs) {
-      if (v.Restricted()) {
-        conflicts.AddPair(v.p.substr(0, v.p.find('#')), v.q.substr(0, v.q.find('#')));
-      }
+    for (const auto& [p, q] : pipeline.restrictions.RestrictedViewPairs()) {
+      conflicts.AddPair(p, q);
     }
     std::vector<std::string> tput_row = {c.label};
     std::vector<std::string> lat_row = {c.label};

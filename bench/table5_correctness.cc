@@ -7,6 +7,7 @@
 #include "src/apps/courseware.h"
 #include "src/apps/smallbank.h"
 #include "src/baseline/specs.h"
+#include "src/pipeline/pipeline.h"
 #include "src/support/table.h"
 
 int main() {
@@ -33,11 +34,11 @@ int main() {
   }
 
   for (Case& c : cases) {
-    analyzer::AnalysisResult res = analyzer::AnalyzeApp(c.app);
-    verifier::RestrictionReport noctua_report =
-        verifier::AnalyzeRestrictions(c.app.schema(), res.EffectfulPaths(), {});
+    // The Noctua column runs the full pipeline; the baseline column verifies the
+    // hand-written spec paths with the same checker configuration.
+    verifier::RestrictionReport noctua_report = Pipeline::Run(c.app).restrictions;
     verifier::RestrictionReport base_report =
-        verifier::AnalyzeRestrictions(c.app.schema(), c.spec, {});
+        verifier::AnalyzeRestrictions(verifier::Checker(c.app.schema()), c.spec);
     table.AddRow({c.name, std::to_string(noctua_report.com_failures()),
                   std::to_string(base_report.com_failures()),
                   std::to_string(noctua_report.sem_failures()),

@@ -5,6 +5,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/apps.h"
+#include "src/pipeline/pipeline.h"
 #include "src/support/strings.h"
 #include "src/support/table.h"
 
@@ -13,24 +14,23 @@ int main() {
   printf("== Table 6: overall verification results (4 real-world apps) ==\n");
   printf("== Figure 8: verification times ==\n\n");
   TextTable table({"Application", "#Checks", "#Restr.", "Com. fail", "Sem. fail",
-                   "Verify (s)", "#Paths"});
+                   "Verify (s)", "#Paths", "Cache hit%"});
   std::vector<std::pair<std::string, double>> fig8;
   for (const auto& entry : apps::EvaluatedApps()) {
     if (entry.name == "SmallBank" || entry.name == "Courseware") {
       continue;  // Table 6 covers the four real codebases
     }
     app::App a = entry.make();
-    analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
-    auto eff = res.EffectfulPaths();
-    fprintf(stderr, "[table6] verifying %s (%zu effectful paths)...\n", entry.name.c_str(),
-            eff.size());
-    verifier::RestrictionReport report =
-        verifier::AnalyzeRestrictions(a.schema(), eff, {});
+    fprintf(stderr, "[table6] verifying %s...\n", entry.name.c_str());
+    PipelineResult result = Pipeline::Run(a);
+    const verifier::RestrictionReport& report = result.restrictions;
     table.AddRow({entry.name, std::to_string(report.num_checks()),
                   std::to_string(report.num_restrictions()),
                   std::to_string(report.com_failures()),
                   std::to_string(report.sem_failures()),
-                  FormatDouble(report.total_seconds, 2), std::to_string(eff.size())});
+                  FormatDouble(report.total_seconds, 2),
+                  std::to_string(result.analysis.num_effectful),
+                  FormatDouble(100 * report.stats.CacheHitRate(), 1)});
     fig8.emplace_back(entry.name, report.total_seconds);
   }
   printf("%s\n", table.Render().c_str());

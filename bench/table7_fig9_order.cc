@@ -6,6 +6,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/postgraduation.h"
+#include "src/pipeline/pipeline.h"
 #include "src/support/strings.h"
 #include "src/support/table.h"
 
@@ -13,16 +14,17 @@ int main() {
   using namespace noctua;
   printf("== Table 7 / Figure 9: PostGraduation with order enabled vs disabled ==\n\n");
   app::App a = apps::MakePostGraduationApp();
-  analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
-  auto eff = res.EffectfulPaths();
 
-  verifier::CheckerOptions with_order;
-  with_order.encoder.use_order = true;
-  verifier::CheckerOptions no_order;
-  no_order.encoder.use_order = false;
+  // One analysis, verified twice: the default (order-aware) encoding, then the same
+  // paths with the order encoding disabled.
+  PipelineOptions with_order;
+  with_order.checker.encoder.use_order = true;
+  PipelineOptions no_order;
+  no_order.checker.encoder.use_order = false;
 
-  verifier::RestrictionReport has = verifier::AnalyzeRestrictions(a.schema(), eff, with_order);
-  verifier::RestrictionReport without = verifier::AnalyzeRestrictions(a.schema(), eff, no_order);
+  PipelineResult run = Pipeline::Run(a, with_order);
+  const verifier::RestrictionReport& has = run.restrictions;
+  verifier::RestrictionReport without = Pipeline::Verify(a, run.analysis, no_order);
 
   TextTable table({"", "Has order", "No order"});
   table.AddRow({"#Com. failures", std::to_string(has.com_failures()),

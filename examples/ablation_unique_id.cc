@@ -3,24 +3,20 @@
 // unique. Without it, every insert conflicts with itself.
 #include <cstdio>
 
-#include "src/analyzer/analyzer.h"
 #include "src/apps/courseware.h"
-#include "src/verifier/report.h"
+#include "src/pipeline/pipeline.h"
 
 int main() {
   using namespace noctua;
   app::App a = apps::MakeCoursewareApp();
-  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(a);
-  auto effectful = analysis.EffectfulPaths();
 
-  verifier::CheckerOptions with_uid;    // default: optimization on
-  verifier::CheckerOptions without_uid;
-  without_uid.encoder.unique_id_optimization = false;
-
-  verifier::RestrictionReport on = verifier::AnalyzeRestrictions(a.schema(), effectful,
-                                                                 with_uid);
-  verifier::RestrictionReport off = verifier::AnalyzeRestrictions(a.schema(), effectful,
-                                                                  without_uid);
+  // Analyze once and verify with the default options (optimization on), then re-verify
+  // the same analysis with the single flag flipped.
+  PipelineResult with_uid = Pipeline::Run(a);
+  PipelineOptions ablated;
+  ablated.checker.encoder.unique_id_optimization = false;
+  verifier::RestrictionReport off = Pipeline::Verify(a, with_uid.analysis, ablated);
+  const verifier::RestrictionReport& on = with_uid.restrictions;
 
   printf("Courseware restrictions WITH the unique-ID assertion (%zu):\n",
          on.num_restrictions());

@@ -8,9 +8,8 @@
 // stale ones.
 #include <cstdio>
 
-#include "src/analyzer/analyzer.h"
+#include "src/pipeline/pipeline.h"
 #include "src/soir/printer.h"
-#include "src/verifier/report.h"
 
 int main() {
   using namespace noctua;
@@ -72,15 +71,13 @@ int main() {
     open.update_each("priority", [](SymObj t) { return t.attr("priority") + 1; });
   });
 
-  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(app);
-  printf("=== %zu code paths ===\n\n", analysis.num_code_paths);
-  for (const auto& path : analysis.paths) {
+  PipelineResult result = Pipeline::Run(app);
+  printf("=== %zu code paths ===\n\n", result.analysis.num_code_paths);
+  for (const auto& path : result.analysis.paths) {
     printf("%s\n", soir::PrintCodePath(app.schema(), path).c_str());
   }
 
-  verifier::RestrictionReport report =
-      verifier::AnalyzeRestrictions(app.schema(), analysis.EffectfulPaths(), {});
-  printf("=== Restriction set ===\n%s", report.ToString().c_str());
+  printf("=== Restriction set ===\n%s", result.restrictions.ToString().c_str());
   printf("\nReading the result: claim_ticket conflicts with itself (two agents claiming\n"
          "the same open ticket both see status == \"open\"), while open_ticket commutes\n"
          "with everything thanks to database-generated unique IDs.\n");

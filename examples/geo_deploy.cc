@@ -5,30 +5,25 @@
 // coordinator outage — to show the recovery protocol keeping the same safety guarantees.
 #include <cstdio>
 
-#include "src/analyzer/analyzer.h"
 #include "src/apps/smallbank.h"
+#include "src/pipeline/pipeline.h"
 #include "src/repl/simulator.h"
-#include "src/verifier/report.h"
 
 int main() {
   using namespace noctua;
 
   app::App bank = apps::MakeSmallBankApp();
-  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(bank);
-  auto effectful = analysis.EffectfulPaths();
 
-  // Compute the PoR restriction set with the verifier.
-  verifier::RestrictionReport report =
-      verifier::AnalyzeRestrictions(bank.schema(), effectful, {});
+  // One call: analysis plus the PoR restriction set.
+  PipelineResult result = Pipeline::Run(bank);
+  const analyzer::AnalysisResult& analysis = result.analysis;
+  const verifier::RestrictionReport& report = result.restrictions;
+
   repl::ConflictTable conflicts;
   printf("Restriction set:\n");
-  for (const auto& v : report.pairs) {
-    if (v.Restricted()) {
-      std::string p = v.p.substr(0, v.p.find('#'));
-      std::string q = v.q.substr(0, v.q.find('#'));
-      conflicts.AddPair(p, q);
-      printf("  (%s, %s)\n", p.c_str(), q.c_str());
-    }
+  for (const auto& [p, q] : report.RestrictedViewPairs()) {
+    conflicts.AddPair(p, q);
+    printf("  (%s, %s)\n", p.c_str(), q.c_str());
   }
 
   // Deploy on 3 sites, 1 ms cross-site latency, 30% writes.

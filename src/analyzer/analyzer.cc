@@ -9,11 +9,13 @@
 
 namespace noctua::analyzer {
 
-std::vector<soir::CodePath> AnalysisResult::EffectfulPaths() const {
-  std::vector<soir::CodePath> out;
-  std::copy_if(paths.begin(), paths.end(), std::back_inserter(out),
-               [](const soir::CodePath& p) { return p.IsEffectful(); });
-  return out;
+const std::vector<soir::CodePath>& AnalysisResult::EffectfulPaths() const {
+  if (!effectful_cached_) {
+    std::copy_if(paths.begin(), paths.end(), std::back_inserter(effectful_cache_),
+                 [](const soir::CodePath& p) { return p.IsEffectful(); });
+    effectful_cached_ = true;
+  }
+  return effectful_cache_;
 }
 
 void AnalyzeView(const soir::Schema& schema, const app::View& view,

@@ -26,7 +26,14 @@ struct AnalysisResult {
   size_t num_effectful = 0;   // paths with at least one non-guard command
   double seconds = 0;
 
-  std::vector<soir::CodePath> EffectfulPaths() const;
+  // The effectful subset of `paths`, computed on first call and cached (benches call
+  // this inside timing loops). Invalidated by nothing: results are treated as immutable
+  // once analysis finishes. Not safe to call concurrently with the first call.
+  const std::vector<soir::CodePath>& EffectfulPaths() const;
+
+ private:
+  mutable std::vector<soir::CodePath> effectful_cache_;
+  mutable bool effectful_cached_ = false;
 };
 
 // Analyzes a single view function (Fig. 5 AnalyzeFunc). Appends to `result`.

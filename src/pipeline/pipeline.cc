@@ -1,0 +1,29 @@
+#include "src/pipeline/pipeline.h"
+
+#include "src/support/stopwatch.h"
+
+namespace noctua {
+
+verifier::RestrictionReport Pipeline::Verify(const app::App& app,
+                                             const analyzer::AnalysisResult& analysis,
+                                             const PipelineOptions& options) {
+  verifier::Checker checker(app.schema(), options.checker);
+  static const std::vector<soir::CodePath> kNoObservers;
+  const std::vector<soir::CodePath>& observers =
+      options.order_observers ? analysis.paths : kNoObservers;
+  return verifier::AnalyzeRestrictions(checker, analysis.EffectfulPaths(), options.parallel,
+                                       observers);
+}
+
+PipelineResult Pipeline::Run(const app::App& app, const PipelineOptions& options) {
+  Stopwatch watch;
+  PipelineResult result;
+  result.analysis = analyzer::AnalyzeApp(app, options.analyzer);
+  if (options.verify) {
+    result.restrictions = Verify(app, result.analysis, options);
+  }
+  result.total_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace noctua

@@ -1,0 +1,56 @@
+// The one-call entry point to Noctua's end-to-end analysis: ANALYZER (explore every
+// view function's code paths into SOIR) followed by VERIFIER (check every unordered
+// pair of effectful paths and assemble the restriction set).
+//
+// Before this facade, every bench and example hand-rolled the same three-step dance —
+// AnalyzeApp, EffectfulPaths, AnalyzeRestrictions — each with its own copies of the
+// option structs (sometimes divergent copies of the same options). Pipeline::Run owns
+// the plumbing; callers state what they want checked (PipelineOptions) and read one
+// result.
+#ifndef SRC_PIPELINE_PIPELINE_H_
+#define SRC_PIPELINE_PIPELINE_H_
+
+#include "src/analyzer/analyzer.h"
+#include "src/app/app.h"
+#include "src/verifier/report.h"
+
+namespace noctua {
+
+struct PipelineOptions {
+  analyzer::AnalyzerOptions analyzer;
+  verifier::CheckerOptions checker;
+  verifier::ParallelOptions parallel;
+
+  // Run the verifier stage; when false the result carries the analysis only (e.g. the
+  // analyzer-scaling benchmarks).
+  bool verify = true;
+  // Pass the app's full path list (including read-only paths) as order observers, so an
+  // insertion order rendered by a read-only endpoint still counts toward app-wide state
+  // equality. Off by default: the paper's tables are computed from the effectful paths
+  // alone; deployment harnesses (e.g. the chaos suite) opt in.
+  bool order_observers = false;
+};
+
+struct PipelineResult {
+  analyzer::AnalysisResult analysis;
+  verifier::RestrictionReport restrictions;
+  double total_seconds = 0;
+
+  const verifier::ReportStats& stats() const { return restrictions.stats; }
+};
+
+class Pipeline {
+ public:
+  // Analyzes and verifies `app` in one call.
+  static PipelineResult Run(const app::App& app, const PipelineOptions& options = {});
+
+  // Verifier stage only, for callers that already hold an analysis (e.g. ablations
+  // re-checking the same paths under different checker options).
+  static verifier::RestrictionReport Verify(const app::App& app,
+                                            const analyzer::AnalysisResult& analysis,
+                                            const PipelineOptions& options = {});
+};
+
+}  // namespace noctua
+
+#endif  // SRC_PIPELINE_PIPELINE_H_

@@ -207,7 +207,7 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
   Stopwatch watch;
   stats_ = SolverStats{};
   model_.values.clear();
-  Deadline deadline = options_.timeout_seconds > 0
+  Deadline deadline = options_.timeout_seconds > 0 && !options_.deterministic_budget
                           ? Deadline::AfterSeconds(options_.timeout_seconds)
                           : Deadline::Never();
 

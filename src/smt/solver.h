@@ -61,6 +61,11 @@ struct SolverOptions {
   int max_int_domain = 8;
   int max_string_domain = 6;
   uint64_t max_nodes = 50'000'000;
+  // Bound the search by max_nodes only, ignoring the wall-clock timeout. The search is
+  // deterministic given the term DAG, so with this set the solver's verdict is too —
+  // independent of machine speed, CPU contention, or how many verification workers run
+  // alongside. Used by tests that assert byte-identical verdicts across thread counts.
+  bool deterministic_budget = false;
 };
 
 class Solver {

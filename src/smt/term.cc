@@ -119,7 +119,12 @@ std::string TermData::ToString() const {
   }
 }
 
-TermFactory::TermFactory() = default;
+TermFactory::TermFactory() {
+  // A typical verification query interns a few thousand terms; reserving up front saves
+  // the rehash/reallocation churn on every check (factories are created per check).
+  buckets_.reserve(4096);
+  all_terms_.reserve(4096);
+}
 TermFactory::~TermFactory() = default;
 
 Term TermFactory::Intern(TermKind kind, Sort sort, std::vector<Term> children,

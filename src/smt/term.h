@@ -125,7 +125,13 @@ class TermData {
   uint64_t id_ = 0;  // creation index, used for deterministic ordering
 };
 
-// Builds, interns and owns terms. Not thread-safe; each verification job owns one.
+// Builds, interns and owns terms.
+//
+// Threading contract: a TermFactory is NOT thread-safe and is never shared. Each
+// verification check constructs its own factory (and Encoder and Solver on top of it),
+// so concurrent verification workers are lock-free by construction — hash-consing state,
+// term ids, and the interning table are all worker-private. Term ids are creation
+// indices, so two workers building isomorphic queries produce identically-shaped DAGs.
 class TermFactory {
  public:
   TermFactory();

@@ -1,0 +1,171 @@
+#include "src/support/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace noctua {
+
+// One ParallelFor invocation: per-participant deques plus completion accounting.
+// Participant 0 is the calling thread; worker w uses slot w + 1.
+struct ThreadPool::Batch {
+  struct Queue {
+    std::mutex mu;
+    std::deque<size_t> q;
+  };
+
+  const std::function<void(size_t)>* fn = nullptr;
+  std::vector<std::unique_ptr<Queue>> queues;
+  std::atomic<size_t> remaining{0};      // tasks not yet finished
+  std::atomic<int> active_workers{0};    // pool workers currently draining this batch
+
+  // Pop from the front of one's own deque; steal from the back of a victim's otherwise.
+  // Owners and thieves take opposite ends, so a worker keeps the cheap (earlier-
+  // scheduled) tasks it was dealt and thieves take the most recently dealt ones.
+  bool Pop(size_t self, size_t* out) {
+    {
+      Queue& mine = *queues[self];
+      std::lock_guard<std::mutex> lk(mine.mu);
+      if (!mine.q.empty()) {
+        *out = mine.q.front();
+        mine.q.pop_front();
+        return true;
+      }
+    }
+    for (size_t k = 1; k < queues.size(); ++k) {
+      Queue& victim = *queues[(self + k) % queues.size()];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.q.empty()) {
+        *out = victim.q.back();
+        victim.q.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("NOCTUA_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::StartWorkers() {
+  if (started_ || threads_ <= 1) {
+    return;
+  }
+  started_ = true;
+  workers_.reserve(threads_ - 1);
+  for (int w = 0; w < threads_ - 1; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(static_cast<size_t>(w)); });
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t last_seen = 0;
+  for (;;) {
+    Batch* b;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || (batch_ != nullptr && batch_seq_ != last_seen); });
+      if (shutdown_) {
+        return;
+      }
+      b = batch_;
+      last_seen = batch_seq_;
+      // Attach under the lock: ParallelFor only destroys the batch after observing
+      // (remaining == 0 && active_workers == 0) under this same lock and unpublishing it.
+      b->active_workers.fetch_add(1, std::memory_order_relaxed);
+    }
+    size_t idx;
+    while (b->Pop(worker_index + 1, &idx)) {
+      (*b->fn)(idx);
+      if (b->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mu_);
+        done_cv_.notify_all();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      b->active_workers.fetch_sub(1, std::memory_order_acq_rel);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const std::vector<size_t>* order) {
+  if (n == 0) {
+    return;
+  }
+  if (threads_ <= 1 || n == 1) {
+    // Serial fast path: no threads, no queues — the deterministic baseline.
+    if (order != nullptr) {
+      for (size_t k = 0; k < n; ++k) {
+        fn((*order)[k]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        fn(i);
+      }
+    }
+    return;
+  }
+  StartWorkers();
+
+  Batch b;
+  b.fn = &fn;
+  b.remaining.store(n, std::memory_order_relaxed);
+  size_t participants = static_cast<size_t>(threads_);
+  b.queues.reserve(participants);
+  for (size_t p = 0; p < participants; ++p) {
+    b.queues.push_back(std::make_unique<Batch::Queue>());
+  }
+  // Deal tasks round-robin in dispatch order: task k goes to participant k mod P, so the
+  // first P tasks of the (cheapest-first) order start simultaneously.
+  for (size_t k = 0; k < n; ++k) {
+    size_t idx = order != nullptr ? (*order)[k] : k;
+    b.queues[k % participants]->q.push_back(idx);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = &b;
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is participant 0.
+  size_t idx;
+  while (b.Pop(0, &idx)) {
+    fn(idx);
+    b.remaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return b.remaining.load(std::memory_order_acquire) == 0 &&
+           b.active_workers.load(std::memory_order_acquire) == 0;
+  });
+  batch_ = nullptr;  // unpublish before the stack frame (and Batch) dies
+}
+
+}  // namespace noctua

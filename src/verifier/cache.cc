@@ -1,0 +1,80 @@
+#include "src/verifier/cache.h"
+
+#include "src/soir/printer.h"
+#include "src/verifier/encoder.h"
+
+namespace noctua::verifier {
+
+std::optional<CheckOutcome> VerdictCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void VerdictCache::Insert(const std::string& key, CheckOutcome outcome) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  shard.map.emplace(key, outcome);
+}
+
+size_t VerdictCache::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(const_cast<Shard&>(s).mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+namespace {
+
+// Appends the order-membership vector: for each model the pair mentions (canonical
+// order), whether its insertion order participates in the encoding. Membership of
+// *unmentioned* models is irrelevant — they are projected out of the query.
+std::string OrderPart(const soir::CanonicalizationCtx& ctx, const std::set<int>& order_models) {
+  std::string out = "|ord:";
+  for (int m : ctx.models()) {
+    out += order_models.count(m) != 0 ? '1' : '0';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CommutativityKey(const soir::Schema& schema, const soir::CodePath& p,
+                             const soir::CodePath& q, const std::set<int>& order_models) {
+  soir::CanonicalizationCtx ctx(schema);
+  std::string key = "com|";
+  key += soir::CanonicalPath(schema, p, &ctx);
+  key += "|";
+  key += soir::CanonicalPath(schema, q, &ctx);
+  key += OrderPart(ctx, order_models);
+  key += "|";
+  key += ctx.SchemaSignature();
+  return key;
+}
+
+std::string NotInvalidateKey(const soir::Schema& schema, const soir::CodePath& p,
+                             const soir::CodePath& q) {
+  std::set<int> order = Encoder::OrderRelevantModels(p);
+  std::set<int> oq = Encoder::OrderRelevantModels(q);
+  order.insert(oq.begin(), oq.end());
+
+  soir::CanonicalizationCtx ctx(schema);
+  std::string key = "ni|";
+  key += soir::CanonicalPath(schema, p, &ctx);
+  key += "|";
+  key += soir::CanonicalPath(schema, q, &ctx);
+  key += OrderPart(ctx, order);
+  key += "|";
+  key += ctx.SchemaSignature();
+  return key;
+}
+
+}  // namespace noctua::verifier

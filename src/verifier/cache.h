@@ -1,0 +1,73 @@
+// Verdict cache for the verifier: maps a canonical fingerprint of a verification query
+// (rule + the pair's canonically-renamed paths + the schema fragment they touch + order
+// membership) to the solver's outcome.
+//
+// Two queries with equal fingerprints are isomorphic SMT problems — identical term DAGs
+// up to constant names, which the bounded model finder never interprets — so their
+// sat/unsat verdicts coincide and one solver run serves both. The evaluated apps are
+// full of such twins: viewsets stamp structurally identical endpoints onto every model,
+// and the semantic rule checks NotInvalidate(P, P) twice per self-pair.
+//
+// Thread-safety: sharded by key hash; lookups and inserts from concurrent verification
+// workers are safe. Two workers may race to compute the same fingerprint — both compute,
+// both insert the (equal) outcome; the cache trades that rare duplicated solver call for
+// never blocking a worker on another's multi-millisecond check.
+#ifndef SRC_VERIFIER_CACHE_H_
+#define SRC_VERIFIER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "src/soir/ast.h"
+#include "src/soir/schema.h"
+#include "src/verifier/checker.h"
+
+namespace noctua::verifier {
+
+class VerdictCache {
+ public:
+  VerdictCache() = default;
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  // Returns the cached outcome, counting a hit; nullopt counts a miss.
+  std::optional<CheckOutcome> Lookup(const std::string& key);
+  void Insert(const std::string& key, CheckOutcome outcome);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, CheckOutcome> map;
+  };
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+  }
+
+  Shard shards_[kShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+// Fingerprint of one commutativity query over the (ordered) pair (p, q) with the given
+// app-wide order-relevant model set.
+std::string CommutativityKey(const soir::Schema& schema, const soir::CodePath& p,
+                             const soir::CodePath& q, const std::set<int>& order_models);
+
+// Fingerprint of one NotInvalidate(p, q) query (directed). The checker derives order
+// models for this rule from the pair alone, and so does the key.
+std::string NotInvalidateKey(const soir::Schema& schema, const soir::CodePath& p,
+                             const soir::CodePath& q);
+
+}  // namespace noctua::verifier
+
+#endif  // SRC_VERIFIER_CACHE_H_

@@ -44,9 +44,84 @@ bool Checker::Independent(const soir::CodePath& p, const soir::CodePath& q) cons
   return true;
 }
 
+Checker::PairScope Checker::ComputeScope(const soir::CodePath& p,
+                                         const soir::CodePath& q) const {
+  PairScope s;
+  auto add_model = [&](int m) {
+    if (m >= 0) {
+      s.models.insert(m);
+    }
+  };
+  auto add_relation = [&](int r) {
+    if (r < 0 || !s.relations.insert(r).second) {
+      return;
+    }
+    // Endpoints of every active relation are active: referential-integrity axioms and
+    // traversal encodings mention both sides.
+    const soir::RelationDef& rel = schema_.relation(r);
+    add_model(rel.from_model);
+    add_model(rel.to_model);
+  };
+  auto add_path = [&](const soir::CodePath& path) {
+    for (const soir::ArgDef& a : path.args) {
+      add_model(a.type.model_id);  // unique-id axioms reference the arg's model state
+    }
+    soir::VisitExprs(path, [&](const soir::Expr& e) {
+      add_model(e.type.model_id);
+      for (const soir::RelStep& rs : e.rel_path) {
+        add_relation(rs.relation);
+      }
+    });
+    for (const soir::Command& cmd : path.commands) {
+      add_relation(cmd.relation);
+      if (cmd.kind == soir::CommandKind::kDelete) {
+        // Deletes rewrite every incident relation.
+        int m = cmd.a->type.model_id;
+        for (size_t r = 0; r < schema_.num_relations(); ++r) {
+          const soir::RelationDef& rel = schema_.relation(static_cast<int>(r));
+          if (rel.from_model == m || rel.to_model == m) {
+            add_relation(static_cast<int>(r));
+          }
+        }
+      }
+    }
+  };
+  add_path(p);
+  add_path(q);
+  return s;
+}
+
+void Checker::ApplyProjection(const soir::CodePath& p, const soir::CodePath& q,
+                              EncoderOptions* enc_options) const {
+  if (!options_.project_footprint) {
+    return;
+  }
+  PairScope scope = ComputeScope(p, q);
+  enc_options->project = true;
+  enc_options->active_models = std::move(scope.models);
+  enc_options->active_relations = std::move(scope.relations);
+}
+
+CheckOutcome Checker::WorseOutcome(CheckOutcome a, CheckOutcome b) {
+  auto severity = [](CheckOutcome o) {
+    switch (o) {
+      case CheckOutcome::kPass:
+        return 0;
+      case CheckOutcome::kFail:
+        return 1;
+      case CheckOutcome::kTimeout:
+        return 2;
+      case CheckOutcome::kUnsupported:
+        return 3;
+    }
+    return 3;
+  };
+  return severity(a) >= severity(b) ? a : b;
+}
+
 CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
                                 const std::vector<Term>& assertions, bool any_unsupported,
-                                CheckStats* stats) {
+                                CheckStats* stats) const {
   if (any_unsupported) {
     return CheckOutcome::kUnsupported;
   }
@@ -68,7 +143,7 @@ CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
 
 CheckOutcome Checker::CheckCommutativity(const soir::CodePath& p, const soir::CodePath& q,
                                          const std::set<int>* order_models,
-                                         CheckStats* stats) {
+                                         CheckStats* stats) const {
   Stopwatch watch;
   if (options_.independence_prefilter && Independent(p, q)) {
     if (stats != nullptr) {
@@ -90,6 +165,7 @@ CheckOutcome Checker::CheckCommutativity(const soir::CodePath& p, const soir::Co
   }
   EncoderOptions enc_options = options_.encoder;
   enc_options.order_models = order;
+  ApplyProjection(p, q, &enc_options);
 
   smt::TermFactory factory;
   Encoder enc(schema_, &factory, enc_options);
@@ -147,7 +223,7 @@ CheckOutcome Checker::CheckCommutativity(const soir::CodePath& p, const soir::Co
 }
 
 CheckOutcome Checker::CheckNotInvalidate(const soir::CodePath& p, const soir::CodePath& q,
-                                         CheckStats* stats) {
+                                         CheckStats* stats) const {
   Stopwatch watch;
   if (options_.independence_prefilter && Independent(p, q)) {
     if (stats != nullptr) {
@@ -164,6 +240,7 @@ CheckOutcome Checker::CheckNotInvalidate(const soir::CodePath& p, const soir::Co
     order.insert(oq.begin(), oq.end());
     enc_options.order_models = order;
   }
+  ApplyProjection(p, q, &enc_options);
   smt::TermFactory factory;
   Encoder enc(schema_, &factory, enc_options);
 
@@ -206,7 +283,7 @@ CheckOutcome Checker::CheckNotInvalidate(const soir::CodePath& p, const soir::Co
 }
 
 CheckOutcome Checker::CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
-                                    CheckStats* stats) {
+                                    CheckStats* stats) const {
   CheckStats s1, s2;
   CheckOutcome a = CheckNotInvalidate(p, q, &s1);
   CheckOutcome b = a == CheckOutcome::kPass ? CheckNotInvalidate(q, p, &s2)
@@ -217,20 +294,7 @@ CheckOutcome Checker::CheckSemantic(const soir::CodePath& p, const soir::CodePat
     stats->prefiltered = s1.prefiltered && s2.prefiltered;
   }
   // The worse of the two directions decides.
-  auto severity = [](CheckOutcome o) {
-    switch (o) {
-      case CheckOutcome::kPass:
-        return 0;
-      case CheckOutcome::kFail:
-        return 1;
-      case CheckOutcome::kTimeout:
-        return 2;
-      case CheckOutcome::kUnsupported:
-        return 3;
-    }
-    return 3;
-  };
-  return severity(a) >= severity(b) ? a : b;
+  return WorseOutcome(a, b);
 }
 
 }  // namespace noctua::verifier

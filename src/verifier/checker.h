@@ -40,41 +40,74 @@ struct CheckerOptions {
   // Assert replayed effects' preconditions on fresh origin states (paper §5.2); when
   // false, preconditions are asserted on the shared initial state (cheaper, stricter).
   bool fresh_origin_states = true;
+  // Project every query onto the pair's footprint closure: state constants and axioms
+  // are only materialized for models/relations the pair can actually reach. The dropped
+  // axioms are independently satisfiable, so verdicts are unchanged — but queries over
+  // a two-model corner of a 14-model schema shrink dramatically.
+  bool project_footprint = true;
 };
 
 struct CheckStats {
   double seconds = 0;
   uint64_t solver_nodes = 0;
   bool prefiltered = false;
+  bool cache_hit = false;  // verdict served by the report-level fingerprint cache
 };
 
 class Checker {
  public:
-  Checker(const soir::Schema& schema, CheckerOptions options)
+  Checker(const soir::Schema& schema, CheckerOptions options = {})
       : schema_(schema), options_(std::move(options)) {}
 
   const CheckerOptions& options() const { return options_; }
+  const soir::Schema& schema() const { return schema_; }
+
+  // A check is a pure function of (schema, options, pair): all methods are const and a
+  // single Checker may be shared by concurrent verification workers. Each check builds
+  // its own TermFactory/Encoder/Solver, so nothing mutable is shared.
 
   // Rule 1. `order_models` is the set of models whose relative order matters for state
   // equality (models whose insertion order is observed by any operation of the app);
   // pass nullptr to derive it from the pair alone.
   CheckOutcome CheckCommutativity(const soir::CodePath& p, const soir::CodePath& q,
                                   const std::set<int>* order_models = nullptr,
-                                  CheckStats* stats = nullptr);
+                                  CheckStats* stats = nullptr) const;
 
   // Rule 2, one direction: can Q's effect invalidate P's precondition?
   CheckOutcome CheckNotInvalidate(const soir::CodePath& p, const soir::CodePath& q,
-                                  CheckStats* stats = nullptr);
+                                  CheckStats* stats = nullptr) const;
 
   // Rule 2, both directions (the paper's semantic check).
   CheckOutcome CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
-                             CheckStats* stats = nullptr);
+                             CheckStats* stats = nullptr) const;
+
+  // True when the prefilter would retire this pair without a solver call (footprints
+  // provably disjoint). Exposed so the scheduler can retire such pairs first.
+  bool Prefilterable(const soir::CodePath& p, const soir::CodePath& q) const {
+    return options_.independence_prefilter && Independent(p, q);
+  }
+
+  // The pair's footprint closure: every model/relation either path can reach through
+  // expressions, commands, relation paths, argument types, relation endpoints, or
+  // delete-incident relations. This is what project_footprint materializes.
+  struct PairScope {
+    std::set<int> models;
+    std::set<int> relations;
+  };
+  PairScope ComputeScope(const soir::CodePath& p, const soir::CodePath& q) const;
+
+  // Severity order of outcomes (pass < fail < timeout < unsupported): the worse of two
+  // directions decides a semantic check.
+  static CheckOutcome WorseOutcome(CheckOutcome a, CheckOutcome b);
 
  private:
   // True when the two paths' footprints are disjoint, so both rules trivially pass.
   bool Independent(const soir::CodePath& p, const soir::CodePath& q) const;
   CheckOutcome RunSolver(smt::TermFactory& factory, const std::vector<smt::Term>& assertions,
-                         bool any_unsupported, CheckStats* stats);
+                         bool any_unsupported, CheckStats* stats) const;
+  // Applies project_footprint to a per-check encoder configuration.
+  void ApplyProjection(const soir::CodePath& p, const soir::CodePath& q,
+                       EncoderOptions* enc_options) const;
 
   const soir::Schema& schema_;
   CheckerOptions options_;

@@ -59,6 +59,9 @@ EncState Encoder::FreshState(const std::string& prefix) {
   EncState s;
   s.models.resize(schema_.num_models());
   for (size_t m = 0; m < schema_.num_models(); ++m) {
+    if (!options_.ModelActive(static_cast<int>(m))) {
+      continue;  // projected out: null terms, so accidental use fails loudly
+    }
     const std::string base = prefix + "_" + schema_.model(static_cast<int>(m)).name();
     s.models[m].ids = f_->Const(base + "_ids", smt::SetSort(ref_sorts_[m]));
     s.models[m].data = f_->Const(base + "_data", smt::ArraySort(ref_sorts_[m], obj_sorts_[m]));
@@ -67,10 +70,14 @@ EncState Encoder::FreshState(const std::string& prefix) {
             ? f_->Const(base + "_order", smt::ArraySort(ref_sorts_[m], smt::IntSort()))
             : nullptr;
   }
+  s.relations.resize(schema_.num_relations());
   for (size_t r = 0; r < schema_.num_relations(); ++r) {
-    s.relations.push_back(f_->Const(prefix + "_rel_" + schema_.relation(r).name + "_" +
-                                        std::to_string(r),
-                                    smt::SetSort(pair_sorts_[r])));
+    if (!options_.RelationActive(static_cast<int>(r))) {
+      continue;
+    }
+    s.relations[r] = f_->Const(prefix + "_rel_" + schema_.relation(r).name + "_" +
+                                   std::to_string(r),
+                               smt::SetSort(pair_sorts_[r]));
   }
   return s;
 }
@@ -78,6 +85,9 @@ EncState Encoder::FreshState(const std::string& prefix) {
 smt::Term Encoder::StateAxioms(const EncState& s) {
   std::vector<Term> axioms;
   for (size_t m = 0; m < schema_.num_models(); ++m) {
+    if (!options_.ModelActive(static_cast<int>(m))) {
+      continue;
+    }
     const EncModelState& ms = s.models[m];
     // Well-formedness: the pk stored in the tuple matches the index (§5.2).
     {
@@ -112,6 +122,9 @@ smt::Term Encoder::StateAxioms(const EncState& s) {
     }
   }
   for (size_t r = 0; r < schema_.num_relations(); ++r) {
+    if (!options_.RelationActive(static_cast<int>(r))) {
+      continue;
+    }
     const soir::RelationDef& rel = schema_.relation(static_cast<int>(r));
     // Referential integrity: associations connect live objects only. Under DO_NOTHING
     // the to side may dangle, so the axiom covers only the maintained direction.
@@ -656,6 +669,9 @@ smt::Term Encoder::StateEq(const EncState& a, const EncState& b,
                            const std::set<int>& order_models) {
   std::vector<Term> parts;
   for (size_t m = 0; m < schema_.num_models(); ++m) {
+    if (!options_.ModelActive(static_cast<int>(m))) {
+      continue;  // projected models are untouched by both sides: trivially equal
+    }
     parts.push_back(f_->SetEq(a.models[m].ids, b.models[m].ids));
     // Data must agree on live objects (dead slots are garbage and may differ).
     {
@@ -678,6 +694,9 @@ smt::Term Encoder::StateEq(const EncState& a, const EncState& b,
     }
   }
   for (size_t r = 0; r < schema_.num_relations(); ++r) {
+    if (!options_.RelationActive(static_cast<int>(r))) {
+      continue;
+    }
     parts.push_back(f_->SetEq(a.relations[r], b.relations[r]));
   }
   return f_->And(std::move(parts));

@@ -54,7 +54,20 @@ struct EncoderOptions {
   // order-relevant models.
   std::set<int> order_models;
 
+  // Footprint projection: when `project` is true, only the models/relations listed below
+  // are materialized — FreshState leaves other entries null and StateAxioms/StateEq skip
+  // them. The checker fills these with the pair's footprint closure (every model and
+  // relation either path can reach, plus relation endpoints and delete-incident
+  // relations). Sound because the dropped axioms constrain only atoms absent from every
+  // kept assertion and are independently satisfiable (choose empty relations and
+  // distinct data fields), so the projected query is equisatisfiable with the full one.
+  bool project = false;
+  std::set<int> active_models;
+  std::set<int> active_relations;
+
   bool OrderFor(int model) const { return use_order && order_models.count(model) != 0; }
+  bool ModelActive(int model) const { return !project || active_models.count(model) != 0; }
+  bool RelationActive(int rel) const { return !project || active_relations.count(rel) != 0; }
 };
 
 class Encoder {

@@ -1,7 +1,13 @@
 #include "src/verifier/report.h"
 
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
 #include "src/support/stopwatch.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
+#include "src/verifier/cache.h"
 
 namespace noctua::verifier {
 
@@ -55,6 +61,22 @@ std::vector<std::string> RestrictionReport::RestrictedPairNames() const {
   return out;
 }
 
+std::vector<std::pair<std::string, std::string>> RestrictionReport::RestrictedViewPairs()
+    const {
+  auto view_of = [](const std::string& op) { return op.substr(0, op.find('#')); };
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const PairVerdict& v : pairs) {
+    if (!v.Restricted()) {
+      continue;
+    }
+    std::pair<std::string, std::string> vp{view_of(v.p), view_of(v.q)};
+    if (std::find(out.begin(), out.end(), vp) == out.end()) {
+      out.push_back(std::move(vp));
+    }
+  }
+  return out;
+}
+
 std::string RestrictionReport::ToString() const {
   std::string out = "checks: " + std::to_string(num_checks()) +
                     ", restrictions: " + std::to_string(num_restrictions()) +
@@ -69,12 +91,33 @@ std::string RestrictionReport::ToString() const {
   return out;
 }
 
-RestrictionReport AnalyzeRestrictions(const soir::Schema& schema,
+namespace {
+
+// One unordered pair of path indices, with its scheduling estimate.
+struct PairJob {
+  size_t i = 0;
+  size_t j = 0;
+  bool prefiltered = false;
+  uint64_t cost = 0;
+};
+
+// A crude but monotone cost proxy: command count of both paths times the size of the
+// footprint closure the solver must reason about. Prefiltered pairs cost nothing.
+uint64_t EstimateCost(const Checker& checker, const soir::CodePath& p,
+                      const soir::CodePath& q) {
+  Checker::PairScope scope = checker.ComputeScope(p, q);
+  return static_cast<uint64_t>(p.commands.size() + q.commands.size()) *
+         static_cast<uint64_t>(1 + scope.models.size() + scope.relations.size());
+}
+
+}  // namespace
+
+RestrictionReport AnalyzeRestrictions(const Checker& checker,
                                       const std::vector<soir::CodePath>& paths,
-                                      const CheckerOptions& options,
+                                      const ParallelOptions& parallel,
                                       const std::vector<soir::CodePath>& observers) {
   Stopwatch watch;
-  Checker checker(schema, options);
+  const soir::Schema& schema = checker.schema();
 
   // Models whose insertion order any operation observes: their relative order is part of
   // state equality app-wide (a divergent order would be visible to those operations).
@@ -89,19 +132,114 @@ RestrictionReport AnalyzeRestrictions(const soir::Schema& schema,
     order_models.insert(m.begin(), m.end());
   }
 
-  RestrictionReport report;
+  // Enumerate pairs in the report's canonical (i, j >= i) order and estimate costs.
+  std::vector<PairJob> jobs;
+  jobs.reserve(paths.size() * (paths.size() + 1) / 2);
   for (size_t i = 0; i < paths.size(); ++i) {
     for (size_t j = i; j < paths.size(); ++j) {
-      PairVerdict v;
-      v.p = paths[i].op_name;
-      v.q = paths[j].op_name;
-      CheckStats cs, ss;
-      v.commutativity = checker.CheckCommutativity(paths[i], paths[j], &order_models, &cs);
-      v.semantic = checker.CheckSemantic(paths[i], paths[j], &ss);
-      v.com_seconds = cs.seconds;
-      v.sem_seconds = ss.seconds;
-      report.pairs.push_back(std::move(v));
+      PairJob job;
+      job.i = i;
+      job.j = j;
+      job.prefiltered = checker.Prefilterable(paths[i], paths[j]);
+      job.cost = job.prefiltered ? 0 : EstimateCost(checker, paths[i], paths[j]);
+      jobs.push_back(job);
     }
+  }
+
+  // Cheapest-first dispatch order (stable: ties keep report order). Results still land
+  // at their original index, so the schedule never shows in the output.
+  std::vector<size_t> dispatch(jobs.size());
+  std::iota(dispatch.begin(), dispatch.end(), size_t{0});
+  if (parallel.cheapest_first) {
+    std::stable_sort(dispatch.begin(), dispatch.end(),
+                     [&](size_t a, size_t b) { return jobs[a].cost < jobs[b].cost; });
+  }
+
+  VerdictCache cache;
+  const bool use_cache = parallel.cache;
+  std::atomic<uint64_t> prefiltered_count{0};
+  std::atomic<uint64_t> solver_checks{0};
+  std::atomic<uint64_t> solver_nodes{0};
+
+  RestrictionReport report;
+  report.pairs.resize(jobs.size());
+
+  // One solver-level query, answered from the verdict cache when an isomorphic query
+  // already ran. Both outcomes and cache contents are scheduling-independent: isomorphic
+  // queries have equal verdicts, so whichever worker computes first inserts the same
+  // answer every interleaving.
+  auto cached_query = [&](const std::function<std::string()>& key_fn, CheckStats* cs,
+                          const std::function<CheckOutcome(CheckStats*)>& compute) {
+    std::string key;
+    if (use_cache) {
+      key = key_fn();
+      if (auto hit = cache.Lookup(key)) {
+        cs->cache_hit = true;
+        return *hit;
+      }
+    }
+    CheckOutcome o = compute(cs);
+    solver_checks.fetch_add(1, std::memory_order_relaxed);
+    solver_nodes.fetch_add(cs->solver_nodes, std::memory_order_relaxed);
+    if (use_cache) {
+      cache.Insert(key, o);
+    }
+    return o;
+  };
+
+  auto run_job = [&](size_t k) {
+    const PairJob& job = jobs[k];
+    const soir::CodePath& p = paths[job.i];
+    const soir::CodePath& q = paths[job.j];
+    PairVerdict v;
+    v.p = p.op_name;
+    v.q = q.op_name;
+    if (job.prefiltered) {
+      v.prefiltered = true;
+      prefiltered_count.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Stopwatch com_watch;
+      CheckStats cs;
+      v.commutativity = cached_query(
+          [&] { return CommutativityKey(schema, p, q, order_models); }, &cs,
+          [&](CheckStats* st) { return checker.CheckCommutativity(p, q, &order_models, st); });
+      v.com_seconds = com_watch.ElapsedSeconds();
+      v.solver_nodes += cs.solver_nodes;
+      v.cache_hits += cs.cache_hit ? 1 : 0;
+
+      // The semantic rule, with each direction cached separately: NotInvalidate(P, P)
+      // appears twice in every self-pair, and viewset twins share both directions.
+      Stopwatch sem_watch;
+      CheckStats s1, s2;
+      CheckOutcome a =
+          cached_query([&] { return NotInvalidateKey(schema, p, q); }, &s1,
+                       [&](CheckStats* st) { return checker.CheckNotInvalidate(p, q, st); });
+      CheckOutcome b = CheckOutcome::kPass;
+      if (a == CheckOutcome::kPass) {
+        b = cached_query([&] { return NotInvalidateKey(schema, q, p); }, &s2,
+                         [&](CheckStats* st) { return checker.CheckNotInvalidate(q, p, st); });
+      }
+      v.semantic = Checker::WorseOutcome(a, b);
+      v.sem_seconds = sem_watch.ElapsedSeconds();
+      v.solver_nodes += s1.solver_nodes + s2.solver_nodes;
+      v.cache_hits += (s1.cache_hit ? 1 : 0) + (s2.cache_hit ? 1 : 0);
+    }
+    report.pairs[k] = std::move(v);
+  };
+
+  int threads = parallel.threads > 0 ? parallel.threads : ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+  pool.ParallelFor(jobs.size(), run_job, parallel.cheapest_first ? &dispatch : nullptr);
+
+  report.stats.threads_used = pool.threads();
+  report.stats.pairs = jobs.size();
+  report.stats.prefiltered = prefiltered_count.load();
+  report.stats.solver_checks = solver_checks.load();
+  report.stats.cache_hits = cache.hits();
+  report.stats.cache_misses = cache.misses();
+  report.stats.solver_nodes = solver_nodes.load();
+  for (const PairVerdict& v : report.pairs) {
+    report.stats.check_seconds += v.com_seconds + v.sem_seconds;
   }
   report.total_seconds = watch.ElapsedSeconds();
   return report;

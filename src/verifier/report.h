@@ -1,16 +1,37 @@
 // Restriction-set assembly: runs both checking rules over every unordered pair of
 // effectful code paths (including each path with itself) and aggregates the paper's
 // Table 5/6 statistics.
+//
+// The pair loop is parallel (work-stealing pool, per-worker term factories), cached
+// (canonical-fingerprint verdict cache shared across pairs), and scheduled cheapest
+// first (prefilter hits retire before expensive SMT pairs start). Results are written
+// into index-addressed slots, so the report's pair order — and every verdict in it — is
+// identical for any thread count.
 #ifndef SRC_VERIFIER_REPORT_H_
 #define SRC_VERIFIER_REPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/soir/ast.h"
 #include "src/verifier/checker.h"
 
 namespace noctua::verifier {
+
+// Execution knobs for AnalyzeRestrictions, orthogonal to what is checked
+// (CheckerOptions) — these change only how fast the same verdicts are produced.
+struct ParallelOptions {
+  // Degree of parallelism including the calling thread; 0 means the NOCTUA_THREADS
+  // environment variable if set, else the hardware concurrency. 1 runs the classic
+  // serial loop (no pool).
+  int threads = 0;
+  // Share solver verdicts between pairs whose queries are isomorphic up to renaming.
+  bool cache = true;
+  // Dispatch pairs cheapest-first (prefiltered pairs, then by footprint-size estimate).
+  bool cheapest_first = true;
+};
 
 struct PairVerdict {
   std::string p;
@@ -19,15 +40,36 @@ struct PairVerdict {
   CheckOutcome semantic = CheckOutcome::kPass;
   double com_seconds = 0;
   double sem_seconds = 0;
+  uint64_t solver_nodes = 0;  // nodes the solver explored for this pair (0 if cached)
+  bool prefiltered = false;   // retired by the independence prefilter, no solver run
+  uint8_t cache_hits = 0;     // verdicts of this pair served from the cache (0..3)
 
   bool Restricted() const {
     return OutcomeRestricts(commutativity) || OutcomeRestricts(semantic);
   }
 };
 
+// Aggregate execution statistics for one AnalyzeRestrictions run.
+struct ReportStats {
+  int threads_used = 1;
+  uint64_t pairs = 0;            // pairs examined
+  uint64_t prefiltered = 0;      // pairs retired by the independence prefilter
+  uint64_t solver_checks = 0;    // solver-level queries actually executed
+  uint64_t cache_hits = 0;       // queries answered from the verdict cache
+  uint64_t cache_misses = 0;     // cache lookups that went to the solver
+  uint64_t solver_nodes = 0;     // total search nodes across all executed queries
+  double check_seconds = 0;      // per-check wall time summed across workers
+
+  double CacheHitRate() const {
+    uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+  }
+};
+
 struct RestrictionReport {
   std::vector<PairVerdict> pairs;
   double total_seconds = 0;
+  ReportStats stats;
 
   size_t num_checks() const { return pairs.size(); }  // Table 6 "#Checks": pairs examined
   size_t num_restrictions() const;
@@ -38,6 +80,9 @@ struct RestrictionReport {
 
   // Names of restricted pairs, e.g. "(Amalgamate, SendPayment)".
   std::vector<std::string> RestrictedPairNames() const;
+  // Restricted pairs lifted to view level (op names up to '#'), deduplicated and in
+  // first-appearance order — the input for deployment conflict tables.
+  std::vector<std::pair<std::string, std::string>> RestrictedViewPairs() const;
   std::string ToString() const;
 };
 
@@ -45,15 +90,19 @@ struct RestrictionReport {
 // paths of one application). Models whose insertion order is observed by *any* of the
 // paths are compared order-sensitively in every commutativity check.
 //
+// The checker carries what to verify (schema + CheckerOptions); `parallel` carries how
+// to execute. A const Checker is shared by all workers — see checker.h for the
+// threading contract.
+//
 // `observers` holds additional paths that are NOT checked pairwise but whose order
 // observations still count: a read-only endpoint that renders a model in insertion
 // order makes that order part of app-wide state equality, so two writes that insert
 // into the model must not be declared commutative merely because no *effectful* path
 // looks at the order. Callers assembling a deployment restriction set should pass the
 // application's full path list here; omitting it reproduces the narrower analysis.
-RestrictionReport AnalyzeRestrictions(const soir::Schema& schema,
+RestrictionReport AnalyzeRestrictions(const Checker& checker,
                                       const std::vector<soir::CodePath>& paths,
-                                      const CheckerOptions& options = {},
+                                      const ParallelOptions& parallel = {},
                                       const std::vector<soir::CodePath>& observers = {});
 
 }  // namespace noctua::verifier

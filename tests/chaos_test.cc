@@ -50,8 +50,8 @@ ConflictTable ConflictsFor(const app::App& a, const std::string& name,
   // model in insertion order makes that order part of state equality, and under a
   // faulty network unrestricted concurrent inserts really do land in different orders
   // at different sites (Todo exercises exactly this).
-  verifier::RestrictionReport report =
-      verifier::AnalyzeRestrictions(a.schema(), eff, {}, res.paths);
+  verifier::RestrictionReport report = verifier::AnalyzeRestrictions(
+      verifier::Checker(a.schema()), eff, {}, res.paths);
   ConflictTable table;
   for (const auto& v : report.pairs) {
     if (v.Restricted()) {
@@ -208,7 +208,8 @@ TEST(ChaosTest, ConservativeTableCoversTheVerifiedRestrictionSet) {
   analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
   auto eff = res.EffectfulPaths();
   ConflictTable conservative = ConservativeConflicts(a.schema(), eff);
-  verifier::RestrictionReport report = verifier::AnalyzeRestrictions(a.schema(), eff, {});
+  verifier::RestrictionReport report =
+      verifier::AnalyzeRestrictions(verifier::Checker(a.schema()), eff);
   for (const auto& v : report.pairs) {
     if (v.Restricted()) {
       std::string p = v.p.substr(0, v.p.find('#'));

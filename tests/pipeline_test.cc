@@ -1,0 +1,275 @@
+// Tests for the parallel, cached verification engine and the noctua::Pipeline facade:
+// the thread pool itself, determinism of the restriction set across thread counts, and
+// agreement between every engine configuration (cache on/off, projection on/off,
+// cheapest-first on/off) — the redesign must change how fast verdicts are produced,
+// never which verdicts.
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+#include "src/pipeline/pipeline.h"
+#include "src/soir/printer.h"
+#include "src/support/thread_pool.h"
+#include "src/verifier/cache.h"
+
+namespace noctua {
+namespace {
+
+// ---------------------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(), [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolHonorsDispatchOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order = {4, 2, 0, 1, 3};
+  std::vector<size_t> executed;
+  pool.ParallelFor(5, [&](size_t i) { executed.push_back(i); }, &order);
+  EXPECT_EQ(executed, order);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  const size_t n = 10000;
+  pool.ParallelFor(n, [&](size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> ran{0};
+    pool.ParallelFor(17, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 17);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadsReadsEnvironment) {
+  ASSERT_EQ(setenv("NOCTUA_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 3);
+  ASSERT_EQ(unsetenv("NOCTUA_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+// ------------------------------------------------------------------- canonical fingerprint
+
+TEST(CanonicalFingerprintTest, CopiedEndpointsShareFingerprints) {
+  // The cache's bread and butter: a copied endpoint is isomorphic to its original, so
+  // every pair involving the copy must produce the same cache key as the original pair.
+  app::App a = apps::MakeSmallBankApp();
+  app::App copied = apps::MakeSmallBankApp();
+  for (const app::View& v : a.views()) {
+    copied.AddView(v.name + "_twin", v.fn);
+  }
+  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(copied);
+  const std::vector<soir::CodePath>& eff = analysis.EffectfulPaths();
+
+  std::set<std::string> originals;
+  std::set<std::string> twins;
+  for (const soir::CodePath& p : eff) {
+    soir::CanonicalizationCtx ctx(copied.schema());
+    std::string canon = soir::CanonicalPath(copied.schema(), p, &ctx);
+    (p.view_name.find("_twin") != std::string::npos ? twins : originals).insert(canon);
+  }
+  EXPECT_EQ(originals, twins);
+}
+
+TEST(CanonicalFingerprintTest, SeparatesAndMergesSmallBankPaths) {
+  app::App a = apps::MakeSmallBankApp();
+  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(a);
+  std::map<std::string, std::string> canon;
+  for (const soir::CodePath& p : analysis.EffectfulPaths()) {
+    soir::CanonicalizationCtx ctx(a.schema());
+    canon[p.view_name] = soir::CanonicalPath(a.schema(), p, &ctx);
+  }
+  ASSERT_EQ(canon.size(), 4u);
+  // SendPayment and Amalgamate are the same operation shape in this modeling (move a2
+  // from a0's checking to a1's checking under the same guards) — the fingerprint must
+  // identify them, which is where SmallBank's cache hits come from...
+  EXPECT_EQ(canon.at("SendPayment"), canon.at("Amalgamate"));
+  // ...while operations over different field slots or guard shapes stay distinct.
+  EXPECT_NE(canon.at("DepositChecking"), canon.at("TransactSavings"));
+  EXPECT_NE(canon.at("DepositChecking"), canon.at("SendPayment"));
+  EXPECT_NE(canon.at("TransactSavings"), canon.at("SendPayment"));
+}
+
+// ------------------------------------------------------------------------- verdict cache
+
+TEST(VerdictCacheTest, LookupInsertAndCounters) {
+  verifier::VerdictCache cache;
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  cache.Insert("k", verifier::CheckOutcome::kFail);
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, verifier::CheckOutcome::kFail);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// -------------------------------------------------------------- determinism & agreement
+
+std::vector<std::string> VerdictLines(const verifier::RestrictionReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.pairs.size());
+  for (const auto& v : report.pairs) {
+    out.push_back(v.p + "|" + v.q + "|" + verifier::CheckOutcomeName(v.commutativity) +
+                  "|" + verifier::CheckOutcomeName(v.semantic));
+  }
+  return out;
+}
+
+// Engine configurations whose verdicts must all agree. `deterministic_budget` pins the
+// solver to its node budget (no wall-clock dependence), so the comparison is exact even
+// on a loaded machine.
+PipelineOptions EngineConfig(int threads, bool cache, bool cheapest_first,
+                             bool projection) {
+  PipelineOptions options;
+  options.parallel.threads = threads;
+  options.parallel.cache = cache;
+  options.parallel.cheapest_first = cheapest_first;
+  options.checker.project_footprint = projection;
+  options.checker.solver.deterministic_budget = true;
+  return options;
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<apps::AppEntry> {};
+
+TEST_P(EngineAgreementTest, VerdictsIdenticalAcrossThreadCounts) {
+  app::App a = GetParam().make();
+  PipelineOptions analysis_only;
+  analysis_only.verify = false;
+  analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
+
+  verifier::RestrictionReport reference =
+      Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true));
+  std::vector<std::string> expected = VerdictLines(reference);
+  ASSERT_FALSE(expected.empty());
+
+  for (int threads : {2, 8}) {
+    verifier::RestrictionReport report =
+        Pipeline::Verify(a, analysis, EngineConfig(threads, true, true, true));
+    EXPECT_EQ(report.stats.threads_used, threads);
+    EXPECT_EQ(VerdictLines(report), expected) << "threads=" << threads;
+  }
+}
+
+TEST_P(EngineAgreementTest, CacheAndScheduleDoNotChangeVerdicts) {
+  app::App a = GetParam().make();
+  PipelineOptions analysis_only;
+  analysis_only.verify = false;
+  analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
+
+  std::vector<std::string> expected =
+      VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true)));
+  // Cache off, schedule off (report order), both at 2 threads.
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(2, false, true, true))),
+            expected);
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(2, true, false, true))),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, EngineAgreementTest,
+    ::testing::Values(apps::AppEntry{"Blog", apps::MakeBlogApp},
+                      apps::AppEntry{"Todo", apps::MakeTodoApp},
+                      apps::AppEntry{"SmallBank", apps::MakeSmallBankApp},
+                      apps::AppEntry{"Courseware", apps::MakeCoursewareApp}),
+    [](const ::testing::TestParamInfo<apps::AppEntry>& info) { return info.param.name; });
+
+// The big apps get the full thread sweep too, but only one extra engine config each so
+// the suite stays within the tier-1 budget (their pair matrices dominate the runtime).
+TEST(EngineAgreementBigApps, PostGraduationIdenticalAcrossThreads) {
+  app::App a = apps::MakePostGraduationApp();
+  PipelineOptions analysis_only;
+  analysis_only.verify = false;
+  analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
+  std::vector<std::string> expected =
+      VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true)));
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(8, true, true, true))),
+            expected);
+}
+
+TEST(EngineAgreementBigApps, ZhihuIdenticalAcrossThreadsAndCache) {
+  app::App a = apps::MakeZhihuApp();
+  PipelineOptions analysis_only;
+  analysis_only.verify = false;
+  analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
+  verifier::RestrictionReport reference =
+      Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true));
+  std::vector<std::string> expected = VerdictLines(reference);
+  EXPECT_GT(reference.stats.cache_hits, 0u);
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(8, true, true, true))),
+            expected);
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(2, false, true, true))),
+            expected);
+}
+
+TEST(EngineAgreementTestExtra, ProjectionDoesNotChangeVerdicts) {
+  app::App a = apps::MakeCoursewareApp();
+  PipelineOptions analysis_only;
+  analysis_only.verify = false;
+  analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, false))),
+            VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true))));
+}
+
+// ----------------------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, RunMatchesHandRolledDance) {
+  app::App a = apps::MakeSmallBankApp();
+  PipelineResult result = Pipeline::Run(a);
+
+  analyzer::AnalysisResult manual = analyzer::AnalyzeApp(a);
+  verifier::RestrictionReport expected =
+      verifier::AnalyzeRestrictions(verifier::Checker(a.schema()), manual.EffectfulPaths());
+
+  EXPECT_EQ(result.analysis.num_effectful, manual.num_effectful);
+  EXPECT_EQ(VerdictLines(result.restrictions), VerdictLines(expected));
+  EXPECT_EQ(result.stats().pairs, expected.stats.pairs);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(PipelineTest, VerifyFalseSkipsTheVerifier) {
+  app::App a = apps::MakeSmallBankApp();
+  PipelineOptions options;
+  options.verify = false;
+  PipelineResult result = Pipeline::Run(a, options);
+  EXPECT_GT(result.analysis.num_effectful, 0u);
+  EXPECT_TRUE(result.restrictions.pairs.empty());
+}
+
+TEST(PipelineTest, StatsReportCacheAndPrefilterActivity) {
+  app::App a = apps::MakeSmallBankApp();
+  PipelineResult result = Pipeline::Run(a);
+  const verifier::ReportStats& stats = result.stats();
+  EXPECT_EQ(stats.pairs, result.restrictions.pairs.size());
+  // SmallBank's self-pairs guarantee NotInvalidate cache hits.
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.solver_checks, 0u);
+  EXPECT_GT(stats.CacheHitRate(), 0.0);
+}
+
+TEST(PipelineTest, ThreadsOptionFlowsThrough) {
+  app::App a = apps::MakeCoursewareApp();
+  PipelineOptions options;
+  options.parallel.threads = 2;
+  PipelineResult result = Pipeline::Run(a, options);
+  EXPECT_EQ(result.stats().threads_used, 2);
+}
+
+}  // namespace
+}  // namespace noctua

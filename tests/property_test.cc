@@ -258,7 +258,8 @@ TEST_P(AppConvergenceTest, ReplicasConvergeUnderComputedRestrictions) {
   app::App a = entry.make();
   analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
   auto eff = res.EffectfulPaths();
-  verifier::RestrictionReport report = verifier::AnalyzeRestrictions(a.schema(), eff, {});
+  verifier::RestrictionReport report =
+      verifier::AnalyzeRestrictions(verifier::Checker(a.schema()), eff);
   repl::ConflictTable conflicts;
   for (const auto& v : report.pairs) {
     if (v.Restricted()) {

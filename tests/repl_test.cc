@@ -12,7 +12,8 @@ namespace noctua::repl {
 namespace {
 
 ConflictTable ConflictsFor(const app::App& a, const std::vector<soir::CodePath>& eff) {
-  verifier::RestrictionReport report = verifier::AnalyzeRestrictions(a.schema(), eff, {});
+  verifier::RestrictionReport report =
+      verifier::AnalyzeRestrictions(verifier::Checker(a.schema()), eff);
   ConflictTable table;
   for (const auto& v : report.pairs) {
     if (v.Restricted()) {

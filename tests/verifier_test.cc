@@ -32,7 +32,7 @@ class SmallBankVerify : public ::testing::Test {
     static RestrictionReport report = [] {
       app::App a = apps::MakeSmallBankApp();
       auto res = analyzer::AnalyzeApp(a);
-      return AnalyzeRestrictions(a.schema(), res.EffectfulPaths(), {});
+      return AnalyzeRestrictions(Checker(a.schema()), res.EffectfulPaths());
     }();
     return report;
   }
@@ -66,7 +66,7 @@ TEST_F(SmallBankVerify, BaselineSpecFindsSameRestrictionSet) {
   // Table 5: the spec-driven baseline and the analyzer-driven run agree.
   app::App a = apps::MakeSmallBankApp();
   auto spec = baseline::SmallBankSpec(a.schema());
-  RestrictionReport spec_report = AnalyzeRestrictions(a.schema(), spec, {});
+  RestrictionReport spec_report = AnalyzeRestrictions(Checker(a.schema()), spec);
   EXPECT_EQ(spec_report.com_failures(), Report().com_failures());
   EXPECT_EQ(spec_report.sem_failures(), Report().sem_failures());
   EXPECT_EQ(spec_report.num_restrictions(), Report().num_restrictions());
@@ -78,7 +78,7 @@ class CoursewareVerify : public ::testing::Test {
     static RestrictionReport report = [] {
       app::App a = apps::MakeCoursewareApp();
       auto res = analyzer::AnalyzeApp(a);
-      return AnalyzeRestrictions(a.schema(), res.EffectfulPaths(), {});
+      return AnalyzeRestrictions(Checker(a.schema()), res.EffectfulPaths());
     }();
     return report;
   }
@@ -106,7 +106,7 @@ TEST_F(CoursewareVerify, ExactFailures) {
 TEST_F(CoursewareVerify, BaselineSpecAgrees) {
   app::App a = apps::MakeCoursewareApp();
   auto spec = baseline::CoursewareSpec(a.schema());
-  RestrictionReport spec_report = AnalyzeRestrictions(a.schema(), spec, {});
+  RestrictionReport spec_report = AnalyzeRestrictions(Checker(a.schema()), spec);
   EXPECT_EQ(spec_report.num_restrictions(), 2u);
   EXPECT_EQ(spec_report.com_failures(), 1u);
   EXPECT_EQ(spec_report.sem_failures(), 1u);
@@ -181,8 +181,8 @@ TEST(OrderEncoding, PostGraduationIdenticalWithAndWithoutOrder) {
   with_order.encoder.use_order = true;
   CheckerOptions no_order;
   no_order.encoder.use_order = false;
-  RestrictionReport r1 = AnalyzeRestrictions(a.schema(), eff, with_order);
-  RestrictionReport r2 = AnalyzeRestrictions(a.schema(), eff, no_order);
+  RestrictionReport r1 = AnalyzeRestrictions(Checker(a.schema(), with_order), eff);
+  RestrictionReport r2 = AnalyzeRestrictions(Checker(a.schema(), no_order), eff);
   EXPECT_EQ(r1.com_failures(), r2.com_failures());
   EXPECT_EQ(r1.sem_failures(), r2.sem_failures());
   EXPECT_EQ(r1.num_restrictions(), r2.num_restrictions());
@@ -226,7 +226,7 @@ TEST_P(DifferentialTest, CommutativeVerdictsHoldConcretely) {
                                                       : apps::MakeCoursewareApp();
   auto res = analyzer::AnalyzeApp(a);
   auto eff = res.EffectfulPaths();
-  RestrictionReport report = AnalyzeRestrictions(a.schema(), eff, {});
+  RestrictionReport report = AnalyzeRestrictions(Checker(a.schema()), eff);
   std::map<std::string, bool> com_ok;
   for (const PairVerdict& v : report.pairs) {
     com_ok[v.p + "|" + v.q] = !OutcomeRestricts(v.commutativity);
