@@ -12,20 +12,24 @@
 namespace noctua::bench {
 
 // Lines of code of an app's defining C++ source (the Table 4 LoC counterpart; the paper
-// counts Python lines, we count ours).
+// counts Python lines, we count ours). Blank lines and lines holding nothing but a //
+// comment do not count — prose is not code.
 inline size_t CountLoc(const std::string& path) {
   std::ifstream in(path);
   size_t lines = 0;
   std::string line;
   while (std::getline(in, line)) {
-    bool blank = true;
-    for (char c : line) {
-      if (!isspace(static_cast<unsigned char>(c))) {
-        blank = false;
-        break;
-      }
+    size_t first = 0;
+    while (first < line.size() && isspace(static_cast<unsigned char>(line[first]))) {
+      ++first;
     }
-    lines += blank ? 0 : 1;
+    if (first == line.size()) {
+      continue;  // blank
+    }
+    if (line.compare(first, 2, "//") == 0) {
+      continue;  // comment-only
+    }
+    ++lines;
   }
   return lines;
 }

@@ -1,0 +1,292 @@
+// Cold-vs-warm sweep for the incremental analysis engine. For each app the bench runs
+// the pipeline cold once to populate an artifact store, then replays three scripted
+// developer edits — add an endpoint, edit one handler's body, rename a model across the
+// codebase — each against a fresh copy of the store. Every warm run is compared against
+// a from-scratch cold run of the edited app: the restriction sets must be byte-identical
+// (the bench exits nonzero otherwise), and the warm run should approach O(change) — for
+// a single-endpoint edit the target is a >= 5x end-to-end speedup.
+//
+// Emits one JSON document on stdout (progress goes to stderr):
+//
+//   {"apps": [{"app": "Zhihu", "pairs": N, "cold_seconds": ...,
+//              "edits": [{"edit": "edit_handler", "changed_endpoints": ["VoteAnswer"],
+//                         "cold_seconds": ..., "warm_seconds": ..., "speedup": ...,
+//                         "pairs_replayed": ..., "pairs_computed": ...,
+//                         "endpoints_reused": ..., "verdicts_replayed": ...,
+//                         "solver_checks": ..., "identical_restrictions": true}, ...]},
+//             ...],
+//    "identical_everywhere": true}
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/apps/ownphotos.h"
+#include "src/apps/zhihu.h"
+#include "src/pipeline/pipeline.h"
+#include "src/pipeline/session.h"
+#include "src/support/strings.h"
+
+namespace {
+
+using noctua::IncrementalOptions;
+using noctua::IncrementalResult;
+using noctua::Pipeline;
+using noctua::analyzer::Sym;
+using noctua::analyzer::SymObj;
+using noctua::analyzer::SymSet;
+using noctua::analyzer::ViewCtx;
+using noctua::verifier::RestrictionReport;
+
+std::vector<std::string> VerdictLines(const RestrictionReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.pairs.size());
+  for (const auto& v : report.pairs) {
+    out.push_back(v.p + "|" + v.q + "|" + noctua::verifier::CheckOutcomeName(v.commutativity) +
+                  "|" + noctua::verifier::CheckOutcomeName(v.semantic));
+  }
+  return out;
+}
+
+IncrementalOptions Opts() {
+  IncrementalOptions o;
+  // Pin the solver's budget decisions so verdicts are identical across separate runs —
+  // the identity assertion below is exact.
+  o.pipeline.checker.solver.deterministic_budget = true;
+  return o;
+}
+
+// Real extraction layers hash the handler source; here the registration site stamps a
+// version tag per view, bumped whenever an edit rewrites a handler.
+void StampFingerprints(noctua::app::App& app) {
+  for (const auto& view : app.views()) {
+    app.SetViewFingerprint(view.name, view.name + "@v1");
+  }
+}
+
+std::string TempDirFor(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("noctua_incremental_sweep_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// One scripted developer edit: mutates a freshly built app in place.
+struct Edit {
+  const char* name;
+  std::function<void(noctua::app::App&)> apply;
+};
+
+std::vector<Edit> ZhihuEdits() {
+  std::vector<Edit> edits;
+
+  // A brand-new endpoint: discard the user's draft for a question.
+  edits.push_back({"add_endpoint", [](noctua::app::App& app) {
+    app.AddView(
+        "DeleteDraft",
+        [](ViewCtx& v) {
+          SymObj author = v.Deref("User", v.ParamRef("user", "User"));
+          SymObj q = v.Deref("Question", v.ParamRef("question", "Question"));
+          SymSet drafts = v.M("Draft").filter("author", author).filter("question", q);
+          v.Guard(drafts.exists());
+          drafts.del();
+        },
+        "DeleteDraft@v1");
+  }});
+
+  // One handler body edited: upvotes are now worth 25 reputation instead of 10.
+  edits.push_back({"edit_handler", [](noctua::app::App& app) {
+    app.ReplaceView(
+        "VoteAnswer",
+        [](ViewCtx& v) {
+          SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+          SymObj answer = v.M("Answer").get("id", v.ParamRef("answer", "Answer"));
+          v.GuardUniqueTogether("Vote", {{"user", user}, {"answer", answer}});
+          if (v.PostBool("positive")) {
+            v.Create("Vote", {{"positive", Sym(true)}}, {{"user", user}, {"answer", answer}});
+            answer.with("votes", answer.attr("votes") + 1).save();
+            SymObj author = answer.rel("author");
+            author.with("reputation", author.attr("reputation") + 25).save();
+          } else {
+            v.Create("Vote", {{"positive", Sym(false)}}, {{"user", user}, {"answer", answer}});
+            answer.with("votes", answer.attr("votes") - 1).save();
+          }
+        },
+        "VoteAnswer@v2");
+  }});
+
+  // A codebase-wide rename: model Draft becomes DraftPost, and every handler mentioning
+  // it is rewritten (new source, new fingerprints) — but nothing behavioral changed, so
+  // the warm run should replay 100% of the prior verdicts.
+  edits.push_back({"rename_model", [](noctua::app::App& app) {
+    noctua::soir::Schema& s = app.schema();
+    s.RenameModel(s.ModelId("Draft"), "DraftPost");
+    app.ReplaceView(
+        "PostAnswer",
+        [](ViewCtx& v) {
+          SymObj author = v.Deref("User", v.ParamRef("user", "User"));
+          SymObj q = v.Deref("Question", v.ParamRef("question", "Question"));
+          if (v.PostBool("from_draft")) {
+            SymObj draft =
+                v.M("DraftPost").filter("author", author).filter("question", q).any();
+            v.Create("Answer", {{"content", draft.attr("content")}, {"votes", Sym(0)}},
+                     {{"question", q}, {"author", author}});
+            v.M("DraftPost").filter("author", author).filter("question", q).del();
+          } else {
+            v.Create("Answer", {{"content", v.Post("content")}, {"votes", Sym(0)}},
+                     {{"question", q}, {"author", author}});
+          }
+        },
+        "PostAnswer@v1-renamed");
+    app.ReplaceView(
+        "SaveDraft",
+        [](ViewCtx& v) {
+          SymObj author = v.Deref("User", v.ParamRef("user", "User"));
+          SymObj q = v.Deref("Question", v.ParamRef("question", "Question"));
+          v.M("DraftPost").filter("author", author).filter("question", q).del();
+          v.Create("DraftPost", {{"content", v.Post("content")}},
+                   {{"author", author}, {"question", q}});
+        },
+        "SaveDraft@v1-renamed");
+  }});
+  return edits;
+}
+
+std::vector<Edit> OwnPhotosEdits() {
+  std::vector<Edit> edits;
+
+  // A brand-new endpoint: un-hide everything the user hid.
+  edits.push_back({"add_endpoint", [](noctua::app::App& app) {
+    app.AddView(
+        "unhide_all",
+        [](ViewCtx& v) {
+          SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+          v.ClearLinks("hidden_photos", user);
+        },
+        "unhide_all@v1");
+  }});
+
+  // One handler body edited: ratings now go up to 10 stars.
+  edits.push_back({"edit_handler", [](noctua::app::App& app) {
+    app.ReplaceView(
+        "rate_photo",
+        [](ViewCtx& v) {
+          SymObj user = v.Deref("User", v.ParamRef("user", "User"));
+          SymObj photo = v.M("Photo").get("id", v.ParamRef("pk", "Photo"));
+          if (!(photo.rel("owner").ref() == user.ref())) {
+            v.Abort();
+          }
+          Sym rating = v.PostInt("rating");
+          v.Guard(rating >= 0);
+          v.Guard(rating <= 10);
+          photo.with("rating", rating).save();
+        },
+        "rate_photo@v2");
+  }});
+
+  // Schema-only rename: no handler mentions Cluster by name, so fingerprints are
+  // untouched and analysis memoizes on top of a 100% verdict replay.
+  edits.push_back({"rename_model", [](noctua::app::App& app) {
+    noctua::soir::Schema& s = app.schema();
+    s.RenameModel(s.ModelId("Cluster"), "FaceCluster");
+  }});
+  return edits;
+}
+
+}  // namespace
+
+int main() {
+  using noctua::FormatDouble;
+
+  struct AppCase {
+    const char* name;
+    std::function<noctua::app::App()> make;
+    std::vector<Edit> edits;
+  };
+  const std::vector<AppCase> cases = {
+      {"Zhihu", noctua::apps::MakeZhihuApp, ZhihuEdits()},
+      {"OwnPhotos", noctua::apps::MakeOwnPhotosApp, OwnPhotosEdits()},
+  };
+
+  bool identical_everywhere = true;
+  std::string json = "{\"apps\": [";
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const AppCase& app_case = cases[c];
+
+    // Cold base run populates the artifact store the edits start from.
+    std::string base_store = TempDirFor(std::string(app_case.name) + "_base");
+    noctua::app::App base = app_case.make();
+    StampFingerprints(base);
+    fprintf(stderr, "[incremental_sweep] %s: cold base run...\n", app_case.name);
+    IncrementalResult cold_base = Pipeline::RunIncremental(base, base_store, Opts());
+    fprintf(stderr, "[incremental_sweep] %s: cold %.3fs (%zu pairs)\n", app_case.name,
+            cold_base.run.total_seconds, cold_base.run.restrictions.pairs.size());
+
+    json += std::string(c ? ", " : "") + "{\"app\": \"" + app_case.name +
+            "\", \"pairs\": " + std::to_string(cold_base.run.restrictions.pairs.size()) +
+            ", \"cold_seconds\": " + FormatDouble(cold_base.run.total_seconds, 3) +
+            ", \"edits\": [";
+
+    for (size_t e = 0; e < app_case.edits.size(); ++e) {
+      const Edit& edit = app_case.edits[e];
+      noctua::app::App edited = app_case.make();
+      StampFingerprints(edited);
+      edit.apply(edited);
+
+      // Each edit starts from its own copy of the base store, as if it were the next
+      // thing the developer did after the base commit.
+      std::string warm_store = TempDirFor(std::string(app_case.name) + "_" + edit.name);
+      std::filesystem::copy(base_store, warm_store,
+                            std::filesystem::copy_options::recursive);
+      IncrementalResult warm = Pipeline::RunIncremental(edited, warm_store, Opts());
+
+      // Reference: the same edited app verified from scratch.
+      noctua::app::App edited_again = app_case.make();
+      StampFingerprints(edited_again);
+      edit.apply(edited_again);
+      std::string cold_store = TempDirFor(std::string(app_case.name) + "_" + edit.name + "_cold");
+      IncrementalResult cold = Pipeline::RunIncremental(edited_again, cold_store, Opts());
+
+      bool identical = !warm.cold &&
+                       VerdictLines(warm.run.restrictions) == VerdictLines(cold.run.restrictions);
+      identical_everywhere = identical_everywhere && identical;
+      double speedup = cold.run.total_seconds / warm.run.total_seconds;
+      fprintf(stderr,
+              "[incremental_sweep] %s/%s: warm %.3fs vs cold %.3fs  speedup %.2fx  "
+              "(%llu pairs replayed, %llu computed, %zu endpoints memoized)%s\n",
+              app_case.name, edit.name, warm.run.total_seconds, cold.run.total_seconds,
+              speedup, static_cast<unsigned long long>(warm.pairs_replayed),
+              static_cast<unsigned long long>(warm.pairs_computed), warm.endpoints_reused,
+              identical ? "" : "  RESTRICTIONS DIVERGED");
+
+      std::string changed = "[";
+      for (size_t i = 0; i < warm.changed_endpoints.size(); ++i) {
+        changed += std::string(i ? ", " : "") + "\"" + warm.changed_endpoints[i] + "\"";
+      }
+      changed += "]";
+      json += std::string(e ? ", " : "") + "{\"edit\": \"" + edit.name +
+              "\", \"changed_endpoints\": " + changed +
+              ", \"cold_seconds\": " + FormatDouble(cold.run.total_seconds, 3) +
+              ", \"warm_seconds\": " + FormatDouble(warm.run.total_seconds, 3) +
+              ", \"speedup\": " + FormatDouble(speedup, 2) +
+              ", \"pairs_replayed\": " + std::to_string(warm.pairs_replayed) +
+              ", \"pairs_computed\": " + std::to_string(warm.pairs_computed) +
+              ", \"endpoints_reused\": " + std::to_string(warm.endpoints_reused) +
+              ", \"verdicts_replayed\": " + std::to_string(warm.run.restrictions.stats.replayed) +
+              ", \"solver_checks\": " + std::to_string(warm.run.restrictions.stats.solver_checks) +
+              ", \"identical_restrictions\": " + (identical ? "true" : "false") + "}";
+    }
+    json += "]}";
+  }
+  json += "], \"identical_everywhere\": " + std::string(identical_everywhere ? "true" : "false") +
+          "}";
+  printf("%s\n", json.c_str());
+  if (!identical_everywhere) {
+    fprintf(stderr,
+            "[incremental_sweep] FAILED: a warm run diverged from its cold reference\n");
+    return 1;
+  }
+  return 0;
+}

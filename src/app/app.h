@@ -21,6 +21,12 @@ using ViewFn = std::function<void(analyzer::ViewCtx&)>;
 struct View {
   std::string name;  // endpoint name, e.g. "batch_update"
   ViewFn fn;
+  // Opaque content fingerprint of the handler's *source* (e.g. a hash the extraction
+  // layer computes over the view function's text). When non-empty and unchanged between
+  // runs, the incremental analyzer reuses the prior artifact's paths for this endpoint
+  // without re-executing the handler symbolically. Empty means "unknown": the endpoint
+  // is re-analyzed every run — always sound, just not memoized.
+  std::string fingerprint;
 };
 
 class App {
@@ -35,8 +41,27 @@ class App {
   soir::Schema& schema() { return schema_; }
   const soir::Schema& schema() const { return schema_; }
 
-  void AddView(const std::string& name, ViewFn fn) {
-    views_.push_back(View{name, std::move(fn)});
+  void AddView(const std::string& name, ViewFn fn, std::string fingerprint = "") {
+    views_.push_back(View{name, std::move(fn), std::move(fingerprint)});
+  }
+  // Swaps an endpoint's handler (the "developer edited this view" refactor). Returns
+  // false if no view has that name.
+  bool ReplaceView(const std::string& name, ViewFn fn, std::string fingerprint = "") {
+    for (View& v : views_) {
+      if (v.name == name) {
+        v.fn = std::move(fn);
+        v.fingerprint = std::move(fingerprint);
+        return true;
+      }
+    }
+    return false;
+  }
+  void SetViewFingerprint(const std::string& name, std::string fingerprint) {
+    for (View& v : views_) {
+      if (v.name == name) {
+        v.fingerprint = std::move(fingerprint);
+      }
+    }
   }
   const std::vector<View>& views() const { return views_; }
 

@@ -10,11 +10,16 @@
 #ifndef SRC_PIPELINE_PIPELINE_H_
 #define SRC_PIPELINE_PIPELINE_H_
 
+#include <string>
+
 #include "src/analyzer/analyzer.h"
 #include "src/app/app.h"
 #include "src/verifier/report.h"
 
 namespace noctua {
+
+struct IncrementalOptions;
+struct IncrementalResult;
 
 struct PipelineOptions {
   analyzer::AnalyzerOptions analyzer;
@@ -49,6 +54,13 @@ class Pipeline {
   static verifier::RestrictionReport Verify(const app::App& app,
                                             const analyzer::AnalysisResult& analysis,
                                             const PipelineOptions& options = {});
+
+  // Incremental run against the on-disk artifact store at `store_dir`: analysis is
+  // memoized per endpoint, verdicts replay from the prior run, and only pairs touched by
+  // the edit reach the solver. Convenience for Session(store_dir).RunIncremental(app) —
+  // include src/pipeline/session.h for the option/result types.
+  static IncrementalResult RunIncremental(const app::App& app, const std::string& store_dir,
+                                          const IncrementalOptions& options);
 };
 
 }  // namespace noctua

@@ -68,6 +68,8 @@ class ModelDef {
   bool IsPk(const std::string& name) const { return name == pk_name_; }
 
  private:
+  friend class Schema;  // rename refactors reach through to name_ / fields_
+
   int id_;
   std::string name_;
   std::string pk_name_;
@@ -85,6 +87,15 @@ class Schema {
   size_t num_models() const { return models_.size(); }
 
   void AddField(const std::string& model, FieldDef field);
+
+  // Rename refactors (the incremental engine's rename-edit scenarios): ids, field order
+  // and every relation endpoint are untouched, so canonical fingerprints — and therefore
+  // all cached verdicts — survive. The caller owns updating view functions that mention
+  // the old names.
+  void RenameModel(int id, const std::string& new_name);
+  void RenameField(const std::string& model, const std::string& old_name,
+                   const std::string& new_name);
+  void RenameRelation(int id, const std::string& new_name, const std::string& new_reverse);
 
   // Adds a relation; reverse_name defaults to "<from_model_lowercase>_set".
   int AddRelation(const std::string& name, const std::string& from_model,

@@ -1,5 +1,7 @@
 #include "src/support/thread_pool.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 
@@ -58,10 +60,34 @@ ThreadPool::~ThreadPool() {
 }
 
 int ThreadPool::DefaultThreads() {
+  // More worker threads than this is never useful for pair verification and usually a
+  // typo (an extra digit); clamp rather than spawn thousands of threads.
+  constexpr long kMaxThreads = 256;
   if (const char* env = std::getenv("NOCTUA_THREADS")) {
-    int n = std::atoi(env);
-    if (n > 0) {
-      return n;
+    // Parse strictly: atoi would silently turn "8x"/"abc" into 8/0. Reject anything that
+    // is not a whole positive integer, warning once so a typo is noticed, not absorbed.
+    static bool warned = false;
+    char* end = nullptr;
+    errno = 0;
+    long n = std::strtol(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && n > 0) {
+      if (n > kMaxThreads) {
+        if (!warned) {
+          warned = true;
+          std::fprintf(stderr,
+                       "noctua: NOCTUA_THREADS=%s exceeds the %ld-thread cap; clamping\n",
+                       env, kMaxThreads);
+        }
+        n = kMaxThreads;
+      }
+      return static_cast<int>(n);
+    }
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "noctua: ignoring NOCTUA_THREADS=\"%s\" (expected a positive "
+                   "integer); using hardware concurrency\n",
+                   env);
     }
   }
   unsigned hw = std::thread::hardware_concurrency();

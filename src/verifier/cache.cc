@@ -1,11 +1,26 @@
 #include "src/verifier/cache.h"
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
 #include "src/soir/printer.h"
+#include "src/soir/serialize.h"
 #include "src/verifier/encoder.h"
 
 namespace noctua::verifier {
 
 std::optional<CheckOutcome> VerdictCache::Lookup(const std::string& key) {
+  auto entry = LookupEntry(key);
+  if (!entry) {
+    return std::nullopt;
+  }
+  return entry->outcome;
+}
+
+std::optional<VerdictCache::Entry> VerdictCache::LookupEntry(const std::string& key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lk(shard.mu);
   auto it = shard.map.find(key);
@@ -20,7 +35,7 @@ std::optional<CheckOutcome> VerdictCache::Lookup(const std::string& key) {
 void VerdictCache::Insert(const std::string& key, CheckOutcome outcome) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lk(shard.mu);
-  shard.map.emplace(key, outcome);
+  shard.map.emplace(key, Entry{outcome, false});
 }
 
 size_t VerdictCache::size() const {
@@ -30,6 +45,75 @@ size_t VerdictCache::size() const {
     n += s.map.size();
   }
   return n;
+}
+
+namespace {
+constexpr size_t kMaxVerdicts = 10000000;
+}  // namespace
+
+bool VerdictCache::SaveToFile(const std::string& path) const {
+  std::vector<std::pair<std::string, CheckOutcome>> entries;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(const_cast<Shard&>(s).mu);
+    for (const auto& [key, entry] : s.map) {
+      entries.emplace_back(key, entry.outcome);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+
+  soir::ArtifactWriter w;
+  w.Atom("noctua-verdicts");
+  w.Int(soir::kArtifactVersion);
+  w.Int(static_cast<int64_t>(entries.size()));
+  for (const auto& [key, outcome] : entries) {
+    w.Str(key);
+    w.Int(static_cast<int64_t>(outcome));
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << w.str();
+  return static_cast<bool>(out);
+}
+
+bool VerdictCache::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  soir::ArtifactReader r(buf.str());
+  r.ExpectAtom("noctua-verdicts");
+  if (r.Int() != soir::kArtifactVersion) {
+    return false;
+  }
+  size_t n = r.Count(kMaxVerdicts);
+  // Parse everything before touching the cache: a corrupted tail must not leave a
+  // half-loaded store behind.
+  std::vector<std::pair<std::string, CheckOutcome>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; r.ok() && i < n; ++i) {
+    std::string key = r.Str();
+    int64_t outcome = r.Int();
+    if (outcome < 0 || outcome > static_cast<int64_t>(CheckOutcome::kUnsupported)) {
+      r.Fail();
+      break;
+    }
+    entries.emplace_back(std::move(key), static_cast<CheckOutcome>(outcome));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return false;
+  }
+  for (auto& [key, outcome] : entries) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.map.emplace(std::move(key), Entry{outcome, true});
+  }
+  return true;
 }
 
 namespace {

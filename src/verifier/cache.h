@@ -8,10 +8,19 @@
 // full of such twins: viewsets stamp structurally identical endpoints onto every model,
 // and the semantic rule checks NotInvalidate(P, P) twice per self-pair.
 //
+// The cache is also the incremental engine's persistence unit: SaveToFile/LoadFromFile
+// round-trip the verdict map through a versioned artifact, and entries that arrived from
+// disk are marked `replayed` so the report can attribute each pair's verdicts to this
+// run or a prior one (and so paranoia sampling knows which verdicts to spot-re-solve).
+// Because the fingerprints encode everything the SMT encoding can see, seeding a run
+// with a prior store is sound by construction: any pair affected by an edit — changed
+// paths, changed schema fragment, changed order membership — misses and is re-solved.
+//
 // Thread-safety: sharded by key hash; lookups and inserts from concurrent verification
 // workers are safe. Two workers may race to compute the same fingerprint — both compute,
 // both insert the (equal) outcome; the cache trades that rare duplicated solver call for
-// never blocking a worker on another's multi-millisecond check.
+// never blocking a worker on another's multi-millisecond check. Save/Load are not
+// concurrency-safe against writers; call them before and after a run, not during.
 #ifndef SRC_VERIFIER_CACHE_H_
 #define SRC_VERIFIER_CACHE_H_
 
@@ -31,13 +40,31 @@ namespace noctua::verifier {
 
 class VerdictCache {
  public:
+  // One cached verdict. `replayed` is true when the entry was loaded from a prior run's
+  // artifact rather than computed by this process.
+  struct Entry {
+    CheckOutcome outcome = CheckOutcome::kPass;
+    bool replayed = false;
+  };
+
   VerdictCache() = default;
   VerdictCache(const VerdictCache&) = delete;
   VerdictCache& operator=(const VerdictCache&) = delete;
 
   // Returns the cached outcome, counting a hit; nullopt counts a miss.
   std::optional<CheckOutcome> Lookup(const std::string& key);
+  // Like Lookup, but exposes provenance.
+  std::optional<Entry> LookupEntry(const std::string& key);
   void Insert(const std::string& key, CheckOutcome outcome);
+
+  // Persists every entry (sorted by key, so equal caches produce byte-identical files).
+  // Returns false if the file cannot be written.
+  bool SaveToFile(const std::string& path) const;
+  // Loads a previously saved store, marking every loaded entry replayed. All-or-nothing:
+  // a missing, truncated, corrupted, or version-mismatched file returns false and leaves
+  // the cache untouched (the caller falls back to a cold run). Entries already present
+  // keep their current value — loading never overwrites a computed verdict.
+  bool LoadFromFile(const std::string& path);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -47,7 +74,7 @@ class VerdictCache {
   static constexpr size_t kShards = 16;
   struct Shard {
     std::mutex mu;
-    std::unordered_map<std::string, CheckOutcome> map;
+    std::unordered_map<std::string, Entry> map;
   };
   Shard& ShardFor(const std::string& key) {
     return shards_[std::hash<std::string>{}(key) % kShards];

@@ -52,6 +52,7 @@ struct CheckStats {
   uint64_t solver_nodes = 0;
   bool prefiltered = false;
   bool cache_hit = false;  // verdict served by the report-level fingerprint cache
+  bool replayed = false;   // the serving cache entry was loaded from a prior run's store
 };
 
 class Checker {

@@ -4,12 +4,27 @@
 #include <atomic>
 #include <numeric>
 
+#include "src/soir/serialize.h"
+#include "src/support/check.h"
+#include "src/support/rng.h"
 #include "src/support/stopwatch.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
 #include "src/verifier/cache.h"
 
 namespace noctua::verifier {
+
+const char* PairProvenanceName(PairProvenance p) {
+  switch (p) {
+    case PairProvenance::kComputed:
+      return "computed";
+    case PairProvenance::kReplayed:
+      return "replayed";
+    case PairProvenance::kPrefiltered:
+      return "prefiltered";
+  }
+  return "?";
+}
 
 size_t RestrictionReport::num_restrictions() const {
   size_t n = 0;
@@ -155,11 +170,18 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
                      [&](size_t a, size_t b) { return jobs[a].cost < jobs[b].cost; });
   }
 
-  VerdictCache cache;
+  // A caller-provided store makes verdicts persistent across runs; its counters
+  // accumulate, so report stats are computed as deltas from this snapshot.
+  VerdictCache local_cache;
+  VerdictCache* cache = parallel.store != nullptr ? parallel.store : &local_cache;
+  const uint64_t hits_before = cache->hits();
+  const uint64_t misses_before = cache->misses();
   const bool use_cache = parallel.cache;
   std::atomic<uint64_t> prefiltered_count{0};
   std::atomic<uint64_t> solver_checks{0};
   std::atomic<uint64_t> solver_nodes{0};
+  std::atomic<uint64_t> replayed_queries{0};
+  std::atomic<uint64_t> paranoia_rechecks{0};
 
   RestrictionReport report;
   report.pairs.resize(jobs.size());
@@ -167,22 +189,43 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   // One solver-level query, answered from the verdict cache when an isomorphic query
   // already ran. Both outcomes and cache contents are scheduling-independent: isomorphic
   // queries have equal verdicts, so whichever worker computes first inserts the same
-  // answer every interleaving.
+  // answer every interleaving. Replayed hits (entries loaded from a prior store) are
+  // additionally subject to paranoia sampling: a per-fingerprint coin decides whether to
+  // re-solve and cross-check, so the audited subset is the same for any thread count.
   auto cached_query = [&](const std::function<std::string()>& key_fn, CheckStats* cs,
                           const std::function<CheckOutcome(CheckStats*)>& compute) {
     std::string key;
     if (use_cache) {
       key = key_fn();
-      if (auto hit = cache.Lookup(key)) {
+      if (auto hit = cache->LookupEntry(key)) {
         cs->cache_hit = true;
-        return *hit;
+        cs->replayed = hit->replayed;
+        if (hit->replayed) {
+          replayed_queries.fetch_add(1, std::memory_order_relaxed);
+          if (parallel.paranoia > 0) {
+            Rng coin(soir::Fnv1a64(key) ^ parallel.paranoia_seed);
+            if (coin.Chance(parallel.paranoia)) {
+              CheckStats recheck;
+              CheckOutcome fresh = compute(&recheck);
+              solver_checks.fetch_add(1, std::memory_order_relaxed);
+              solver_nodes.fetch_add(recheck.solver_nodes, std::memory_order_relaxed);
+              paranoia_rechecks.fetch_add(1, std::memory_order_relaxed);
+              NOCTUA_CHECK_MSG(fresh == hit->outcome,
+                               "paranoia recheck disagrees with replayed verdict ("
+                                   << CheckOutcomeName(fresh) << " vs "
+                                   << CheckOutcomeName(hit->outcome)
+                                   << ") — the artifact store is corrupt; key: " << key);
+            }
+          }
+        }
+        return hit->outcome;
       }
     }
     CheckOutcome o = compute(cs);
     solver_checks.fetch_add(1, std::memory_order_relaxed);
     solver_nodes.fetch_add(cs->solver_nodes, std::memory_order_relaxed);
     if (use_cache) {
-      cache.Insert(key, o);
+      cache->Insert(key, o);
     }
     return o;
   };
@@ -196,6 +239,7 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
     v.q = q.op_name;
     if (job.prefiltered) {
       v.prefiltered = true;
+      v.provenance = PairProvenance::kPrefiltered;
       prefiltered_count.fetch_add(1, std::memory_order_relaxed);
     } else {
       Stopwatch com_watch;
@@ -223,6 +267,12 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
       v.sem_seconds = sem_watch.ElapsedSeconds();
       v.solver_nodes += s1.solver_nodes + s2.solver_nodes;
       v.cache_hits += (s1.cache_hit ? 1 : 0) + (s2.cache_hit ? 1 : 0);
+
+      // A pair replays only if *every* verdict it needed came from the prior store; a
+      // twin-cache hit computed this run still means this run did the (shared) work.
+      bool all_replayed = cs.replayed && s1.replayed &&
+                          (a != CheckOutcome::kPass || s2.replayed);
+      v.provenance = all_replayed ? PairProvenance::kReplayed : PairProvenance::kComputed;
     }
     report.pairs[k] = std::move(v);
   };
@@ -235,11 +285,18 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   report.stats.pairs = jobs.size();
   report.stats.prefiltered = prefiltered_count.load();
   report.stats.solver_checks = solver_checks.load();
-  report.stats.cache_hits = cache.hits();
-  report.stats.cache_misses = cache.misses();
+  report.stats.cache_hits = cache->hits() - hits_before;
+  report.stats.cache_misses = cache->misses() - misses_before;
+  report.stats.replayed = replayed_queries.load();
+  report.stats.paranoia_rechecks = paranoia_rechecks.load();
   report.stats.solver_nodes = solver_nodes.load();
   for (const PairVerdict& v : report.pairs) {
     report.stats.check_seconds += v.com_seconds + v.sem_seconds;
+    if (v.provenance == PairProvenance::kReplayed) {
+      ++report.stats.pairs_replayed;
+    } else if (v.provenance == PairProvenance::kComputed) {
+      ++report.stats.pairs_computed;
+    }
   }
   report.total_seconds = watch.ElapsedSeconds();
   return report;

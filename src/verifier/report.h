@@ -20,6 +20,8 @@
 
 namespace noctua::verifier {
 
+class VerdictCache;
+
 // Execution knobs for AnalyzeRestrictions, orthogonal to what is checked
 // (CheckerOptions) — these change only how fast the same verdicts are produced.
 struct ParallelOptions {
@@ -31,7 +33,28 @@ struct ParallelOptions {
   bool cache = true;
   // Dispatch pairs cheapest-first (prefiltered pairs, then by footprint-size estimate).
   bool cheapest_first = true;
+  // External verdict store to use instead of a run-local cache. The incremental engine
+  // seeds it from a prior run's artifact (VerdictCache::LoadFromFile) so unchanged pairs
+  // replay without a solver call; new verdicts are inserted into it, so saving it after
+  // the run persists the union. Ignored when `cache` is false. nullptr = run-local.
+  VerdictCache* store = nullptr;
+  // Probability of re-solving a *replayed* verdict anyway and CHECK-failing if the fresh
+  // outcome disagrees — a randomized audit of artifact integrity (FNV fingerprints are
+  // not cryptographic). Sampling is derandomized per fingerprint (seeded by the key and
+  // `paranoia_seed`), so the audited subset is thread-schedule independent. 0 disables;
+  // 1.0 re-solves everything replayed.
+  double paranoia = 0;
+  uint64_t paranoia_seed = 0;
 };
+
+// Where a pair's verdicts came from, for incremental-run provenance.
+enum class PairProvenance : uint8_t {
+  kComputed,     // at least one of its verdicts was solved (or twin-cached) this run
+  kReplayed,     // every verdict was served by an entry loaded from a prior run's store
+  kPrefiltered,  // retired by the independence prefilter; no verdict queries at all
+};
+
+const char* PairProvenanceName(PairProvenance p);
 
 struct PairVerdict {
   std::string p;
@@ -43,13 +66,16 @@ struct PairVerdict {
   uint64_t solver_nodes = 0;  // nodes the solver explored for this pair (0 if cached)
   bool prefiltered = false;   // retired by the independence prefilter, no solver run
   uint8_t cache_hits = 0;     // verdicts of this pair served from the cache (0..3)
+  PairProvenance provenance = PairProvenance::kComputed;
 
   bool Restricted() const {
     return OutcomeRestricts(commutativity) || OutcomeRestricts(semantic);
   }
 };
 
-// Aggregate execution statistics for one AnalyzeRestrictions run.
+// Aggregate execution statistics for one AnalyzeRestrictions run. Cache counters are
+// deltas over this run (a persistent store accumulates across runs; the report
+// snapshots its counters before and after).
 struct ReportStats {
   int threads_used = 1;
   uint64_t pairs = 0;            // pairs examined
@@ -57,6 +83,10 @@ struct ReportStats {
   uint64_t solver_checks = 0;    // solver-level queries actually executed
   uint64_t cache_hits = 0;       // queries answered from the verdict cache
   uint64_t cache_misses = 0;     // cache lookups that went to the solver
+  uint64_t replayed = 0;         // queries answered by entries loaded from a prior store
+  uint64_t paranoia_rechecks = 0;  // replayed verdicts re-solved by paranoia sampling
+  uint64_t pairs_replayed = 0;   // pairs with provenance kReplayed
+  uint64_t pairs_computed = 0;   // pairs with provenance kComputed
   uint64_t solver_nodes = 0;     // total search nodes across all executed queries
   double check_seconds = 0;      // per-check wall time summed across workers
 

@@ -1,0 +1,565 @@
+// Tests for the incremental analysis engine: stable serialization of schemas, code
+// paths, analyses, and verdicts; renaming-invariant content digests; the on-disk
+// artifact store with its fail-closed loader; and O(change) re-verification — a warm
+// run must produce the byte-identical restriction set of a cold run while replaying
+// every verdict the edit did not touch.
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+#include "src/pipeline/pipeline.h"
+#include "src/pipeline/session.h"
+#include "src/soir/printer.h"
+#include "src/soir/serialize.h"
+#include "src/verifier/cache.h"
+
+namespace noctua {
+namespace {
+
+using analyzer::Sym;
+using analyzer::SymObj;
+using analyzer::SymSet;
+using analyzer::ViewCtx;
+using soir::FieldDef;
+using soir::FieldType;
+using soir::OnDelete;
+using soir::RelationKind;
+
+// ------------------------------------------------------------------ parameterized app
+//
+// A small lending app whose every name is a parameter captured by the handlers, so a
+// "codebase-wide rename" edit is literally the same program under different names —
+// the scenario the renaming-invariant digests must see through.
+
+struct LibraryNames {
+  std::string book = "Book";
+  std::string member = "Member";
+  std::string loan = "Loan";
+  std::string title = "title";
+  std::string copies = "copies";
+  std::string borrower = "borrower";
+  std::string of_book = "of_book";
+};
+
+struct LibraryConfig {
+  LibraryNames names;
+  // Guard constant in the checkout handler: changing it is the "developer edited a
+  // handler body" scenario (the fingerprint tracks it).
+  int min_copies = 1;
+  // Registers one extra endpoint (the "developer added an endpoint" scenario).
+  bool with_review = false;
+  // Appended to every handler fingerprint — models "the rename rewrote every handler's
+  // source" without changing any handler's behavior.
+  std::string fp_suffix;
+};
+
+app::App MakeLibraryApp(const LibraryConfig& cfg) {
+  app::App app("library", __FILE__);
+  soir::Schema& s = app.schema();
+  const LibraryNames n = cfg.names;
+
+  s.AddModel(n.book);
+  s.AddField(n.book, FieldDef{.name = n.title, .type = FieldType::kString});
+  s.AddField(n.book, FieldDef{.name = n.copies, .type = FieldType::kInt});
+  s.AddModel(n.member);
+  s.AddField(n.member, FieldDef{.name = "name", .type = FieldType::kString});
+  s.AddModel(n.loan);
+  s.AddField(n.loan, FieldDef{.name = "created", .type = FieldType::kDatetime});
+  s.AddRelation(n.borrower, n.loan, n.member, RelationKind::kManyToOne, OnDelete::kCascade,
+                "loans");
+  s.AddRelation(n.of_book, n.loan, n.book, RelationKind::kManyToOne, OnDelete::kCascade,
+                "book_loans");
+
+  app.AddView(
+      "add_book",
+      [n](ViewCtx& v) {
+        v.Create(n.book, {{n.title, v.Post("title")}, {n.copies, v.PostInt("copies")}});
+      },
+      "add_book@v1" + cfg.fp_suffix);
+
+  const int min_copies = cfg.min_copies;
+  app.AddView(
+      "checkout",
+      [n, min_copies](ViewCtx& v) {
+        SymObj member = v.Deref(n.member, v.ParamRef("member", n.member));
+        SymObj book = v.M(n.book).get("id", v.ParamRef("book", n.book));
+        v.Guard(book.attr(n.copies) >= min_copies);
+        v.Create(n.loan, {{"created", v.PostInt("now")}},
+                 {{n.borrower, member}, {n.of_book, book}});
+        book.with(n.copies, book.attr(n.copies) - 1).save();
+      },
+      "checkout@min" + std::to_string(min_copies) + cfg.fp_suffix);
+
+  app.AddView(
+      "return_book",
+      [n](ViewCtx& v) {
+        SymObj member = v.Deref(n.member, v.ParamRef("member", n.member));
+        SymObj book = v.M(n.book).get("id", v.ParamRef("book", n.book));
+        SymSet loan = v.M(n.loan).filter(n.borrower, member).filter(n.of_book, book);
+        v.Guard(loan.exists());
+        loan.del();
+        book.with(n.copies, book.attr(n.copies) + 1).save();
+      },
+      "return_book@v1" + cfg.fp_suffix);
+
+  if (cfg.with_review) {
+    app.AddView(
+        "review",
+        [n](ViewCtx& v) {
+          SymObj book = v.M(n.book).get("id", v.ParamRef("book", n.book));
+          book.with(n.title, v.Post("title")).save();
+        },
+        "review@v1" + cfg.fp_suffix);
+  }
+  return app;
+}
+
+LibraryConfig RenamedConfig(const std::string& fp_suffix) {
+  LibraryConfig cfg;
+  cfg.names.book = "Tome";
+  cfg.names.member = "Patron";
+  cfg.names.loan = "Lending";
+  cfg.names.title = "headline";
+  cfg.names.copies = "stock";
+  cfg.names.borrower = "holder";
+  cfg.names.of_book = "of_tome";
+  cfg.fp_suffix = fp_suffix;
+  return cfg;
+}
+
+// --------------------------------------------------------------------------- helpers
+
+std::string TempStore(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/noctua_incremental_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+IncrementalOptions Opts(int threads = 2) {
+  IncrementalOptions o;
+  o.pipeline.parallel.threads = threads;
+  // Pin the solver to its node budget so verdicts are identical run-to-run even on a
+  // loaded machine — the identity assertions below are exact.
+  o.pipeline.checker.solver.deterministic_budget = true;
+  return o;
+}
+
+std::vector<std::string> VerdictLines(const verifier::RestrictionReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.pairs.size());
+  for (const auto& v : report.pairs) {
+    out.push_back(v.p + "|" + v.q + "|" + verifier::CheckOutcomeName(v.commutativity) +
+                  "|" + verifier::CheckOutcomeName(v.semantic));
+  }
+  return out;
+}
+
+// The strict O(change) property: any pair not involving a view in `changed` must have
+// been replayed (or prefiltered) — never solved this run.
+void ExpectUnchangedPairsReplayed(const verifier::RestrictionReport& report,
+                                  const std::set<std::string>& changed) {
+  auto view_of = [](const std::string& op) { return op.substr(0, op.find('#')); };
+  for (const auto& v : report.pairs) {
+    if (changed.count(view_of(v.p)) != 0 || changed.count(view_of(v.q)) != 0) {
+      continue;
+    }
+    EXPECT_NE(v.provenance, verifier::PairProvenance::kComputed)
+        << "(" << v.p << ", " << v.q << ") was re-verified but neither endpoint changed";
+  }
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// -------------------------------------------------------------- serialization round-trips
+
+TEST(SerializeTest, SchemaRoundTripsToIdenticalDigests) {
+  app::App a = apps::MakeZhihuApp();
+  soir::ArtifactWriter w;
+  soir::SerializeSchema(a.schema(), &w);
+
+  soir::ArtifactReader r(w.str());
+  soir::Schema copy;
+  ASSERT_TRUE(soir::DeserializeSchema(&r, &copy));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(copy.ToString(), a.schema().ToString());
+  EXPECT_EQ(soir::SchemaContentDigest(copy), soir::SchemaContentDigest(a.schema()));
+  EXPECT_EQ(soir::SchemaStructuralDigest(copy), soir::SchemaStructuralDigest(a.schema()));
+}
+
+TEST(SerializeTest, StructuralDigestSurvivesRenamesOnly) {
+  app::App b = MakeLibraryApp(RenamedConfig(""));
+  app::App base = MakeLibraryApp(LibraryConfig{});
+  // Renaming every model/field/relation preserves structure but changes exact content.
+  EXPECT_EQ(soir::SchemaStructuralDigest(b.schema()),
+            soir::SchemaStructuralDigest(base.schema()));
+  EXPECT_NE(soir::SchemaContentDigest(b.schema()),
+            soir::SchemaContentDigest(base.schema()));
+  // A real structural edit (extra field) changes both.
+  app::App extra = MakeLibraryApp(LibraryConfig{});
+  extra.schema().AddField("Member",
+                          FieldDef{.name = "email", .type = FieldType::kString});
+  EXPECT_NE(soir::SchemaStructuralDigest(extra.schema()),
+            soir::SchemaStructuralDigest(base.schema()));
+}
+
+TEST(SerializeTest, CodePathsRoundTripWithIdenticalDigestsAndCanonicalForm) {
+  app::App a = apps::MakeSmallBankApp();
+  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(a);
+  ASSERT_FALSE(analysis.paths.empty());
+  for (const soir::CodePath& p : analysis.paths) {
+    soir::ArtifactWriter w;
+    soir::SerializeCodePath(p, &w);
+    soir::ArtifactReader r(w.str());
+    soir::CodePath copy;
+    ASSERT_TRUE(soir::DeserializeCodePath(&r, a.schema(), &copy)) << p.op_name;
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(copy.op_name, p.op_name);
+    EXPECT_EQ(soir::PathDigest(a.schema(), copy), soir::PathDigest(a.schema(), p));
+    soir::CanonicalizationCtx c1(a.schema());
+    soir::CanonicalizationCtx c2(a.schema());
+    EXPECT_EQ(soir::CanonicalPath(a.schema(), copy, &c1),
+              soir::CanonicalPath(a.schema(), p, &c2));
+  }
+}
+
+TEST(SerializeTest, AnalysisRoundTripValidates) {
+  app::App a = apps::MakeSmallBankApp();
+  analyzer::AnalysisResult analysis = analyzer::AnalyzeApp(a);
+  soir::ArtifactWriter w;
+  analyzer::SerializeAnalysis(analysis, &w);
+
+  soir::ArtifactReader r(w.str());
+  analyzer::AnalysisResult copy;
+  ASSERT_TRUE(analyzer::DeserializeAnalysis(&r, a.schema(), &copy));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(copy.paths.size(), analysis.paths.size());
+  EXPECT_EQ(copy.num_code_paths, analysis.num_code_paths);
+  EXPECT_EQ(copy.num_effectful, analysis.num_effectful);
+  EXPECT_EQ(copy.endpoint_digests, analysis.endpoint_digests);
+  EXPECT_EQ(copy.endpoint_code_paths, analysis.endpoint_code_paths);
+  EXPECT_TRUE(analyzer::ValidateAnalysisDigests(a.schema(), copy));
+}
+
+TEST(SerializeTest, VerdictCachePersistsAndMarksReplayed) {
+  verifier::VerdictCache cache;
+  cache.Insert("com|a \"quoted\" key\nwith newline", verifier::CheckOutcome::kFail);
+  cache.Insert("ni|simple", verifier::CheckOutcome::kPass);
+  std::string file = TempStore("verdicts") + ".verdicts";
+  ASSERT_TRUE(cache.SaveToFile(file));
+
+  verifier::VerdictCache loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(file));
+  EXPECT_EQ(loaded.size(), 2u);
+  auto entry = loaded.LookupEntry("com|a \"quoted\" key\nwith newline");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->outcome, verifier::CheckOutcome::kFail);
+  EXPECT_TRUE(entry->replayed);
+
+  // Corruption fails closed and leaves the cache untouched.
+  std::string data = ReadAll(file);
+  for (const std::string& bad :
+       {data.substr(0, data.size() / 2), std::string("garbage"),
+        std::string("noctua-verdicts 999 0"), data + " trailing"}) {
+    WriteAll(file, bad);
+    verifier::VerdictCache fresh;
+    EXPECT_FALSE(fresh.LoadFromFile(file));
+    EXPECT_EQ(fresh.size(), 0u);
+  }
+}
+
+// ----------------------------------------------------------- fingerprint anti-collision
+
+TEST(FingerprintAntiCollisionTest, DifferentGuardLiteralsGetDifferentKeys) {
+  LibraryConfig one;
+  LibraryConfig five;
+  five.min_copies = 5;
+  app::App a1 = MakeLibraryApp(one);
+  app::App a5 = MakeLibraryApp(five);
+  analyzer::AnalysisResult r1 = analyzer::AnalyzeApp(a1);
+  analyzer::AnalysisResult r5 = analyzer::AnalyzeApp(a5);
+  // Only the guard constant differs; the digests and the verdict keys must separate.
+  EXPECT_NE(r1.endpoint_digests.at("checkout"), r5.endpoint_digests.at("checkout"));
+  EXPECT_EQ(r1.endpoint_digests.at("add_book"), r5.endpoint_digests.at("add_book"));
+
+  auto path_of = [](const analyzer::AnalysisResult& r, const std::string& view) {
+    for (const soir::CodePath& p : r.EffectfulPaths()) {
+      if (p.view_name == view) {
+        return p;
+      }
+    }
+    ADD_FAILURE() << "no effectful path for " << view;
+    return soir::CodePath{};
+  };
+  soir::CodePath p1 = path_of(r1, "checkout");
+  soir::CodePath p5 = path_of(r5, "checkout");
+  EXPECT_NE(verifier::CommutativityKey(a1.schema(), p1, p1, {}),
+            verifier::CommutativityKey(a5.schema(), p5, p5, {}));
+  EXPECT_NE(verifier::NotInvalidateKey(a1.schema(), p1, p1),
+            verifier::NotInvalidateKey(a5.schema(), p5, p5));
+}
+
+TEST(FingerprintAntiCollisionTest, DirectionOrderAndPairingChangeKeys) {
+  app::App a = MakeLibraryApp(LibraryConfig{});
+  analyzer::AnalysisResult r = analyzer::AnalyzeApp(a);
+  const soir::CodePath* checkout = nullptr;
+  const soir::CodePath* add_book = nullptr;
+  const soir::CodePath* ret = nullptr;
+  for (const soir::CodePath& p : r.EffectfulPaths()) {
+    if (p.view_name == "checkout") checkout = &p;
+    if (p.view_name == "add_book") add_book = &p;
+    if (p.view_name == "return_book") ret = &p;
+  }
+  ASSERT_TRUE(checkout != nullptr && add_book != nullptr && ret != nullptr);
+
+  // NotInvalidate is directed: (p, q) and (q, p) are different queries.
+  EXPECT_NE(verifier::NotInvalidateKey(a.schema(), *checkout, *add_book),
+            verifier::NotInvalidateKey(a.schema(), *add_book, *checkout));
+  // Pairing the same path with different partners separates.
+  EXPECT_NE(verifier::CommutativityKey(a.schema(), *checkout, *add_book, {}),
+            verifier::CommutativityKey(a.schema(), *checkout, *ret, {}));
+  // Order membership of a mentioned model is part of the commutativity fingerprint.
+  int book = a.schema().ModelId("Book");
+  EXPECT_NE(verifier::CommutativityKey(a.schema(), *checkout, *add_book, {}),
+            verifier::CommutativityKey(a.schema(), *checkout, *add_book, {book}));
+}
+
+TEST(FingerprintAntiCollisionTest, SmallBankDigestsSeparateFieldSlots) {
+  app::App a = apps::MakeSmallBankApp();
+  analyzer::AnalysisResult r = analyzer::AnalyzeApp(a);
+  std::map<std::string, std::string> digest = r.endpoint_digests;
+  // SendPayment and Amalgamate are canonically the same operation (the cache's win)...
+  EXPECT_EQ(digest.at("SendPayment"), digest.at("Amalgamate"));
+  // ...but operations over different field slots must keep distinct digests.
+  EXPECT_NE(digest.at("DepositChecking"), digest.at("TransactSavings"));
+  EXPECT_NE(digest.at("DepositChecking"), digest.at("SendPayment"));
+}
+
+// ------------------------------------------------------------------- incremental engine
+
+TEST(IncrementalTest, WarmRunReplaysEverythingWhenNothingChanged) {
+  std::string store = TempStore("unchanged");
+  app::App a = MakeLibraryApp(LibraryConfig{});
+  IncrementalResult cold = Pipeline::RunIncremental(a, store, Opts());
+  EXPECT_TRUE(cold.cold);
+  EXPECT_EQ(cold.pairs_replayed, 0u);
+  ASSERT_FALSE(cold.run.restrictions.pairs.empty());
+
+  app::App again = MakeLibraryApp(LibraryConfig{});
+  IncrementalResult warm = Pipeline::RunIncremental(again, store, Opts());
+  EXPECT_FALSE(warm.cold);
+  EXPECT_TRUE(warm.changed_endpoints.empty());
+  EXPECT_EQ(warm.endpoints_reused, again.views().size());
+  EXPECT_EQ(warm.pairs_computed, 0u);
+  ExpectUnchangedPairsReplayed(warm.run.restrictions, {});
+  EXPECT_EQ(VerdictLines(warm.run.restrictions), VerdictLines(cold.run.restrictions));
+}
+
+TEST(IncrementalTest, HandlerEditReverifiesOnlyPairsTouchingIt) {
+  std::string store = TempStore("handler_edit");
+  Pipeline::RunIncremental(MakeLibraryApp(LibraryConfig{}), store, Opts());
+
+  LibraryConfig edited;
+  edited.min_copies = 5;  // checkout's guard changed (and so did its fingerprint)
+  app::App b = MakeLibraryApp(edited);
+  IncrementalResult warm = Pipeline::RunIncremental(b, store, Opts());
+  EXPECT_FALSE(warm.cold);
+  EXPECT_EQ(warm.changed_endpoints, std::vector<std::string>{"checkout"});
+  EXPECT_EQ(warm.endpoints_reused, b.views().size() - 1);
+  EXPECT_GT(warm.pairs_replayed, 0u);
+  ExpectUnchangedPairsReplayed(warm.run.restrictions, {"checkout"});
+
+  // Byte-identical to a from-scratch run of the edited app.
+  std::string cold_store = TempStore("handler_edit_cold");
+  IncrementalResult cold = Pipeline::RunIncremental(MakeLibraryApp(edited), cold_store, Opts());
+  EXPECT_EQ(VerdictLines(warm.run.restrictions), VerdictLines(cold.run.restrictions));
+}
+
+TEST(IncrementalTest, AddedEndpointReverifiesOnlyItsPairs) {
+  std::string store = TempStore("add_endpoint");
+  Pipeline::RunIncremental(MakeLibraryApp(LibraryConfig{}), store, Opts());
+
+  LibraryConfig with_review;
+  with_review.with_review = true;
+  app::App b = MakeLibraryApp(with_review);
+  IncrementalResult warm = Pipeline::RunIncremental(b, store, Opts());
+  EXPECT_FALSE(warm.cold);
+  EXPECT_EQ(warm.changed_endpoints, std::vector<std::string>{"review"});
+  ExpectUnchangedPairsReplayed(warm.run.restrictions, {"review"});
+
+  std::string cold_store = TempStore("add_endpoint_cold");
+  IncrementalResult cold =
+      Pipeline::RunIncremental(MakeLibraryApp(with_review), cold_store, Opts());
+  EXPECT_EQ(VerdictLines(warm.run.restrictions), VerdictLines(cold.run.restrictions));
+}
+
+TEST(IncrementalTest, RenameOnlyEditReplaysEveryVerdict) {
+  std::string store = TempStore("rename");
+  app::App a = MakeLibraryApp(LibraryConfig{});
+  IncrementalResult cold = Pipeline::RunIncremental(a, store, Opts());
+
+  // The rename rewrote every handler's source (fingerprints change), so analysis re-runs
+  // — but every digest and every verdict fingerprint is renaming-invariant: nothing is
+  // re-verified and the restriction set is byte-identical.
+  app::App renamed = MakeLibraryApp(RenamedConfig("@renamed"));
+  IncrementalResult warm = Pipeline::RunIncremental(renamed, store, Opts());
+  EXPECT_FALSE(warm.cold);
+  EXPECT_EQ(warm.endpoints_reused, 0u);
+  EXPECT_TRUE(warm.changed_endpoints.empty())
+      << "a pure rename must not change any endpoint digest";
+  EXPECT_EQ(warm.pairs_computed, 0u) << "a pure rename must replay 100% of verdicts";
+  ExpectUnchangedPairsReplayed(warm.run.restrictions, {});
+  EXPECT_EQ(VerdictLines(warm.run.restrictions), VerdictLines(cold.run.restrictions));
+
+  // Schema-only rename with untouched handlers (fingerprints equal): analysis memoizes
+  // on top of the verdict replay.
+  app::App renamed_again = MakeLibraryApp(RenamedConfig("@renamed"));
+  IncrementalResult memo = Pipeline::RunIncremental(renamed_again, store, Opts());
+  EXPECT_FALSE(memo.cold);
+  EXPECT_EQ(memo.endpoints_reused, renamed_again.views().size());
+  EXPECT_EQ(memo.pairs_computed, 0u);
+  EXPECT_EQ(VerdictLines(memo.run.restrictions), VerdictLines(cold.run.restrictions));
+}
+
+TEST(IncrementalTest, StructuralSchemaEditFallsBackToCold) {
+  std::string store = TempStore("schema_edit");
+  Pipeline::RunIncremental(MakeLibraryApp(LibraryConfig{}), store, Opts());
+
+  app::App b = MakeLibraryApp(LibraryConfig{});
+  b.schema().AddField("Member", FieldDef{.name = "email", .type = FieldType::kString});
+  IncrementalResult warm = Pipeline::RunIncremental(b, store, Opts());
+  EXPECT_TRUE(warm.cold) << "model ids cannot be trusted across structural edits";
+}
+
+TEST(IncrementalTest, CorruptedArtifactsFallBackToColdWithIdenticalVerdicts) {
+  std::string store = TempStore("corrupt");
+  app::App a = MakeLibraryApp(LibraryConfig{});
+  IncrementalResult reference = Pipeline::RunIncremental(a, store, Opts());
+  std::vector<std::string> expected = VerdictLines(reference.run.restrictions);
+
+  struct Corruption {
+    const char* file;
+    enum { kTruncate, kGarbage, kVersion, kDelete } kind;
+  };
+  const Corruption kCorruptions[] = {
+      {"analysis", Corruption::kTruncate},
+      {"verdicts", Corruption::kGarbage},
+      {"manifest", Corruption::kVersion},
+      {"schema", Corruption::kDelete},
+  };
+  for (const Corruption& c : kCorruptions) {
+    std::string path = store + "/" + c.file;
+    switch (c.kind) {
+      case Corruption::kTruncate:
+        WriteAll(path, ReadAll(path).substr(0, ReadAll(path).size() / 2));
+        break;
+      case Corruption::kGarbage:
+        WriteAll(path, "not an artifact at all {{{");
+        break;
+      case Corruption::kVersion:
+        WriteAll(path, "noctua-manifest 9999 \"library\" \"x\" \"y\"");
+        break;
+      case Corruption::kDelete:
+        std::filesystem::remove(path);
+        break;
+    }
+    IncrementalResult warm = Pipeline::RunIncremental(a, store, Opts());
+    EXPECT_TRUE(warm.cold) << c.file << " corruption must degrade to a cold run";
+    EXPECT_EQ(VerdictLines(warm.run.restrictions), expected) << c.file;
+    // The run re-saved good artifacts; prove the store recovered.
+    IncrementalResult recovered = Pipeline::RunIncremental(a, store, Opts());
+    EXPECT_FALSE(recovered.cold) << c.file;
+  }
+}
+
+TEST(IncrementalTest, RealAppsReplayByteIdentical) {
+  for (const apps::AppEntry& entry : {apps::AppEntry{"SmallBank", apps::MakeSmallBankApp},
+                                      apps::AppEntry{"Courseware", apps::MakeCoursewareApp}}) {
+    std::string store = TempStore(std::string("real_") + entry.name);
+    app::App a = entry.make();
+    IncrementalResult cold = Pipeline::RunIncremental(a, store, Opts());
+    EXPECT_TRUE(cold.cold) << entry.name;
+
+    app::App b = entry.make();
+    IncrementalResult warm = Pipeline::RunIncremental(b, store, Opts());
+    EXPECT_FALSE(warm.cold) << entry.name;
+    EXPECT_TRUE(warm.changed_endpoints.empty()) << entry.name;
+    EXPECT_EQ(warm.pairs_computed, 0u) << entry.name;
+    EXPECT_EQ(VerdictLines(warm.run.restrictions), VerdictLines(cold.run.restrictions))
+        << entry.name;
+  }
+}
+
+// ---------------------------------------------------------------------------- paranoia
+
+TEST(IncrementalTest, FullParanoiaAgreesOnAnHonestStore) {
+  std::string store = TempStore("paranoia_honest");
+  app::App a = MakeLibraryApp(LibraryConfig{});
+  Pipeline::RunIncremental(a, store, Opts());
+
+  IncrementalOptions opts = Opts();
+  opts.paranoia = 1.0;
+  opts.paranoia_seed = 7;
+  IncrementalResult warm = Pipeline::RunIncremental(a, store, opts);
+  EXPECT_FALSE(warm.cold);
+  const verifier::ReportStats& stats = warm.run.restrictions.stats;
+  EXPECT_GT(stats.replayed, 0u);
+  EXPECT_EQ(stats.paranoia_rechecks, stats.replayed)
+      << "paranoia=1.0 must re-solve every replayed verdict";
+  EXPECT_EQ(warm.pairs_computed, 0u);
+}
+
+TEST(IncrementalDeathTest, ParanoiaCatchesAPoisonedStore) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::string store = TempStore("paranoia_poison");
+  app::App a = MakeLibraryApp(LibraryConfig{});
+  Pipeline::RunIncremental(a, store, Opts(1));
+
+  // Flip the first stored verdict — the silent corruption FNV fingerprints can't catch.
+  std::string file = store + "/verdicts";
+  soir::ArtifactReader r(ReadAll(file));
+  r.ExpectAtom("noctua-verdicts");
+  int64_t version = r.Int();
+  size_t n = r.Count(1000000);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(n, 0u);
+  soir::ArtifactWriter w;
+  w.Atom("noctua-verdicts");
+  w.Int(version);
+  w.Int(static_cast<int64_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = r.Str();
+    int64_t outcome = r.Int();
+    if (i == 0) {
+      outcome = outcome == 0 ? 1 : 0;
+    }
+    w.Str(key);
+    w.Int(outcome);
+  }
+  ASSERT_TRUE(r.ok());
+  WriteAll(file, w.str());
+
+  IncrementalOptions opts = Opts(1);
+  opts.paranoia = 1.0;
+  EXPECT_DEATH(Pipeline::RunIncremental(a, store, opts), "paranoia recheck disagrees");
+}
+
+}  // namespace
+}  // namespace noctua

@@ -64,6 +64,28 @@ TEST(ThreadPoolTest, DefaultThreadsReadsEnvironment) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
 }
 
+TEST(ThreadPoolTest, DefaultThreadsRejectsMalformedEnvironment) {
+  // atoi-style lenient parsing would turn "8x" into 8 and "abc" into 0; the variable
+  // must parse as a whole positive integer or be ignored entirely.
+  const int fallback = [] {
+    unsetenv("NOCTUA_THREADS");
+    return ThreadPool::DefaultThreads();
+  }();
+  for (const char* bad : {"abc", "-3", "0", "12abc", "3.5", "", "99999999999999999999"}) {
+    ASSERT_EQ(setenv("NOCTUA_THREADS", bad, 1), 0);
+    EXPECT_EQ(ThreadPool::DefaultThreads(), fallback) << "NOCTUA_THREADS=\"" << bad << '"';
+  }
+  ASSERT_EQ(unsetenv("NOCTUA_THREADS"), 0);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsClampsAbsurdValues) {
+  ASSERT_EQ(setenv("NOCTUA_THREADS", "100000", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 256);
+  ASSERT_EQ(setenv("NOCTUA_THREADS", "256", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 256);
+  ASSERT_EQ(unsetenv("NOCTUA_THREADS"), 0);
+}
+
 // ------------------------------------------------------------------- canonical fingerprint
 
 TEST(CanonicalFingerprintTest, CopiedEndpointsShareFingerprints) {
