@@ -2,14 +2,80 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/analyzer/analyzer.h"
 #include "src/app/app.h"
+#include "src/support/strings.h"
 #include "src/verifier/report.h"
 
 namespace noctua::bench {
+
+// Version of every BENCH_*.json document's shape. Bump when a sweep's JSON layout
+// changes incompatibly, so longitudinal tooling comparing trajectories across commits
+// can tell "the metric moved" from "the schema moved".
+//   v1 (implicit): the PR 1-4 sweeps, no schema_version field.
+//   v2: schema_version field added; parallel_sweep rows carry per-phase percentiles.
+inline constexpr int kBenchSchemaVersion = 2;
+
+// The leading members every BENCH_*.json document starts with. Callers embed it right
+// after their opening brace: json = "{" + BenchJsonPreamble("fault_sweep") + ", ...".
+inline std::string BenchJsonPreamble(const std::string& bench_name) {
+  return "\"bench\": \"" + bench_name +
+         "\", \"schema_version\": " + std::to_string(kBenchSchemaVersion);
+}
+
+// Percentiles of a sample set, exact by sorting (benches deal in hundreds of samples,
+// not millions). The rank is ceil(q*n), clamped to [1, n] — the value such that at
+// least q of the samples are <= it.
+struct Percentiles {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+inline Percentiles ComputePercentiles(std::vector<double> samples) {
+  Percentiles out;
+  if (samples.empty()) {
+    return out;
+  }
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    size_t rank = static_cast<size_t>(q * static_cast<double>(samples.size()) + 0.999999);
+    rank = std::max<size_t>(1, std::min(rank, samples.size()));
+    return samples[rank - 1];
+  };
+  out.p50 = at(0.50);
+  out.p95 = at(0.95);
+  out.p99 = at(0.99);
+  return out;
+}
+
+inline std::string PercentilesJson(const Percentiles& p, int digits = 6) {
+  return "{\"p50\": " + FormatDouble(p.p50, digits) + ", \"p95\": " +
+         FormatDouble(p.p95, digits) + ", \"p99\": " + FormatDouble(p.p99, digits) + "}";
+}
+
+// Per-phase timing distribution of one verification run: commutativity and semantic
+// check wall times across the (non-prefiltered) pairs, as percentile summaries. This is
+// what "where did the verify time go" questions need — totals hide the tail pair that
+// dominates wall-clock on few threads.
+inline std::string PhaseTimingJson(const verifier::RestrictionReport& report) {
+  std::vector<double> com, sem;
+  for (const auto& v : report.pairs) {
+    if (v.prefiltered) {
+      continue;
+    }
+    com.push_back(v.com_seconds);
+    sem.push_back(v.sem_seconds);
+  }
+  return "{\"com_seconds\": " + PercentilesJson(ComputePercentiles(std::move(com))) +
+         ", \"sem_seconds\": " + PercentilesJson(ComputePercentiles(std::move(sem))) +
+         "}";
+}
 
 // Lines of code of an app's defining C++ source (the Table 4 LoC counterpart; the paper
 // counts Python lines, we count ours). Blank lines and lines holding nothing but a //

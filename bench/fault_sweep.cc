@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/apps/smallbank.h"
 #include "src/pipeline/pipeline.h"
 #include "src/repl/simulator.h"
@@ -38,7 +39,8 @@ int main() {
   const Mode kModes[] = {{"PoR", false}, {"SC", true}};
 
   bool all_safe = true;
-  std::string json = "{\"app\": \"SmallBank\", \"write_ratio\": " +
+  std::string json = "{" + noctua::bench::BenchJsonPreamble("fault_sweep") +
+                     ", \"app\": \"SmallBank\", \"write_ratio\": " +
                      FormatDouble(kWriteRatio, 2) +
                      ", \"duration_ms\": " + FormatDouble(kDurationMs, 0) +
                      ", \"series\": [";

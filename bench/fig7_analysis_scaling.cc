@@ -47,7 +47,7 @@ int main() {
   PipelineOptions analysis_only;
   analysis_only.verify = false;
 
-  std::string json = "{\"analysis\": [";
+  std::string json = "{" + bench::BenchJsonPreamble("fig7_analysis_scaling") + ", \"analysis\": [";
   bool first_app = true;
   for (const auto& entry : apps::EvaluatedApps()) {
     double ms[3];

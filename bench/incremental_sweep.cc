@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/apps/ownphotos.h"
 #include "src/apps/zhihu.h"
 #include "src/pipeline/pipeline.h"
@@ -211,7 +212,8 @@ int main() {
   };
 
   bool identical_everywhere = true;
-  std::string json = "{\"apps\": [";
+  std::string json =
+      "{" + noctua::bench::BenchJsonPreamble("incremental_sweep") + ", \"apps\": [";
   for (size_t c = 0; c < cases.size(); ++c) {
     const AppCase& app_case = cases[c];
 

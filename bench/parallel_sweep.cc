@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/apps/smallbank.h"
 #include "src/apps/todo.h"
 #include "src/apps/zhihu.h"
@@ -61,7 +62,7 @@ int main() {
   const int kThreadCounts[] = {1, 2, 4, 8};
   bool identical_everywhere = true;
 
-  std::string json = "{\"apps\": [";
+  std::string json = "{" + bench::BenchJsonPreamble("parallel_sweep") + ", \"apps\": [";
   for (size_t c = 0; c < cases.size(); ++c) {
     AppCase& app_case = cases[c];
     PipelineOptions analysis_only;
@@ -114,6 +115,8 @@ int main() {
               ", \"cache_hits\": " + std::to_string(report.stats.cache_hits) +
               ", \"solver_checks\": " + std::to_string(report.stats.solver_checks) +
               ", \"prefiltered\": " + std::to_string(report.stats.prefiltered) +
+              ", \"pool_steals\": " + std::to_string(report.stats.pool_steals) +
+              ", \"phases\": " + bench::PhaseTimingJson(report) +
               ", \"identical_restrictions\": " + (identical ? "true" : "false") + "}";
     }
     json += "]}";

@@ -4,6 +4,7 @@
 
 #include "src/analyzer/trace.h"
 #include "src/analyzer/view_ctx.h"
+#include "src/obs/obs.h"
 #include "src/support/check.h"
 #include "src/support/stopwatch.h"
 
@@ -39,6 +40,7 @@ std::string EndpointDigest(const soir::Schema& schema,
 
 void AnalyzeView(const soir::Schema& schema, const app::View& view,
                  const AnalyzerOptions& options, AnalysisResult* result) {
+  obs::ScopedSpan span(obs::Enabled() ? view.name : std::string(), obs::kCatAnalyze);
   PathFinder finder(options.path_finder);
   TraceCtx trace(schema, &finder);
   int path_index = 0;
@@ -72,6 +74,8 @@ void AnalyzeView(const soir::Schema& schema, const app::View& view,
   }
   result->endpoint_digests[view.name] = EndpointDigest(schema, view_paths, code_paths);
   result->view_fingerprints[view.name] = view.fingerprint;
+  span.Arg("code_paths", code_paths);
+  span.Arg("paths_kept", result->paths.size() - first_path);
 }
 
 AnalysisResult AnalyzeApp(const app::App& app, const AnalyzerOptions& options) {
@@ -113,6 +117,11 @@ AnalysisResult AnalyzeAppIncremental(const app::App& app, const AnalysisResult* 
     }
   }
   result.seconds = watch.ElapsedSeconds();
+  if (obs::Enabled()) {
+    obs::Add(obs::Counter::kEndpointsMemoized, result.endpoints_reused);
+    obs::Add(obs::Counter::kEndpointsAnalyzed,
+             app.views().size() - result.endpoints_reused);
+  }
   return result;
 }
 

@@ -1,0 +1,63 @@
+// Minimal recursive-descent JSON parser producing an immutable DOM. Exists so the tests
+// and the pipeline_sweep bench can validate the trace files this library *writes* by
+// parsing them back — well-formedness, span categories, per-pair args — without an
+// external JSON dependency. It accepts strict RFC 8259 JSON (which is all the exporter
+// emits); it is not a general-purpose lenient parser.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace noctua::obs {
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<const JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonPtr>& AsArray() const { return array_; }
+  const std::map<std::string, JsonPtr>& AsObject() const { return object_; }
+
+  // Object member lookup; nullptr when this is not an object or the key is absent.
+  JsonPtr Get(const std::string& key) const;
+
+  static JsonPtr MakeNull();
+  static JsonPtr MakeBool(bool b);
+  static JsonPtr MakeNumber(double n);
+  static JsonPtr MakeString(std::string s);
+  static JsonPtr MakeArray(std::vector<JsonPtr> items);
+  static JsonPtr MakeObject(std::map<std::string, JsonPtr> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonPtr> array_;
+  std::map<std::string, JsonPtr> object_;
+};
+
+// Parses `text` as one JSON document. Returns nullptr and sets `*error` (position and
+// reason) on malformed input or trailing garbage.
+JsonPtr ParseJson(const std::string& text, std::string* error);
+
+}  // namespace noctua::obs
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,522 @@
+#include "src/obs/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "src/support/check.h"
+
+namespace noctua::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+// One finished span as recorded by its owning thread. Fixed-size args keep the append
+// allocation-free except for the name string.
+struct RawSpan {
+  std::string name;
+  const char* cat = nullptr;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  size_t num_args = 0;
+  std::pair<const char*, uint64_t> args[ScopedSpan::kMaxSpanArgs];
+};
+
+// Per-thread span sink. The owning thread appends under `mu`; the only other locker is
+// the end-of-run snapshot, so the lock is uncontended while recording (this is what
+// keeps concurrent workers from serializing on a shared buffer).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<RawSpan> spans;
+  int tid = 0;
+};
+
+struct HistState {
+  std::atomic<uint64_t> buckets[kHistBuckets];
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> min{UINT64_MAX};
+  std::atomic<uint64_t> max{0};
+};
+
+struct Registry {
+  std::atomic<bool> enabled{false};
+  // Bumped on every install so a thread's cached buffer from a previous run is never
+  // written into the current one.
+  std::atomic<uint64_t> generation{0};
+  std::atomic<int64_t> epoch_us{0};
+
+  std::mutex mu;  // guards buffers, next_tid, active
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+  bool active = false;  // a Collector object is installed (recording or stopped)
+
+  std::atomic<uint64_t> counters[static_cast<size_t>(Counter::kNumCounters)];
+  HistState hists[static_cast<size_t>(Hist::kNumHists)];
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // leaked: recording may outlive static dtors
+  return *r;
+}
+
+struct TlsSlot {
+  std::shared_ptr<ThreadBuffer> buf;
+  uint64_t gen = 0;
+};
+
+thread_local TlsSlot tls_slot;
+
+// The calling thread's buffer for the current recording generation, registering it on
+// first use; nullptr when collection raced off.
+ThreadBuffer* CurrentBuffer() {
+  Registry& reg = Reg();
+  uint64_t gen = reg.generation.load(std::memory_order_acquire);
+  if (tls_slot.gen != gen || tls_slot.buf == nullptr) {
+    std::lock_guard<std::mutex> lk(reg.mu);
+    if (!reg.enabled.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    tls_slot.buf = std::make_shared<ThreadBuffer>();
+    tls_slot.buf->tid = reg.next_tid++;
+    reg.buffers.push_back(tls_slot.buf);
+    tls_slot.gen = gen;
+  }
+  return tls_slot.buf.get();
+}
+
+void AtomicMin(std::atomic<uint64_t>& a, uint64_t v) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& a, uint64_t v) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------------------
+// Names
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kPairsChecked:
+      return "verifier.pairs_checked";
+    case Counter::kPairsPrefiltered:
+      return "verifier.pairs_prefiltered";
+    case Counter::kSolverChecks:
+      return "verifier.solver_checks";
+    case Counter::kCacheHits:
+      return "verifier.cache_hits";
+    case Counter::kCacheMisses:
+      return "verifier.cache_misses";
+    case Counter::kCacheReplayed:
+      return "verifier.cache_replayed";
+    case Counter::kCacheEvictions:
+      return "verifier.cache_evictions";
+    case Counter::kPoolSteals:
+      return "pool.steals";
+    case Counter::kPoolTasks:
+      return "pool.tasks";
+    case Counter::kSolverNodes:
+      return "smt.solver_nodes";
+    case Counter::kSolverAssignments:
+      return "smt.solver_assignments";
+    case Counter::kGroundExpansions:
+      return "smt.ground_expansions";
+    case Counter::kSimplifyHits:
+      return "smt.simplify_hits";
+    case Counter::kEndpointsAnalyzed:
+      return "analyzer.endpoints_analyzed";
+    case Counter::kEndpointsMemoized:
+      return "analyzer.endpoints_memoized";
+    case Counter::kPairsReplayed:
+      return "incremental.pairs_replayed";
+    case Counter::kPairsComputed:
+      return "incremental.pairs_computed";
+    case Counter::kParanoiaRechecks:
+      return "incremental.paranoia_rechecks";
+    case Counter::kArtifactLoads:
+      return "incremental.artifact_loads";
+    case Counter::kArtifactLoadFailures:
+      return "incremental.artifact_load_failures";
+    case Counter::kArtifactSaves:
+      return "incremental.artifact_saves";
+    case Counter::kArtifactSaveFailures:
+      return "incremental.artifact_save_failures";
+    case Counter::kSimRequestsCompleted:
+      return "sim.requests_completed";
+    case Counter::kSimMessagesSent:
+      return "sim.messages_sent";
+    case Counter::kSimMessagesDropped:
+      return "sim.messages_dropped";
+    case Counter::kSimRetransmissions:
+      return "sim.retransmissions";
+    case Counter::kSimDuplicatesIgnored:
+      return "sim.duplicates_ignored";
+    case Counter::kSimEffectsReplayed:
+      return "sim.effects_replayed";
+    case Counter::kSimReplicaCrashes:
+      return "sim.replica_crashes";
+    case Counter::kSimReplicaRecoveries:
+      return "sim.replica_recoveries";
+    case Counter::kSimConflictViolations:
+      return "sim.conflict_violations";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "?";
+}
+
+const char* HistName(Hist h) {
+  switch (h) {
+    case Hist::kPairMicros:
+      return "verifier.pair_micros";
+    case Hist::kSolveMicros:
+      return "smt.solve_micros";
+    case Hist::kSolverNodesPerQuery:
+      return "smt.solver_nodes_per_query";
+    case Hist::kSolverAssignmentsPerQuery:
+      return "smt.solver_assignments_per_query";
+    case Hist::kGroundExpansionsPerQuery:
+      return "smt.ground_expansions_per_query";
+    case Hist::kNumHists:
+      break;
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------------------
+// Recording entry points
+
+bool Enabled() { return Reg().enabled.load(std::memory_order_acquire); }
+
+bool Active() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  return reg.active;
+}
+
+void Add(Counter c, uint64_t delta) {
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  reg.counters[static_cast<size_t>(c)].fetch_add(delta, std::memory_order_relaxed);
+}
+
+size_t HistBucketFor(uint64_t value) {
+  return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t HistBucketLowerBound(size_t b) {
+  return b == 0 ? 0 : uint64_t{1} << (b - 1);
+}
+
+void Observe(Hist h, uint64_t value) {
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  HistState& hs = reg.hists[static_cast<size_t>(h)];
+  hs.buckets[HistBucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  hs.count.fetch_add(1, std::memory_order_relaxed);
+  hs.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(hs.min, value);
+  AtomicMax(hs.max, value);
+}
+
+// ---------------------------------------------------------------------------------------
+// ScopedSpan
+
+ScopedSpan::ScopedSpan(const char* name, const char* category) {
+  if (!Enabled()) {
+    return;
+  }
+  name_ = name;
+  Start(category);
+}
+
+ScopedSpan::ScopedSpan(std::string name, const char* category) {
+  if (!Enabled() || name.empty()) {
+    return;
+  }
+  name_ = std::move(name);
+  Start(category);
+}
+
+void ScopedSpan::Start(const char* category) {
+  category_ = category;
+  start_us_ = NowMicros();
+  active_ = true;
+}
+
+void ScopedSpan::Arg(const char* key, uint64_t value) {
+  if (!active_ || num_args_ >= kMaxSpanArgs) {
+    return;
+  }
+  args_[num_args_++] = {key, value};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_ || !Enabled()) {
+    return;  // collection stopped while the span was open: drop it
+  }
+  ThreadBuffer* buf = CurrentBuffer();
+  if (buf == nullptr) {
+    return;
+  }
+  int64_t end_us = NowMicros();
+  std::lock_guard<std::mutex> lk(buf->mu);
+  buf->spans.push_back(RawSpan{});
+  RawSpan& s = buf->spans.back();
+  s.name = std::move(name_);
+  s.cat = category_;
+  s.ts_us = start_us_ - Reg().epoch_us.load(std::memory_order_relaxed);
+  s.dur_us = end_us - start_us_;
+  s.num_args = num_args_;
+  for (size_t i = 0; i < num_args_; ++i) {
+    s.args[i] = args_[i];
+  }
+}
+
+// ---------------------------------------------------------------------------------------
+// Collector
+
+Collector::Collector(ObsOptions options) : options_(std::move(options)) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  NOCTUA_CHECK_MSG(!reg.active,
+                   "a noctua::obs::Collector is already installed — one recording "
+                   "session at a time");
+  reg.active = true;
+  reg.buffers.clear();
+  reg.next_tid = 1;
+  for (auto& c : reg.counters) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  for (auto& h : reg.hists) {
+    for (auto& b : h.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    h.min.store(UINT64_MAX, std::memory_order_relaxed);
+    h.max.store(0, std::memory_order_relaxed);
+  }
+  reg.epoch_us.store(NowMicros(), std::memory_order_relaxed);
+  reg.generation.fetch_add(1, std::memory_order_release);
+  reg.enabled.store(true, std::memory_order_release);
+}
+
+Collector::~Collector() {
+  Stop();
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.active = false;
+  reg.buffers.clear();
+}
+
+void Collector::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  Registry& reg = Reg();
+  reg.enabled.store(false, std::memory_order_release);
+
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    for (RawSpan& s : buf->spans) {
+      TraceEvent ev;
+      ev.name = std::move(s.name);
+      ev.category = s.cat;
+      ev.ts_us = s.ts_us;
+      ev.dur_us = s.dur_us;
+      ev.tid = buf->tid;
+      ev.args.assign(s.args, s.args + s.num_args);
+      events_.push_back(std::move(ev));
+    }
+    buf->spans.clear();
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+
+  for (size_t i = 0; i < static_cast<size_t>(Counter::kNumCounters); ++i) {
+    counters_[i] = reg.counters[i].load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < static_cast<size_t>(Hist::kNumHists); ++i) {
+    const HistState& hs = reg.hists[i];
+    HistSummary& out = hists_[i];
+    out.count = hs.count.load(std::memory_order_relaxed);
+    out.sum = hs.sum.load(std::memory_order_relaxed);
+    out.min = out.count == 0 ? 0 : hs.min.load(std::memory_order_relaxed);
+    out.max = hs.max.load(std::memory_order_relaxed);
+    // Percentiles at bucket resolution: the lower bound of the bucket holding the rank.
+    uint64_t counts[kHistBuckets];
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      counts[b] = hs.buckets[b].load(std::memory_order_relaxed);
+    }
+    auto percentile = [&](double q) -> uint64_t {
+      if (out.count == 0) {
+        return 0;
+      }
+      uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(out.count));
+      if (rank < 1) {
+        rank = 1;
+      }
+      if (rank > out.count) {
+        rank = out.count;
+      }
+      uint64_t seen = 0;
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        seen += counts[b];
+        if (seen >= rank) {
+          return HistBucketLowerBound(b);
+        }
+      }
+      return out.max;
+    };
+    out.p50 = percentile(0.50);
+    out.p95 = percentile(0.95);
+    out.p99 = percentile(0.99);
+  }
+}
+
+const std::vector<TraceEvent>& Collector::events() const {
+  NOCTUA_CHECK_MSG(stopped_, "Collector::events() before Stop()");
+  return events_;
+}
+
+uint64_t Collector::counter(Counter c) const {
+  NOCTUA_CHECK_MSG(stopped_, "Collector::counter() before Stop()");
+  return counters_[static_cast<size_t>(c)];
+}
+
+HistSummary Collector::histogram(Hist h) const {
+  NOCTUA_CHECK_MSG(stopped_, "Collector::histogram() before Stop()");
+  return hists_[static_cast<size_t>(h)];
+}
+
+std::set<std::string> Collector::SpanCategories() const {
+  std::set<std::string> cats;
+  for (const TraceEvent& ev : events()) {
+    cats.insert(ev.category);
+  }
+  return cats;
+}
+
+// ---------------------------------------------------------------------------------------
+// Export
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[c >> 4];
+          out += hex[c & 0xf];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Collector::ChromeTraceJson() const {
+  const std::vector<TraceEvent>& evs = events();
+  std::string json = "{\"traceEvents\": [";
+  bool first = true;
+  std::set<int> tids;
+  for (const TraceEvent& ev : evs) {
+    tids.insert(ev.tid);
+    if (!first) {
+      json += ",\n ";
+    }
+    first = false;
+    json += "{\"name\": \"" + JsonEscape(ev.name) + "\", \"cat\": \"" +
+            JsonEscape(ev.category) + "\", \"ph\": \"X\", \"ts\": " +
+            std::to_string(ev.ts_us) + ", \"dur\": " + std::to_string(ev.dur_us) +
+            ", \"pid\": 1, \"tid\": " + std::to_string(ev.tid);
+    if (!ev.args.empty()) {
+      json += ", \"args\": {";
+      for (size_t i = 0; i < ev.args.size(); ++i) {
+        json += std::string(i ? ", " : "") + "\"" + JsonEscape(ev.args[i].first) +
+                "\": " + std::to_string(ev.args[i].second);
+      }
+      json += "}";
+    }
+    json += "}";
+  }
+  // Thread-name metadata so Perfetto labels the rows.
+  for (int tid : tids) {
+    if (!first) {
+      json += ",\n ";
+    }
+    first = false;
+    json += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+            std::to_string(tid) + ", \"args\": {\"name\": \"" +
+            (tid == 1 ? std::string("main") : "worker-" + std::to_string(tid)) + "\"}}";
+  }
+  json += "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"counters\": {";
+  first = true;
+  for (size_t i = 0; i < static_cast<size_t>(Counter::kNumCounters); ++i) {
+    if (counters_[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      json += ", ";
+    }
+    first = false;
+    json += "\"" + std::string(CounterName(static_cast<Counter>(i))) +
+            "\": " + std::to_string(counters_[i]);
+  }
+  json += "}}}";
+  return json;
+}
+
+bool Collector::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << ChromeTraceJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace noctua::obs

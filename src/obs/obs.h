@@ -1,0 +1,259 @@
+// Observability for the Noctua stack: scoped spans, typed counters, and log-scale
+// histograms feeding a process-wide collector that exports Chrome trace-event JSON
+// (loadable in chrome://tracing and Perfetto) and a structured RunReport.
+//
+// Design contract:
+//
+//   * Zero cost when off. Every entry point — span construction, Add, Observe — starts
+//     with one relaxed atomic load of the global enabled flag and returns immediately
+//     when collection is off: no clock read, no allocation, no lock. Call sites that
+//     would pay to *build* an argument (a dynamic span name, a derived value) must guard
+//     with obs::Enabled() themselves.
+//   * Thread-safe by per-thread buffering. Each recording thread appends span events to
+//     its own buffer under a buffer-local mutex that is uncontended in steady state (the
+//     only other locker is the end-of-run snapshot), so concurrent verification workers
+//     never serialize on a shared sink. Counters and histogram buckets are plain
+//     relaxed atomics.
+//   * One collector at a time. A Collector installs itself as the process-global sink
+//     (resetting counters and buffers), records until Stop(), and then exposes the
+//     snapshot. Pipeline::Run owns this wiring when PipelineOptions::obs.enabled is set;
+//     nothing else in the library installs collectors, it only feeds whatever is active.
+//
+// Instrumentation is fed at aggregation points (end of a check, end of a run), never in
+// per-node inner loops — the solver counts its own nodes and the checker flushes the
+// totals, so the hot DFS stays untouched.
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace noctua::obs {
+
+// ---------------------------------------------------------------------------------------
+// Options
+
+struct ObsOptions {
+  // Master switch. False (the default) keeps every probe at its one-atomic-load fast
+  // path; nothing is recorded and no report is built.
+  bool enabled = false;
+  // When non-empty, the collector writes Chrome trace-event JSON here at the end of the
+  // run ("" = keep the trace in memory only).
+  std::string trace_out;
+  // How many of the slowest pairs the RunReport lists (the "what do I optimize next"
+  // table).
+  size_t top_slowest_pairs = 10;
+};
+
+// ---------------------------------------------------------------------------------------
+// Span categories (the Chrome-trace "cat" field). A fixed taxonomy, not free-form
+// strings, so traces from different runs aggregate cleanly.
+
+inline constexpr const char* kCatPipeline = "pipeline";        // whole-stage phases
+inline constexpr const char* kCatAnalyze = "analyze";          // symbolic path exploration
+inline constexpr const char* kCatVerify = "verify";            // restriction-set assembly
+inline constexpr const char* kCatPair = "pair";                // one unordered pair
+inline constexpr const char* kCatEncode = "encode";            // SMT query construction
+inline constexpr const char* kCatSolve = "solve";              // bounded model finder
+inline constexpr const char* kCatCache = "cache";              // verdict-cache probes
+inline constexpr const char* kCatIncremental = "incremental";  // artifact store I/O
+inline constexpr const char* kCatSim = "sim";                  // geo-replication simulator
+
+// ---------------------------------------------------------------------------------------
+// Typed counters. Monotonic uint64 sums over one collector run.
+
+enum class Counter : uint8_t {
+  // Verifier pair loop.
+  kPairsChecked,
+  kPairsPrefiltered,
+  kSolverChecks,
+  kCacheHits,
+  kCacheMisses,
+  kCacheReplayed,
+  kCacheEvictions,
+  kPoolSteals,
+  kPoolTasks,
+  // SMT backend (flushed once per solver query).
+  kSolverNodes,
+  kSolverAssignments,
+  kGroundExpansions,
+  kSimplifyHits,
+  // Analyzer / incremental engine.
+  kEndpointsAnalyzed,
+  kEndpointsMemoized,
+  kPairsReplayed,
+  kPairsComputed,
+  kParanoiaRechecks,
+  kArtifactLoads,
+  kArtifactLoadFailures,
+  kArtifactSaves,
+  kArtifactSaveFailures,
+  // Geo-replication simulator (flushed once per Run).
+  kSimRequestsCompleted,
+  kSimMessagesSent,
+  kSimMessagesDropped,
+  kSimRetransmissions,
+  kSimDuplicatesIgnored,
+  kSimEffectsReplayed,
+  kSimReplicaCrashes,
+  kSimReplicaRecoveries,
+  kSimConflictViolations,
+  kNumCounters,  // sentinel
+};
+
+// Dotted metric name, e.g. "verifier.pairs_checked", "smt.solver_nodes", "sim.messages_sent".
+const char* CounterName(Counter c);
+
+// Adds `delta` to counter `c` of the active collector; no-op when collection is off.
+void Add(Counter c, uint64_t delta = 1);
+
+// ---------------------------------------------------------------------------------------
+// Log-scale histograms. Bucket b >= 1 holds values in [2^(b-1), 2^b); bucket 0 holds
+// exactly {0}. 65 buckets (0 plus one per bit width) cover the full uint64 range, so
+// Observe never clips.
+
+enum class Hist : uint8_t {
+  kPairMicros,               // wall time of one non-prefiltered pair (both rules)
+  kSolveMicros,              // wall time of one solver query
+  kSolverNodesPerQuery,      // DFS nodes of one solver query
+  kSolverAssignmentsPerQuery,  // substitute-and-simplify evaluations of one query
+  kGroundExpansionsPerQuery,   // binder expansions of one query's grounding
+  kNumHists,  // sentinel
+};
+
+const char* HistName(Hist h);
+
+// Records one sample; no-op when collection is off.
+void Observe(Hist h, uint64_t value);
+
+inline constexpr size_t kHistBuckets = 65;
+
+// Bucket index of a value (0 for 0, otherwise bit_width). Exposed for tests.
+size_t HistBucketFor(uint64_t value);
+// Smallest value that lands in bucket `b` (0 for bucket 0, else 2^(b-1)).
+uint64_t HistBucketLowerBound(size_t b);
+
+// Summary of one histogram after a run. Percentiles are bucket-resolution
+// approximations: the reported value is the lower bound of the bucket containing the
+// rank, so they are exact to within 2x — enough to tell a 50 us solve from a 5 ms one.
+struct HistSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+// ---------------------------------------------------------------------------------------
+// Spans
+
+// True while a collector is recording. The one-load fast-path gate; also the guard call
+// sites use before building dynamic span names.
+bool Enabled();
+
+// True while a collector object is installed (it may have been stopped already). Used by
+// Pipeline to avoid installing a nested collector when a bench already owns one.
+bool Active();
+
+// RAII span: records [construction, destruction) into the active collector's buffer for
+// this thread. Constructing with collection off is free (no clock read). Up to
+// kMaxSpanArgs numeric arguments can be attached; they export as the Chrome-trace
+// "args" object (e.g. per-pair solver counters).
+class ScopedSpan {
+ public:
+  static constexpr size_t kMaxSpanArgs = 4;
+
+  // Static-name form: safe to call unguarded on hot paths.
+  ScopedSpan(const char* name, const char* category);
+  // Dynamic-name form: callers should only build `name` under obs::Enabled().
+  ScopedSpan(std::string name, const char* category);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a numeric argument (dropped beyond kMaxSpanArgs or when inactive).
+  void Arg(const char* key, uint64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  void Start(const char* category);
+
+  std::string name_;
+  const char* category_ = nullptr;
+  int64_t start_us_ = 0;
+  bool active_ = false;
+  size_t num_args_ = 0;
+  std::pair<const char*, uint64_t> args_[kMaxSpanArgs];
+};
+
+// One finished span, as exported. `tid` is a small per-thread index assigned in
+// registration order (the calling thread of the collector is tid 1).
+struct TraceEvent {
+  std::string name;
+  const char* category = nullptr;
+  int64_t ts_us = 0;   // start, microseconds since collector install
+  int64_t dur_us = 0;  // duration, microseconds
+  int tid = 0;
+  std::vector<std::pair<const char*, uint64_t>> args;
+};
+
+// ---------------------------------------------------------------------------------------
+// Collector
+
+// Owns one recording session: installs itself as the process-global sink on
+// construction (fatal if another collector is already installed), records until Stop(),
+// and exposes the snapshot afterwards. Stop() is idempotent and also runs from the
+// destructor. Counters and buffers are reset at install, so two consecutive runs never
+// bleed into each other.
+class Collector {
+ public:
+  explicit Collector(ObsOptions options);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  const ObsOptions& options() const { return options_; }
+
+  // Disables recording and snapshots events, counters, and histograms. Must be called
+  // (directly or via the destructor) after all recording threads have quiesced — for the
+  // pipeline that is guaranteed by ParallelFor's completion barrier.
+  void Stop();
+
+  // Everything below requires Stop() to have run.
+  const std::vector<TraceEvent>& events() const;
+  uint64_t counter(Counter c) const;
+  HistSummary histogram(Hist h) const;
+  // Distinct span categories seen, e.g. {"analyze", "encode", "solve", "cache"}.
+  std::set<std::string> SpanCategories() const;
+
+  // Chrome trace-event JSON: {"traceEvents": [...], "displayTimeUnit": "ms",
+  // "otherData": {"counters": {...}}}. Loadable by chrome://tracing and Perfetto.
+  std::string ChromeTraceJson() const;
+  // Writes ChromeTraceJson to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  ObsOptions options_;
+  bool stopped_ = false;
+  std::vector<TraceEvent> events_;
+  uint64_t counters_[static_cast<size_t>(Counter::kNumCounters)] = {};
+  HistSummary hists_[static_cast<size_t>(Hist::kNumHists)] = {};
+};
+
+// Escapes a string for embedding in a JSON string literal (quotes, backslashes,
+// control characters). Shared by the trace exporter and the RunReport serializer.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace noctua::obs
+
+#endif  // SRC_OBS_OBS_H_

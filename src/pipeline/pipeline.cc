@@ -1,5 +1,8 @@
 #include "src/pipeline/pipeline.h"
 
+#include <cstdio>
+#include <optional>
+
 #include "src/support/stopwatch.h"
 
 namespace noctua {
@@ -16,13 +19,45 @@ verifier::RestrictionReport Pipeline::Verify(const app::App& app,
 }
 
 PipelineResult Pipeline::Run(const app::App& app, const PipelineOptions& options) {
+  // Own a collector only when asked *and* nobody outer owns one already — a bench that
+  // installed its own collector gets this run's spans recorded into it instead.
+  std::optional<obs::Collector> collector;
+  if (options.obs.enabled && !obs::Active()) {
+    collector.emplace(options.obs);
+  }
+
   Stopwatch watch;
   PipelineResult result;
-  result.analysis = analyzer::AnalyzeApp(app, options.analyzer);
+  double analyze_seconds = 0;
+  {
+    obs::ScopedSpan span("analyze", obs::kCatPipeline);
+    Stopwatch phase;
+    result.analysis = analyzer::AnalyzeApp(app, options.analyzer);
+    analyze_seconds = phase.ElapsedSeconds();
+    span.Arg("paths", result.analysis.paths.size());
+    span.Arg("effectful", result.analysis.num_effectful);
+  }
+  double verify_seconds = 0;
   if (options.verify) {
+    obs::ScopedSpan span("verify", obs::kCatPipeline);
+    Stopwatch phase;
     result.restrictions = Verify(app, result.analysis, options);
+    verify_seconds = phase.ElapsedSeconds();
+    span.Arg("restrictions", result.restrictions.num_restrictions());
   }
   result.total_seconds = watch.ElapsedSeconds();
+
+  if (collector) {
+    collector->Stop();
+    result.has_report = true;
+    result.report = obs::BuildRunReport(*collector, app.name(), result.total_seconds,
+                                        analyze_seconds, verify_seconds);
+    if (!options.obs.trace_out.empty() &&
+        !collector->WriteChromeTrace(options.obs.trace_out)) {
+      std::fprintf(stderr, "noctua: failed to write trace to %s\n",
+                   options.obs.trace_out.c_str());
+    }
+  }
   return result;
 }
 

@@ -14,6 +14,8 @@
 
 #include "src/analyzer/analyzer.h"
 #include "src/app/app.h"
+#include "src/obs/obs.h"
+#include "src/obs/report.h"
 #include "src/verifier/report.h"
 
 namespace noctua {
@@ -34,12 +36,26 @@ struct PipelineOptions {
   // equality. Off by default: the paper's tables are computed from the effectful paths
   // alone; deployment harnesses (e.g. the chaos suite) opt in.
   bool order_observers = false;
+
+  // Observability. When obs.enabled is true and no collector is already installed,
+  // Pipeline::Run owns one for the duration of the run: spans/counters are recorded
+  // across analyzer, verifier, and SMT backend, the result carries a populated
+  // RunReport, and obs.trace_out (if set) receives Chrome trace-event JSON. When a
+  // collector is already active (a bench owning several runs), the run records into it
+  // and leaves report assembly to its owner. Default-off: every probe degrades to one
+  // relaxed atomic load.
+  obs::ObsOptions obs;
 };
 
 struct PipelineResult {
   analyzer::AnalysisResult analysis;
   verifier::RestrictionReport restrictions;
   double total_seconds = 0;
+
+  // Populated only when this run owned a collector (see PipelineOptions::obs);
+  // `has_report` distinguishes that from a default-constructed report.
+  bool has_report = false;
+  obs::RunReport report;
 
   const verifier::ReportStats& stats() const { return restrictions.stats; }
 };

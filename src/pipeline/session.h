@@ -47,6 +47,10 @@ struct IncrementalResult {
   // True when no usable prior artifact existed (first run, or the store failed
   // validation) and everything was computed from scratch.
   bool cold = false;
+  // False when writing the artifacts back failed — the run's results are valid, but the
+  // next run will be cold. A warning is also printed to stderr, because a persistently
+  // unwritable store silently degrades every future run to a cold one.
+  bool artifacts_saved = false;
   // Endpoints whose content digest differs from the prior artifact: edited ones, added
   // ones, and removed ones (renaming-invariant — a pure rename changes nothing here).
   std::vector<std::string> changed_endpoints;
@@ -84,6 +88,14 @@ class Session {
 
   std::string store_dir_;
 };
+
+// Resolves the NOCTUA_ARTIFACT_DIR environment variable into a session store directory.
+// Returns "" when the variable is unset (caller runs without persistence). When it IS
+// set, the directory is created if missing and probed with a throwaway write; failure of
+// either is a *fatal error* with a clear message — a user who configured an artifact
+// store wants warm runs, and silently degrading every run to cold is strictly worse
+// than stopping.
+std::string ArtifactDirFromEnv();
 
 }  // namespace noctua
 

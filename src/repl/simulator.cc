@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/obs/obs.h"
 #include "src/support/check.h"
 
 namespace noctua::repl {
@@ -168,6 +169,7 @@ Simulator::Simulator(const soir::Schema& schema, const std::vector<soir::CodePat
     : schema_(schema), paths_(paths), conflicts_(std::move(conflicts)), options_(options) {}
 
 SimResult Simulator::Run() {
+  obs::ScopedSpan run_span("simulate", obs::kCatSim);
   soir::Interp interp(schema_);
   WorkloadGenerator workload(schema_, paths_, options_.write_ratio, options_.seed);
   // All fault decisions draw from a dedicated stream so a zero-fault plan leaves the
@@ -845,6 +847,23 @@ SimResult Simulator::Run() {
   result.converged = true;
   for (int s = 1; s < options_.num_sites; ++s) {
     result.converged = result.converged && sites[0].db.SameState(sites[s].db, order_models);
+  }
+
+  if (obs::Enabled()) {
+    // One-shot flush of the run's message/fault/recovery counters — the event loop
+    // itself carries no instrumentation.
+    obs::Add(obs::Counter::kSimRequestsCompleted, result.completed_requests);
+    obs::Add(obs::Counter::kSimMessagesSent, result.messages_sent);
+    obs::Add(obs::Counter::kSimMessagesDropped, result.messages_dropped);
+    obs::Add(obs::Counter::kSimRetransmissions, result.retransmissions);
+    obs::Add(obs::Counter::kSimDuplicatesIgnored, result.duplicates_ignored);
+    obs::Add(obs::Counter::kSimEffectsReplayed, result.effects_replayed);
+    obs::Add(obs::Counter::kSimReplicaCrashes, result.replica_crashes);
+    obs::Add(obs::Counter::kSimReplicaRecoveries, result.replica_recoveries);
+    obs::Add(obs::Counter::kSimConflictViolations, result.conflict_violations);
+    run_span.Arg("requests", result.completed_requests);
+    run_span.Arg("messages", result.messages_sent);
+    run_span.Arg("converged", result.converged ? 1 : 0);
   }
   return result;
 }

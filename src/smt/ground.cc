@@ -32,6 +32,7 @@ std::vector<Term> Grounder::DomainElements(const Sort& sort) {
 }
 
 Term Grounder::GroundBinder(Term t) {
+  ++binders_expanded_;
   int64_t var_id = t->int_payload();
   const Sort& dom = t->binder_sort();
   std::vector<Term> elems = DomainElements(dom);

@@ -33,6 +33,11 @@ class Grounder {
   // True if `t` is a ground atom in the sense above.
   static bool IsGroundAtom(Term t);
 
+  // Number of binder nodes this grounder expanded over their domains (memoized re-visits
+  // of the same binder term do not recount). Observability reports this as
+  // "smt.ground_expansions".
+  uint64_t binders_expanded() const { return binders_expanded_; }
+
  private:
   // Domain elements of a Ref or Pair sort as literal terms.
   std::vector<Term> DomainElements(const Sort& sort);
@@ -41,6 +46,7 @@ class Grounder {
   TermFactory* f_;
   Scope scope_;
   std::unordered_map<Term, Term> memo_;
+  uint64_t binders_expanded_ = 0;
 };
 
 }  // namespace noctua::smt

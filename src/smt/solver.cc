@@ -225,6 +225,7 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
       pending.push_back(g);
     }
   }
+  stats_.binders_expanded = grounder.binders_expanded();
   for (Term a : pending) {
     if (a->IsBoolLit(false)) {
       stats_.seconds = watch.ElapsedSeconds();

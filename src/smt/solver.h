@@ -53,6 +53,8 @@ struct SolverStats {
   uint64_t evaluations = 0;
   double seconds = 0;
   size_t num_atoms = 0;
+  // Binder expansions performed while grounding this query's assertions.
+  uint64_t binders_expanded = 0;
 };
 
 struct SolverOptions {

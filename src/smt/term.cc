@@ -148,6 +148,7 @@ Term TermFactory::Intern(TermKind kind, Sort sort, std::vector<Term> children,
     if (t->kind_ == kind && t->int_payload_ == int_payload && t->int_payload2_ == int_payload2 &&
         t->str_payload_ == str_payload && t->children_ == children && SortEq(t->sort_, sort) &&
         (!binder_sort || (t->binder_sort_ && SortEq(t->binder_sort_, binder_sort)))) {
+      ++intern_hits_;
       return t.get();
     }
   }

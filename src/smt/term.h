@@ -221,6 +221,12 @@ class TermFactory {
   // Number of terms created (for tests and benchmarks).
   size_t size() const { return all_terms_.size(); }
 
+  // Number of Intern calls that found a structurally identical existing term — i.e. how
+  // often hash-consing (and the simplifications that canonicalize into it) deduplicated
+  // work. Monotonic over the factory's lifetime; observability reports it as
+  // "smt.simplify_hits".
+  uint64_t intern_hits() const { return intern_hits_; }
+
   // Interns the bound variable with a specific id (used when rebuilding binders during
   // substitution). Not for general use — prefer NewBoundVar.
   Term InternBoundVar(const Sort& sort, int64_t id);
@@ -239,6 +245,7 @@ class TermFactory {
   std::unordered_map<uint64_t, std::vector<std::unique_ptr<TermData>>> buckets_;
   std::vector<TermData*> all_terms_;
   int64_t next_bound_var_ = 0;
+  uint64_t intern_hits_ = 0;
 };
 
 // True if `t` contains a free bound variable whose id differs from `self_id`.

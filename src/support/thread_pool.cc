@@ -19,6 +19,7 @@ struct ThreadPool::Batch {
   std::vector<std::unique_ptr<Queue>> queues;
   std::atomic<size_t> remaining{0};      // tasks not yet finished
   std::atomic<int> active_workers{0};    // pool workers currently draining this batch
+  std::atomic<uint64_t> steals{0};       // cross-deque pops within this batch
 
   // Pop from the front of one's own deque; steal from the back of a victim's otherwise.
   // Owners and thieves take opposite ends, so a worker keeps the cheap (earlier-
@@ -39,6 +40,7 @@ struct ThreadPool::Batch {
       if (!victim.q.empty()) {
         *out = victim.q.back();
         victim.q.pop_back();
+        steals.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
@@ -153,6 +155,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
         fn(i);
       }
     }
+    tasks_.fetch_add(n, std::memory_order_relaxed);
     return;
   }
   StartWorkers();
@@ -192,6 +195,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
            b.active_workers.load(std::memory_order_acquire) == 0;
   });
   batch_ = nullptr;  // unpublish before the stack frame (and Batch) dies
+  tasks_.fetch_add(n, std::memory_order_relaxed);
+  steals_.fetch_add(b.steals.load(std::memory_order_relaxed), std::memory_order_relaxed);
 }
 
 }  // namespace noctua

@@ -38,6 +38,20 @@ class ThreadPool {
 
   int threads() const { return threads_; }
 
+  // Cumulative scheduling statistics across all ParallelFor batches this pool ran.
+  // `steals` counts tasks a participant popped from another participant's deque — a
+  // direct measure of how unevenly the dealt work was sized. Callers that want the
+  // numbers for one region snapshot stats() before and after. (The pool does not depend
+  // on noctua::obs; the verifier bridges these into its counters.)
+  struct Stats {
+    uint64_t tasks = 0;
+    uint64_t steals = 0;
+  };
+  Stats stats() const {
+    return Stats{tasks_.load(std::memory_order_relaxed),
+                 steals_.load(std::memory_order_relaxed)};
+  }
+
   // Runs fn(i) for every i in [0, n) across the pool (including the calling thread) and
   // blocks until all invocations return. `order` optionally gives the dispatch order
   // (a permutation of [0, n)); earlier entries are started first — the hook for
@@ -69,6 +83,9 @@ class ThreadPool {
   Batch* batch_ = nullptr;            // the active batch, null when idle
   uint64_t batch_seq_ = 0;            // bumped per batch so workers notice new work
   bool shutdown_ = false;
+
+  std::atomic<uint64_t> tasks_{0};    // tasks executed, all batches
+  std::atomic<uint64_t> steals_{0};   // cross-deque pops, all batches
 };
 
 }  // namespace noctua

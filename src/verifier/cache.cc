@@ -26,16 +26,47 @@ std::optional<VerdictCache::Entry> VerdictCache::LookupEntry(const std::string& 
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return it->second;
 }
 
 void VerdictCache::Insert(const std::string& key, CheckOutcome outcome) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lk(shard.mu);
-  shard.map.emplace(key, Entry{outcome, false});
+  InsertLocked(shard, key, Entry{outcome, false});
+}
+
+// Inserts under the shard lock, evicting FIFO when a bounded shard is at its share of
+// the capacity. Duplicate keys keep the existing entry (and do not re-enter the FIFO).
+void VerdictCache::InsertLocked(Shard& shard, const std::string& key, Entry entry) {
+  if (!shard.map.emplace(key, entry).second) {
+    return;
+  }
+  if (capacity_ == 0) {
+    return;
+  }
+  shard.fifo.push_back(key);
+  size_t shard_capacity = std::max<size_t>(1, capacity_ / kShards);
+  while (shard.map.size() > shard_capacity && !shard.fifo.empty()) {
+    shard.map.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    ++shard.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<VerdictCache::ShardStats> VerdictCache::PerShardStats() const {
+  std::vector<ShardStats> out;
+  out.reserve(kShards);
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(const_cast<Shard&>(s).mu);
+    out.push_back(ShardStats{s.map.size(), s.hits, s.misses, s.evictions});
+  }
+  return out;
 }
 
 size_t VerdictCache::size() const {
@@ -111,7 +142,7 @@ bool VerdictCache::LoadFromFile(const std::string& path) {
   for (auto& [key, outcome] : entries) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lk(shard.mu);
-    shard.map.emplace(std::move(key), Entry{outcome, true});
+    InsertLocked(shard, key, Entry{outcome, true});
   }
   return true;
 }

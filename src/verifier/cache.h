@@ -26,11 +26,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/soir/ast.h"
 #include "src/soir/schema.h"
@@ -47,7 +49,12 @@ class VerdictCache {
     bool replayed = false;
   };
 
-  VerdictCache() = default;
+  // `capacity` bounds the total number of entries (0 = unbounded, the default). When a
+  // shard would exceed its share (capacity / kShards, at least 1), the oldest entries of
+  // that shard are evicted FIFO. Only meaningful for run-local caches under memory
+  // pressure; a cache that will be persisted as an artifact should stay unbounded, since
+  // evicted verdicts silently become cold misses on the next warm run.
+  explicit VerdictCache(size_t capacity = 0) : capacity_(capacity) {}
   VerdictCache(const VerdictCache&) = delete;
   VerdictCache& operator=(const VerdictCache&) = delete;
 
@@ -68,21 +75,42 @@ class VerdictCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
   size_t size() const;
 
+  static constexpr size_t kNumShards = 16;
+
+  // Point-in-time statistics of one shard, for the per-shard occupancy report.
+  struct ShardStats {
+    size_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  // Snapshot of all kNumShards shards, in shard order.
+  std::vector<ShardStats> PerShardStats() const;
+
  private:
-  static constexpr size_t kShards = 16;
+  static constexpr size_t kShards = kNumShards;
   struct Shard {
     std::mutex mu;
     std::unordered_map<std::string, Entry> map;
+    std::deque<std::string> fifo;  // insertion order, only maintained when bounded
+    uint64_t hits = 0;             // guarded by mu
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
   };
   Shard& ShardFor(const std::string& key) {
     return shards_[std::hash<std::string>{}(key) % kShards];
   }
+  void InsertLocked(Shard& shard, const std::string& key, Entry entry);
 
+  const size_t capacity_;
   Shard shards_[kShards];
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 // Fingerprint of one commutativity query over the (ordered) pair (p, q) with the given

@@ -1,7 +1,9 @@
 #include "src/verifier/checker.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "src/obs/obs.h"
 #include "src/support/check.h"
 #include "src/support/stopwatch.h"
 
@@ -125,10 +127,27 @@ CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
   if (any_unsupported) {
     return CheckOutcome::kUnsupported;
   }
+  obs::ScopedSpan span("solve", obs::kCatSolve);
   smt::Solver solver(options_.solver);
   smt::SolveResult r = solver.CheckSat(factory, assertions);
+  const smt::SolverStats& ss = solver.stats();
   if (stats != nullptr) {
-    stats->solver_nodes = solver.stats().nodes_visited;
+    stats->solver_nodes = ss.nodes_visited;
+  }
+  if (obs::Enabled()) {
+    // Flush per-query solver introspection in one shot — the solver counted its own
+    // nodes, so the DFS itself carried no instrumentation.
+    span.Arg("nodes", ss.nodes_visited);
+    span.Arg("assignments", ss.evaluations);
+    span.Arg("atoms", ss.num_atoms);
+    obs::Add(obs::Counter::kSolverNodes, ss.nodes_visited);
+    obs::Add(obs::Counter::kSolverAssignments, ss.evaluations);
+    obs::Add(obs::Counter::kGroundExpansions, ss.binders_expanded);
+    obs::Add(obs::Counter::kSimplifyHits, factory.intern_hits());
+    obs::Observe(obs::Hist::kSolveMicros, static_cast<uint64_t>(ss.seconds * 1e6));
+    obs::Observe(obs::Hist::kSolverNodesPerQuery, ss.nodes_visited);
+    obs::Observe(obs::Hist::kSolverAssignmentsPerQuery, ss.evaluations);
+    obs::Observe(obs::Hist::kGroundExpansionsPerQuery, ss.binders_expanded);
   }
   switch (r) {
     case smt::SolveResult::kUnsat:
@@ -166,6 +185,11 @@ CheckOutcome Checker::CheckCommutativity(const soir::CodePath& p, const soir::Co
   EncoderOptions enc_options = options_.encoder;
   enc_options.order_models = order;
   ApplyProjection(p, q, &enc_options);
+
+  // The encode span covers query construction (path application, axioms); it ends just
+  // before RunSolver opens the solve span.
+  std::optional<obs::ScopedSpan> encode_span;
+  encode_span.emplace("encode_com", obs::kCatEncode);
 
   smt::TermFactory factory;
   Encoder enc(schema_, &factory, enc_options);
@@ -215,6 +239,10 @@ CheckOutcome Checker::CheckCommutativity(const soir::CodePath& p, const soir::Co
   assertions.push_back(qp2.defs);
   assertions.push_back(enc.StateAxioms(s0));
 
+  if (encode_span) {
+    encode_span->Arg("terms", factory.size());
+    encode_span.reset();
+  }
   CheckOutcome outcome = RunSolver(factory, {factory.And(std::move(assertions))}, unsupported, stats);
   if (stats != nullptr) {
     stats->seconds = watch.ElapsedSeconds();
@@ -241,6 +269,10 @@ CheckOutcome Checker::CheckNotInvalidate(const soir::CodePath& p, const soir::Co
     enc_options.order_models = order;
   }
   ApplyProjection(p, q, &enc_options);
+
+  std::optional<obs::ScopedSpan> encode_span;
+  encode_span.emplace("encode_ni", obs::kCatEncode);
+
   smt::TermFactory factory;
   Encoder enc(schema_, &factory, enc_options);
 
@@ -275,6 +307,10 @@ CheckOutcome Checker::CheckNotInvalidate(const soir::CodePath& p, const soir::Co
   assertions.push_back(q_applied.defs);
   assertions.push_back(enc.StateAxioms(s0));
 
+  if (encode_span) {
+    encode_span->Arg("terms", factory.size());
+    encode_span.reset();
+  }
   CheckOutcome outcome = RunSolver(factory, {factory.And(std::move(assertions))}, unsupported, stats);
   if (stats != nullptr) {
     stats->seconds = watch.ElapsedSeconds();

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <optional>
 
+#include "src/obs/obs.h"
 #include "src/soir/serialize.h"
 #include "src/support/check.h"
 #include "src/support/rng.h"
@@ -132,6 +134,7 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
                                       const ParallelOptions& parallel,
                                       const std::vector<soir::CodePath>& observers) {
   Stopwatch watch;
+  obs::ScopedSpan run_span("AnalyzeRestrictions", obs::kCatVerify);
   const soir::Schema& schema = checker.schema();
 
   // Models whose insertion order any operation observes: their relative order is part of
@@ -171,11 +174,14 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   }
 
   // A caller-provided store makes verdicts persistent across runs; its counters
-  // accumulate, so report stats are computed as deltas from this snapshot.
-  VerdictCache local_cache;
+  // accumulate, so report stats are computed as deltas from this snapshot. Only the
+  // run-local cache may be bounded — evicting from a store would turn replayable
+  // verdicts into cold misses on the next warm run.
+  VerdictCache local_cache(parallel.store != nullptr ? 0 : parallel.cache_capacity);
   VerdictCache* cache = parallel.store != nullptr ? parallel.store : &local_cache;
   const uint64_t hits_before = cache->hits();
   const uint64_t misses_before = cache->misses();
+  const uint64_t evictions_before = cache->evictions();
   const bool use_cache = parallel.cache;
   std::atomic<uint64_t> prefiltered_count{0};
   std::atomic<uint64_t> solver_checks{0};
@@ -197,7 +203,13 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
     std::string key;
     if (use_cache) {
       key = key_fn();
-      if (auto hit = cache->LookupEntry(key)) {
+      std::optional<VerdictCache::Entry> hit;
+      {
+        obs::ScopedSpan probe("cache_probe", obs::kCatCache);
+        hit = cache->LookupEntry(key);
+        probe.Arg("hit", hit.has_value() ? 1 : 0);
+      }
+      if (hit) {
         cs->cache_hit = true;
         cs->replayed = hit->replayed;
         if (hit->replayed) {
@@ -234,6 +246,13 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
     const PairJob& job = jobs[k];
     const soir::CodePath& p = paths[job.i];
     const soir::CodePath& q = paths[job.j];
+    // Dynamic span name only when recording — the concatenation is not free.
+    std::string span_name;
+    if (obs::Enabled()) {
+      span_name = p.op_name + "|" + q.op_name;
+    }
+    obs::ScopedSpan pair_span(std::move(span_name), obs::kCatPair);
+    Stopwatch pair_watch;
     PairVerdict v;
     v.p = p.op_name;
     v.q = q.op_name;
@@ -274,6 +293,15 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
                           (a != CheckOutcome::kPass || s2.replayed);
       v.provenance = all_replayed ? PairProvenance::kReplayed : PairProvenance::kComputed;
     }
+    if (obs::Enabled()) {
+      pair_span.Arg("solver_nodes", v.solver_nodes);
+      pair_span.Arg("cache_hits", v.cache_hits);
+      pair_span.Arg("prefiltered", v.prefiltered ? 1 : 0);
+      if (!v.prefiltered) {
+        obs::Observe(obs::Hist::kPairMicros,
+                     static_cast<uint64_t>(pair_watch.ElapsedSeconds() * 1e6));
+      }
+    }
     report.pairs[k] = std::move(v);
   };
 
@@ -290,6 +318,15 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   report.stats.replayed = replayed_queries.load();
   report.stats.paranoia_rechecks = paranoia_rechecks.load();
   report.stats.solver_nodes = solver_nodes.load();
+  // The pool is run-local, so its lifetime totals are this run's totals.
+  ThreadPool::Stats pool_stats = pool.stats();
+  report.stats.pool_tasks = pool_stats.tasks;
+  report.stats.pool_steals = pool_stats.steals;
+  report.stats.cache_evictions = cache->evictions() - evictions_before;
+  for (const VerdictCache::ShardStats& s : cache->PerShardStats()) {
+    report.stats.cache_shards.push_back(
+        ReportStats::CacheShardStat{s.entries, s.hits, s.misses, s.evictions});
+  }
   for (const PairVerdict& v : report.pairs) {
     report.stats.check_seconds += v.com_seconds + v.sem_seconds;
     if (v.provenance == PairProvenance::kReplayed) {
@@ -299,6 +336,27 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
     }
   }
   report.total_seconds = watch.ElapsedSeconds();
+
+  if (obs::Enabled()) {
+    // One-shot counter feed from the assembled stats — nothing in the pair loop
+    // incremented obs counters directly.
+    const ReportStats& st = report.stats;
+    obs::Add(obs::Counter::kPairsChecked, st.pairs);
+    obs::Add(obs::Counter::kPairsPrefiltered, st.prefiltered);
+    obs::Add(obs::Counter::kSolverChecks, st.solver_checks);
+    obs::Add(obs::Counter::kCacheHits, st.cache_hits);
+    obs::Add(obs::Counter::kCacheMisses, st.cache_misses);
+    obs::Add(obs::Counter::kCacheReplayed, st.replayed);
+    obs::Add(obs::Counter::kCacheEvictions, st.cache_evictions);
+    obs::Add(obs::Counter::kPoolTasks, st.pool_tasks);
+    obs::Add(obs::Counter::kPoolSteals, st.pool_steals);
+    obs::Add(obs::Counter::kPairsReplayed, st.pairs_replayed);
+    obs::Add(obs::Counter::kPairsComputed, st.pairs_computed);
+    obs::Add(obs::Counter::kParanoiaRechecks, st.paranoia_rechecks);
+    run_span.Arg("pairs", st.pairs);
+    run_span.Arg("solver_checks", st.solver_checks);
+    run_span.Arg("threads", static_cast<uint64_t>(st.threads_used));
+  }
   return report;
 }
 

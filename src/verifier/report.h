@@ -45,6 +45,10 @@ struct ParallelOptions {
   // 1.0 re-solves everything replayed.
   double paranoia = 0;
   uint64_t paranoia_seed = 0;
+  // Entry bound for the RUN-LOCAL verdict cache (0 = unbounded). Evicted verdicts cost
+  // at most a duplicate solver call, never correctness. Ignored when `store` is set: a
+  // persistent store must not silently drop verdicts it is expected to replay.
+  size_t cache_capacity = 0;
 };
 
 // Where a pair's verdicts came from, for incremental-run provenance.
@@ -89,6 +93,20 @@ struct ReportStats {
   uint64_t pairs_computed = 0;   // pairs with provenance kComputed
   uint64_t solver_nodes = 0;     // total search nodes across all executed queries
   double check_seconds = 0;      // per-check wall time summed across workers
+  uint64_t pool_tasks = 0;       // tasks the worker pool executed for this run
+  uint64_t pool_steals = 0;      // tasks a participant stole from another's deque
+  uint64_t cache_evictions = 0;  // verdicts dropped by a bounded run-local cache
+
+  // Per-shard snapshot of the verdict cache after the run (occupancy plus lifetime
+  // hit/miss/eviction counts of the cache object — for a persistent store these span
+  // all runs it served).
+  struct CacheShardStat {
+    size_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  std::vector<CacheShardStat> cache_shards;
 
   double CacheHitRate() const {
     uint64_t lookups = cache_hits + cache_misses;

@@ -1,0 +1,386 @@
+// Tests for the observability layer: histogram bucket math, counter/histogram
+// aggregation, concurrent span recording through the worker pool (the TSan target),
+// Chrome-trace export parsed back through the bundled JSON parser, the RunReport built
+// from a real pipeline run, and the verdict cache's per-shard statistics and bounded
+// eviction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/apps.h"
+#include "src/obs/json.h"
+#include "src/obs/obs.h"
+#include "src/obs/report.h"
+#include "src/pipeline/pipeline.h"
+#include "src/support/thread_pool.h"
+#include "src/verifier/cache.h"
+
+namespace noctua::obs {
+namespace {
+
+// -----------------------------------------------------------------------------
+// Histogram bucket math
+
+TEST(HistBuckets, BoundariesArePowersOfTwo) {
+  EXPECT_EQ(HistBucketFor(0), 0u);
+  EXPECT_EQ(HistBucketFor(1), 1u);
+  EXPECT_EQ(HistBucketFor(2), 2u);
+  EXPECT_EQ(HistBucketFor(3), 2u);
+  EXPECT_EQ(HistBucketFor(4), 3u);
+  EXPECT_EQ(HistBucketFor(7), 3u);
+  EXPECT_EQ(HistBucketFor(8), 4u);
+  // Every bucket's lower bound maps back into that bucket, and the value just below it
+  // lands one bucket earlier.
+  for (size_t b = 1; b < kHistBuckets; ++b) {
+    uint64_t lo = HistBucketLowerBound(b);
+    EXPECT_EQ(HistBucketFor(lo), b) << "bucket " << b;
+    EXPECT_EQ(HistBucketFor(lo - 1), b - 1) << "bucket " << b;
+  }
+}
+
+TEST(HistBuckets, FullUint64RangeFits) {
+  // bit_width(UINT64_MAX) == 64, so the top value must land inside the array, not one
+  // past it.
+  EXPECT_LT(HistBucketFor(UINT64_MAX), kHistBuckets);
+  EXPECT_EQ(HistBucketFor(UINT64_MAX), 64u);
+  EXPECT_EQ(HistBucketFor(uint64_t{1} << 63), 64u);
+  EXPECT_EQ(HistBucketFor((uint64_t{1} << 63) - 1), 63u);
+}
+
+TEST(HistBuckets, ObserveExtremesDoesNotCorrupt) {
+  Collector collector(ObsOptions{.enabled = true});
+  Observe(Hist::kSolverNodesPerQuery, 0);
+  Observe(Hist::kSolverNodesPerQuery, UINT64_MAX);
+  collector.Stop();
+  HistSummary s = collector.histogram(Hist::kSolverNodesPerQuery);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, UINT64_MAX);
+}
+
+TEST(HistBuckets, PercentilesAreBucketLowerBounds) {
+  Collector collector(ObsOptions{.enabled = true});
+  // 100 samples: 98 in bucket [64, 128), 2 in bucket [4096, 8192). p50/p95 sit in the
+  // dense bucket, p99 in the sparse one; the summary reports bucket lower bounds.
+  for (int i = 0; i < 98; ++i) {
+    Observe(Hist::kPairMicros, 100);
+  }
+  Observe(Hist::kPairMicros, 5000);
+  Observe(Hist::kPairMicros, 5000);
+  collector.Stop();
+  HistSummary s = collector.histogram(Hist::kPairMicros);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 98u * 100 + 2 * 5000);
+  EXPECT_EQ(s.min, 100u);
+  EXPECT_EQ(s.max, 5000u);
+  EXPECT_EQ(s.p50, 64u);
+  EXPECT_EQ(s.p95, 64u);
+  EXPECT_EQ(s.p99, 4096u);
+  EXPECT_DOUBLE_EQ(s.Mean(), (98.0 * 100 + 2 * 5000) / 100.0);
+}
+
+// -----------------------------------------------------------------------------
+// Enabled/disabled gating
+
+TEST(Gating, NothingRecordsWithoutCollector) {
+  ASSERT_FALSE(Enabled());
+  ASSERT_FALSE(Active());
+  // All no-ops; the collector installed afterwards must start from zero.
+  Add(Counter::kPairsChecked, 41);
+  Observe(Hist::kPairMicros, 7);
+  {
+    ScopedSpan span("orphan", kCatPair);
+    EXPECT_FALSE(span.active());
+  }
+  Collector collector(ObsOptions{.enabled = true});
+  EXPECT_TRUE(Enabled());
+  EXPECT_TRUE(Active());
+  collector.Stop();
+  EXPECT_FALSE(Enabled());
+  EXPECT_EQ(collector.counter(Counter::kPairsChecked), 0u);
+  EXPECT_EQ(collector.histogram(Hist::kPairMicros).count, 0u);
+  EXPECT_TRUE(collector.events().empty());
+}
+
+TEST(Gating, EmptyDynamicNameIsInactive) {
+  Collector collector(ObsOptions{.enabled = true});
+  {
+    // The Enabled-gated dynamic-name pattern: when collection is off the call site
+    // passes "", which must record nothing even while a collector runs.
+    ScopedSpan span(std::string(), kCatAnalyze);
+    EXPECT_FALSE(span.active());
+    span.Arg("ignored", 1);
+  }
+  collector.Stop();
+  EXPECT_TRUE(collector.events().empty());
+}
+
+TEST(Gating, ConsecutiveCollectorsDoNotBleed) {
+  {
+    Collector first(ObsOptions{.enabled = true});
+    Add(Counter::kSolverChecks, 5);
+    { ScopedSpan span("first-run", kCatVerify); }
+    first.Stop();
+    EXPECT_EQ(first.counter(Counter::kSolverChecks), 5u);
+    EXPECT_EQ(first.events().size(), 1u);
+  }
+  Collector second(ObsOptions{.enabled = true});
+  second.Stop();
+  EXPECT_EQ(second.counter(Counter::kSolverChecks), 0u);
+  EXPECT_TRUE(second.events().empty());
+}
+
+// -----------------------------------------------------------------------------
+// Concurrent recording (run under TSan in CI)
+
+TEST(ConcurrentSpans, PoolWorkersRecordIndependently) {
+  constexpr size_t kTasks = 256;
+  Collector collector(ObsOptions{.enabled = true});
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [](size_t i) {
+    ScopedSpan span(Enabled() ? "task-" + std::to_string(i) : std::string(), kCatPair);
+    span.Arg("index", i);
+    Add(Counter::kPairsChecked);
+    Observe(Hist::kPairMicros, i + 1);
+  });
+  collector.Stop();
+
+  EXPECT_EQ(collector.counter(Counter::kPairsChecked), kTasks);
+  EXPECT_EQ(collector.histogram(Hist::kPairMicros).count, kTasks);
+  const std::vector<TraceEvent>& events = collector.events();
+  ASSERT_EQ(events.size(), kTasks);
+  // Every task's span survived exactly once, with its arg intact, stamped with a
+  // positive thread index; the merged stream is sorted by start time.
+  std::set<std::string> names;
+  for (const TraceEvent& ev : events) {
+    names.insert(ev.name);
+    EXPECT_GT(ev.tid, 0);
+    EXPECT_GE(ev.ts_us, 0);
+    EXPECT_GE(ev.dur_us, 0);
+    ASSERT_EQ(ev.args.size(), 1u);
+    EXPECT_STREQ(ev.args[0].first, "index");
+  }
+  EXPECT_EQ(names.size(), kTasks);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               return a.ts_us < b.ts_us;
+                             }));
+}
+
+TEST(ConcurrentSpans, CountersAccumulateAcrossThreads) {
+  Collector collector(ObsOptions{.enabled = true});
+  ThreadPool pool(4);
+  pool.ParallelFor(1000, [](size_t) { Add(Counter::kSolverNodes, 3); });
+  collector.Stop();
+  EXPECT_EQ(collector.counter(Counter::kSolverNodes), 3000u);
+}
+
+// -----------------------------------------------------------------------------
+// Chrome-trace export, parsed back with the bundled JSON parser
+
+TEST(ChromeTrace, ExportParsesBackWithExpectedShape) {
+  Collector collector(ObsOptions{.enabled = true});
+  {
+    ScopedSpan outer("outer \"quoted\"", kCatPipeline);
+    outer.Arg("pairs", 3);
+    ScopedSpan inner("inner", kCatSolve);
+    inner.Arg("nodes", 42);
+  }
+  Add(Counter::kSolverChecks, 7);
+  collector.Stop();
+
+  std::string error;
+  JsonPtr root = ParseJson(collector.ChromeTraceJson(), &error);
+  ASSERT_NE(root, nullptr) << error;
+  ASSERT_TRUE(root->is_object());
+  EXPECT_EQ(root->Get("displayTimeUnit")->AsString(), "ms");
+
+  JsonPtr events = root->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  size_t complete = 0, metadata = 0;
+  for (const JsonPtr& ev : events->AsArray()) {
+    ASSERT_TRUE(ev->is_object());
+    if (ev->Get("ph")->AsString() == "M") {
+      ++metadata;
+      EXPECT_EQ(ev->Get("name")->AsString(), "thread_name");
+      continue;
+    }
+    ++complete;
+    EXPECT_EQ(ev->Get("ph")->AsString(), "X");
+    EXPECT_TRUE(ev->Get("ts")->is_number());
+    EXPECT_TRUE(ev->Get("dur")->is_number());
+    EXPECT_TRUE(ev->Get("pid")->is_number());
+    EXPECT_TRUE(ev->Get("tid")->is_number());
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_GE(metadata, 1u);  // at least the recording thread's name
+
+  // The escaped span name round-trips, and args survive as numbers.
+  bool found_outer = false;
+  for (const JsonPtr& ev : events->AsArray()) {
+    if (ev->Get("name")->AsString() == "outer \"quoted\"") {
+      found_outer = true;
+      EXPECT_EQ(ev->Get("cat")->AsString(), "pipeline");
+      JsonPtr args = ev->Get("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->Get("pairs")->AsDouble(), 3.0);
+    }
+  }
+  EXPECT_TRUE(found_outer);
+
+  // Non-zero counters export under otherData.counters.
+  JsonPtr counters = root->Get("otherData")->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Get("verifier.solver_checks")->AsDouble(), 7.0);
+}
+
+TEST(JsonParser, AcceptsAndRejects) {
+  std::string error;
+  JsonPtr v = ParseJson(R"({"a": [1, 2.5, -3e2], "b": {"nested": "x\nA"}, "c": true, "d": null})", &error);
+  ASSERT_NE(v, nullptr) << error;
+  EXPECT_EQ(v->Get("a")->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(v->Get("a")->AsArray()[2]->AsDouble(), -300.0);
+  EXPECT_EQ(v->Get("b")->Get("nested")->AsString(), "x\nA");
+  EXPECT_TRUE(v->Get("c")->AsBool());
+  EXPECT_TRUE(v->Get("d")->is_null());
+  EXPECT_EQ(v->Get("missing"), nullptr);
+
+  EXPECT_EQ(ParseJson("{", &error), nullptr);
+  EXPECT_EQ(ParseJson("[1, 2,]", &error), nullptr);
+  EXPECT_EQ(ParseJson("{} trailing", &error), nullptr);
+  EXPECT_EQ(ParseJson("\"unterminated", &error), nullptr);
+}
+
+// -----------------------------------------------------------------------------
+// RunReport from a real pipeline run (the golden-report test)
+
+TEST(RunReport, TodoPipelineProducesCoherentReport) {
+  app::App app = apps::MakeTodoApp();
+  PipelineOptions options;
+  options.checker.solver.deterministic_budget = true;
+  options.obs.enabled = true;
+  PipelineResult result = Pipeline::Run(app, options);
+
+  ASSERT_TRUE(result.has_report);
+  const RunReport& report = result.report;
+  EXPECT_EQ(report.app, app.name());
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_EQ(report.pairs_checked, result.restrictions.pairs.size());
+  EXPECT_GT(report.pairs_per_second, 0.0);
+  EXPECT_GT(report.trace_events, 0u);
+
+  // The full pipeline exercises at least the analyze/pair/solve/cache taxonomy.
+  std::set<std::string> cats(report.span_categories.begin(), report.span_categories.end());
+  for (const char* required : {"pipeline", "analyze", "verify", "pair", "encode",
+                               "solve", "cache"}) {
+    EXPECT_TRUE(cats.count(required)) << "missing category " << required;
+  }
+
+  auto counter_value = [&](const std::string& name) -> uint64_t {
+    for (const CounterRow& row : report.counters) {
+      if (row.name == name) {
+        return row.value;
+      }
+    }
+    return 0;
+  };
+  EXPECT_EQ(counter_value("verifier.pairs_checked"), report.pairs_checked);
+  EXPECT_GT(counter_value("verifier.solver_checks"), 0u);
+  EXPECT_GT(counter_value("smt.solver_nodes"), 0u);
+
+  // Slow pairs: non-empty, sorted slowest-first, capped at the configured top-N.
+  ASSERT_FALSE(report.slow_pairs.empty());
+  EXPECT_LE(report.slow_pairs.size(), options.obs.top_slowest_pairs);
+  EXPECT_TRUE(std::is_sorted(report.slow_pairs.begin(), report.slow_pairs.end(),
+                             [](const SlowPair& a, const SlowPair& b) {
+                               return a.micros > b.micros;
+                             }));
+
+  // Both serializations hold together: the JSON parses back with the same app name, and
+  // the table mentions every counter.
+  std::string error;
+  JsonPtr parsed = ParseJson(report.ToJson(), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  EXPECT_EQ(parsed->Get("app")->AsString(), app.name());
+  EXPECT_EQ(parsed->Get("pairs_checked")->AsDouble(),
+            static_cast<double>(report.pairs_checked));
+  std::string table = report.ToTable();
+  for (const CounterRow& row : report.counters) {
+    EXPECT_NE(table.find(row.name), std::string::npos) << row.name;
+  }
+}
+
+TEST(RunReport, DisabledPipelineProducesNoReport) {
+  app::App app = apps::MakeTodoApp();
+  PipelineOptions options;
+  options.checker.solver.deterministic_budget = true;
+  PipelineResult result = Pipeline::Run(app, options);
+  EXPECT_FALSE(result.has_report);
+  EXPECT_FALSE(Active());
+}
+
+// -----------------------------------------------------------------------------
+// Verdict cache: per-shard statistics and bounded eviction
+
+TEST(CacheShardStats, HitsMissesAndOccupancyPerShard) {
+  verifier::VerdictCache cache;  // unbounded
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("key-" + std::to_string(i), verifier::CheckOutcome::kPass);
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_TRUE(cache.Lookup("key-3").has_value());
+  EXPECT_FALSE(cache.Lookup("absent").has_value());
+
+  std::vector<verifier::VerdictCache::ShardStats> shards = cache.PerShardStats();
+  ASSERT_EQ(shards.size(), verifier::VerdictCache::kNumShards);
+  size_t entries = 0;
+  uint64_t hits = 0, misses = 0, evictions = 0;
+  for (const auto& s : shards) {
+    entries += s.entries;
+    hits += s.hits;
+    misses += s.misses;
+    evictions += s.evictions;
+  }
+  EXPECT_EQ(entries, cache.size());
+  EXPECT_EQ(hits, cache.hits());
+  EXPECT_EQ(misses, cache.misses());
+  EXPECT_EQ(evictions, 0u);
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 1u);
+}
+
+TEST(CacheShardStats, BoundedCacheEvictsFifoPerShard) {
+  // Per-shard share is capacity / kNumShards = 1: the second insert hashing to a shard
+  // evicts that shard's oldest entry.
+  verifier::VerdictCache cache(verifier::VerdictCache::kNumShards);
+  constexpr int kInserts = 200;
+  for (int i = 0; i < kInserts; ++i) {
+    cache.Insert("key-" + std::to_string(i), verifier::CheckOutcome::kPass);
+  }
+  EXPECT_LE(cache.size(), verifier::VerdictCache::kNumShards);
+  EXPECT_EQ(cache.evictions(), kInserts - cache.size());
+  std::vector<verifier::VerdictCache::ShardStats> shards = cache.PerShardStats();
+  uint64_t shard_evictions = 0;
+  for (const auto& s : shards) {
+    EXPECT_LE(s.entries, 1u);
+    shard_evictions += s.evictions;
+  }
+  EXPECT_EQ(shard_evictions, cache.evictions());
+}
+
+TEST(CacheShardStats, DuplicateInsertKeepsExistingEntry) {
+  verifier::VerdictCache cache(verifier::VerdictCache::kNumShards);
+  cache.Insert("same", verifier::CheckOutcome::kPass);
+  cache.Insert("same", verifier::CheckOutcome::kFail);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(*cache.Lookup("same"), verifier::CheckOutcome::kPass);
+}
+
+}  // namespace
+}  // namespace noctua::obs
