@@ -176,6 +176,16 @@ const char* CounterName(Counter c) {
       return "sim.replica_recoveries";
     case Counter::kSimConflictViolations:
       return "sim.conflict_violations";
+    case Counter::kSimLeaseAcquires:
+      return "sim.lease_acquires";
+    case Counter::kSimLeaseExpiries:
+      return "sim.lease_expiries";
+    case Counter::kSimFencingRejections:
+      return "sim.fencing_rejections";
+    case Counter::kSimDegradations:
+      return "sim.degradations";
+    case Counter::kSimFenceHeldEffects:
+      return "sim.fence_held_effects";
     case Counter::kNumCounters:
       break;
   }
@@ -194,6 +204,8 @@ const char* HistName(Hist h) {
       return "smt.solver_assignments_per_query";
     case Hist::kGroundExpansionsPerQuery:
       return "smt.ground_expansions_per_query";
+    case Hist::kLeaseAcquireMicros:
+      return "sim.lease_acquire_micros";
     case Hist::kNumHists:
       break;
   }

@@ -101,6 +101,12 @@ enum class Counter : uint8_t {
   kSimReplicaCrashes,
   kSimReplicaRecoveries,
   kSimConflictViolations,
+  // Runtime enforcement (lease coordinator; flushed once per Run).
+  kSimLeaseAcquires,
+  kSimLeaseExpiries,
+  kSimFencingRejections,
+  kSimDegradations,
+  kSimFenceHeldEffects,
   kNumCounters,  // sentinel
 };
 
@@ -121,6 +127,7 @@ enum class Hist : uint8_t {
   kSolverNodesPerQuery,      // DFS nodes of one solver query
   kSolverAssignmentsPerQuery,  // substitute-and-simplify evaluations of one query
   kGroundExpansionsPerQuery,   // binder expansions of one query's grounding
+  kLeaseAcquireMicros,         // simulated admission-to-grant latency of one lease
   kNumHists,  // sentinel
 };
 

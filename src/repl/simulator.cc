@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <queue>
 
 #include "src/obs/obs.h"
@@ -18,6 +19,10 @@ bool ConflictTable::Conflicts(const std::string& a, const std::string& b) const 
     return true;
   }
   return pairs_.count({std::min(a, b), std::max(a, b)}) != 0;
+}
+
+bool ConflictTable::RemovePair(const std::string& a, const std::string& b) {
+  return pairs_.erase({std::min(a, b), std::max(a, b)}) != 0;
 }
 
 ConflictTable ConservativeConflicts(const soir::Schema& schema,
@@ -80,6 +85,11 @@ enum class EventKind : uint8_t {
   kRestart,          // a failed replica comes back and catches up
   kEvictCrashed,     // coordinator failure detector evicts a crashed site's grants
   kAntiEntropy,      // periodic background sync applies missed effects from the log
+  // Enforcement (lease coordinator) events — scheduled only when enforce.enabled.
+  kRenewArrive,      // a lease renewal reaches the coordination service
+  kRenewAckArrive,   // the coordinator's renewal confirmation reaches the origin
+  kLeaseRenewTimer,  // origin-local renewal period while its op is still running
+  kLeaseExpiryCheck, // service-side sweep for overdue leases
 };
 
 // Retransmission stages, carried in retry-timer events.
@@ -109,7 +119,20 @@ struct PendingOp {
   CoordState coord = CoordState::kNone;
   bool dead = false;          // origin crashed while the request was in flight
   int64_t effect_seq = -1;    // per-origin sequence number of the committed effect
+  // Fence watermark carried by a grant issued after a lease reclamation: no replica may
+  // apply this op's effect until it has applied every global-log entry below it.
+  int64_t effect_prereq = 0;
+  // Origin-side conservative lease validity: every admit/renew SEND extends this by
+  // lease_ms. The coordinator extends from the message's *arrival*, never earlier, so
+  // this deadline lower-bounds the service's — executing past it is never safe.
+  double lease_deadline = 0;
   int interval = -1;          // index into the omniscient grant/release interval list
+  bool interval_open = false; // an omniscient [grant, release) window is open
+  // Enforcement: the origin-site epoch the request was issued under (fencing identity)
+  // and whether its admission degraded to the exclusive latch.
+  int64_t epoch = 0;
+  bool degraded = false;
+  int home_shard = 0;
   int admit_attempts = 0;
   int release_attempts = 0;
   std::map<int, int> effect_attempts;  // per target replica
@@ -125,6 +148,9 @@ struct Event {
   int client = -1;  // kClientIssue
   uint8_t stage = 0;  // kRetryTimer
   int attempt = 0;    // kRetryTimer
+  // kRenewArrive/kRenewAckArrive: send time of the renewal being confirmed. The origin
+  // may only extend its conservative lease deadline from this, never from a send.
+  double stamp = 0;
   // Deterministic tie-breaking.
   int64_t seq = 0;
 
@@ -148,6 +174,7 @@ struct GrantInterval {
   double granted_at = 0;
   double released_at = 0;
   std::string endpoint;
+  int64_t op = -1;
 };
 
 }  // namespace
@@ -155,10 +182,12 @@ struct GrantInterval {
 struct Simulator::Site {
   orm::Database db;
   bool down = false;
+  int64_t epoch = 0;  // bumped at every restart; fences pre-crash incarnations
   int64_t next_effect_seq = 0;             // numbering of effects this site originates
   std::vector<int64_t> expected;           // next seq expected from each origin
   std::vector<std::map<int64_t, int64_t>> gap_buffer;  // origin -> seq -> op id
   size_t log_scan = 0;                     // prefix of the global log known applied here
+  size_t log_covered = 0;                  // prefix of the global log applied (any path)
   std::set<int64_t> live_ops;              // in-flight requests originated here
   explicit Site(const soir::Schema* schema, int num_sites)
       : db(schema), expected(num_sites, 0), gap_buffer(num_sites) {}
@@ -175,7 +204,12 @@ SimResult Simulator::Run() {
   // All fault decisions draw from a dedicated stream so a zero-fault plan leaves the
   // workload's randomness — and therefore the perfect-network schedule — untouched.
   Rng fault_rng(options_.seed ^ 0xFA017BADC0FFEEULL);
-  const bool chaos = !options_.faults.IsZero();
+  const bool enforce = options_.enforce.enabled;
+  // Enforcement always runs the hardened protocol (retries, acks, epochs); the
+  // perfect-network fast path stays reserved for unenforced zero-fault runs so the
+  // seed model's Figure 10/11 schedule is untouched.
+  const bool chaos = !options_.faults.IsZero() || enforce;
+  const bool record_trace = options_.enforce.record_trace;
 
   // Replicas: identical seeded initial state, per-site striped ID allocation.
   std::vector<Site> sites;
@@ -199,17 +233,33 @@ SimResult Simulator::Run() {
 
   std::vector<LogRecord> log;
   std::vector<GrantInterval> intervals;
+  // Data-plane fencing watermark. Ack-held release guarantees that a conflicting
+  // successor executes only after its predecessor's effect reached every live replica;
+  // lease expiry, epoch fencing, and ack give-ups all bypass that handshake, so the
+  // reclaimed holder's effect may still be in flight when the successor runs. Each
+  // reclamation raises this watermark to the current log tail, and every later grant
+  // carries it as a prerequisite: replicas apply the fenced effect only after covering
+  // the log below the watermark, restoring the cross-site order the acks would have.
+  int64_t fence_watermark = 0;
 
   SimResult result;
   std::vector<double> latencies;  // successful requests only (see SimResult contract)
   const int coordinator_site = 0;
+  if (record_trace) {
+    result.trace.Clear(options_.num_sites);
+  }
+  std::optional<LeaseCoordinator> coord;
+  if (enforce) {
+    coord.emplace(conflicts_, LeaseCoordinator::Options{options_.enforce.num_shards,
+                                                        options_.enforce.lease_ms});
+  }
 
   auto coord_delay = [&](int site) {
     return site == coordinator_site ? 0.0 : options_.cross_site_latency_ms;
   };
   auto push = [&](double time, EventKind kind, int64_t op, int site = -1, int client = -1,
-                  uint8_t stage = 0, int attempt = 0) {
-    queue.push(Event{time, kind, op, site, client, stage, attempt, next_seq++});
+                  uint8_t stage = 0, int attempt = 0, double stamp = 0) {
+    queue.push(Event{time, kind, op, site, client, stage, attempt, stamp, next_seq++});
   };
   // Quiescence bound: no new transmissions once the drain grace expires, so retry chains
   // terminate and the event queue empties even under persistent faults.
@@ -226,7 +276,7 @@ SimResult Simulator::Run() {
   // Sends one protocol message over a (possibly faulty) link and schedules its arrivals.
   // `from`/`to` use kCoordinatorEndpoint for the coordination service side.
   auto transmit = [&](double now, int from, int to, double base_delay, EventKind kind,
-                      int64_t op, int site_field = -1) {
+                      int64_t op, int site_field = -1, double stamp = 0) {
     ++result.messages_sent;
     const LinkFaults& lf = options_.faults.LinkFor(from, to);
     MessageFate fate = options_.faults.SampleFate(lf, &fault_rng);
@@ -239,18 +289,52 @@ SimResult Simulator::Run() {
     }
     for (int copy = 0; copy < fate.copies; ++copy) {
       double extra = options_.faults.SampleExtraDelay(lf, &fault_rng);
-      push(now + base_delay + extra, kind, op, site_field);
+      push(now + base_delay + extra, kind, op, site_field, -1, 0, 0, stamp);
     }
   };
 
   auto record_grant = [&](PendingOp& op, double now) {
     op.interval = static_cast<int>(intervals.size());
+    op.interval_open = true;
     intervals.push_back({now, std::numeric_limits<double>::infinity(),
-                         op.request.path->view_name});
+                         op.request.path->view_name, op.id});
   };
   auto record_release = [&](PendingOp& op, double now) {
-    if (op.interval >= 0) {
+    if (op.interval >= 0 && op.interval_open) {
       intervals[op.interval].released_at = now;
+      op.interval_open = false;
+    }
+  };
+
+  // Processes what one coordinator call produced: grants travel back to their origins
+  // (paying the service-cost model), revocations close their omniscient windows, and
+  // every armed lease gets an expiry sweep scheduled. Fencing rejections are counted by
+  // the coordinator's own stats, copied into the result at the end of the run.
+  auto handle_coord_outcome = [&](const LeaseCoordinator::Outcome& out, double now) {
+    if (!out.expired.empty()) {
+      // Locks were reclaimed without the release handshake; anything the dead holders
+      // committed is at or below the current log tail, so grants from here on must not
+      // let their effects overtake it anywhere.
+      fence_watermark = static_cast<int64_t>(log.size());
+    }
+    for (int64_t id : out.expired) {
+      record_release(ops.at(id), now);
+    }
+    for (int64_t id : out.granted) {
+      PendingOp& gop = ops.at(id);
+      gop.effect_prereq = std::max(gop.effect_prereq, fence_watermark);
+      if (!gop.interval_open) {
+        record_grant(gop, now);
+      }
+      double cost =
+          options_.enforce.acquire_overhead_ms +
+          options_.enforce.per_lock_overhead_ms *
+              static_cast<double>(gop.degraded
+                                      ? 1
+                                      : coord->NumLocks(gop.request.path->view_name));
+      transmit(now, kCoordinatorEndpoint, gop.site, coord_delay(gop.site) + cost,
+               EventKind::kGrantArrive, gop.id);
+      push(now + options_.enforce.lease_ms + 0.001, EventKind::kLeaseExpiryCheck, -1);
     }
   };
 
@@ -307,6 +391,9 @@ SimResult Simulator::Run() {
   // Applies one committed effect at a replica and advances its per-origin cursor.
   auto apply_record = [&](int s, const PendingOp& op) {
     interp.Apply(*op.request.path, op.request.args, &sites[s].db);
+    if (record_trace) {
+      result.trace.site_order[s].push_back(op.id);
+    }
   };
   // Replays every logged effect the site has not applied yet, in global commit order.
   // This is the anti-entropy / crash catch-up path; the log respects per-origin sequence
@@ -335,6 +422,49 @@ SimResult Simulator::Run() {
     }
   };
 
+  // True once replica `s` has applied every global-log entry below `watermark`. Fenced
+  // effects stay parked until then; the covered prefix only ever advances, so the check
+  // resumes where it left off.
+  auto fence_covered = [&](int s, int64_t watermark) {
+    if (watermark <= 0) {
+      return true;
+    }
+    Site& site = sites[s];
+    while (site.log_covered < log.size()) {
+      const LogRecord& rec = log[site.log_covered];
+      if (rec.origin != s && rec.seq >= site.expected[rec.origin]) {
+        break;
+      }
+      ++site.log_covered;
+    }
+    return static_cast<int64_t>(site.log_covered) >= watermark;
+  };
+  // Enforced-mode apply loop: drains every origin's buffer to a fixpoint, because
+  // applying one origin's effect can advance the log coverage a fenced effect from a
+  // *different* origin was waiting on.
+  auto drain_site = [&](int s, double now) {
+    Site& site = sites[s];
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int o = 0; o < options_.num_sites; ++o) {
+        auto& buffer = site.gap_buffer[o];
+        for (auto it = buffer.find(site.expected[o]); it != buffer.end();
+             it = buffer.find(site.expected[o])) {
+          PendingOp& next = ops.at(it->second);
+          if (!fence_covered(s, next.effect_prereq)) {
+            break;
+          }
+          apply_record(s, next);
+          ++site.expected[o];
+          transmit(now, s, o, options_.cross_site_latency_ms,
+                   EventKind::kEffectAckArrive, next.id, s);
+          buffer.erase(it);
+          progress = true;
+        }
+      }
+    }
+  };
   // In-order delivery of one direct effect message at replica `s`, with idempotent
   // seq-based dedup and gap buffering. Acks every applied or already-applied effect.
   auto deliver_effect = [&](int s, PendingOp& op, double now) {
@@ -349,10 +479,14 @@ SimResult Simulator::Run() {
       }
       return;
     }
-    if (op.effect_seq > expected) {
+    if (op.effect_seq > expected || !fence_covered(s, op.effect_prereq)) {
       auto [_, inserted] = site.gap_buffer[origin].insert({op.effect_seq, op.id});
       if (inserted) {
-        ++result.effect_gaps_buffered;
+        if (op.effect_seq == expected) {
+          ++result.fence_held_effects;  // in order, but fenced below the watermark
+        } else {
+          ++result.effect_gaps_buffered;
+        }
       } else {
         ++result.duplicates_ignored;
       }
@@ -363,6 +497,10 @@ SimResult Simulator::Run() {
     if (chaos) {
       transmit(now, s, origin, options_.cross_site_latency_ms, EventKind::kEffectAckArrive,
                op.id, s);
+    }
+    if (enforce) {
+      drain_site(s, now);
+      return;
     }
     // Drain any buffered successors that the gap was holding back.
     auto& buffer = site.gap_buffer[origin];
@@ -416,12 +554,25 @@ SimResult Simulator::Run() {
         op.coordinated = options_.strong_consistency || op.request.is_write;
         ops[op.id] = std::move(op);
         PendingOp& ref = ops.at(next_op - 1);
+        ref.epoch = sites[ref.site].epoch;
+        if (enforce && ref.coordinated) {
+          ref.home_shard = coord->HomeShard(ref.request.path->view_name);
+        }
         if (chaos) {
           sites[ref.site].live_ops.insert(ref.id);
         }
         if (ref.coordinated) {
           if (chaos) {
             ref.admit_attempts = 1;
+            if (enforce) {
+              // Sound once a grant arrives: every admit was sent at or after now, so
+              // any admission the service processed renewed the lease past this.
+              ref.lease_deadline = ev.time + options_.enforce.lease_ms;
+              // The renew chain runs from admission, covering the queued wait too;
+              // confirmed renewals are the only thing that extends the deadline later.
+              push(ev.time + options_.enforce.renew_interval_ms,
+                   EventKind::kLeaseRenewTimer, ref.id);
+            }
             transmit(ev.time, ref.site, kCoordinatorEndpoint, coord_delay(ref.site),
                      EventKind::kAdmitArrive, ref.id);
             push(ev.time + backoff(ref.admit_attempts), EventKind::kRetryTimer, ref.id,
@@ -438,6 +589,23 @@ SimResult Simulator::Run() {
       case EventKind::kAdmitArrive: {
         if (chaos && options_.faults.CoordinatorDown(ev.time)) {
           ++result.messages_dropped;  // the service processes nothing during an outage
+          break;
+        }
+        if (enforce) {
+          PendingOp& op = ops.at(ev.op);
+          // No op.dead shortcut here: a real service cannot see origin death. A dead
+          // op's registration is fenced by its successor epoch or reaped by its lease.
+          if (!op.degraded &&
+              options_.enforce.ShardDown(op.home_shard, ev.time)) {
+            ++result.messages_dropped;  // this lock shard's request queue is down
+            break;
+          }
+          LeaseCoordinator::Outcome out =
+              coord->Acquire(op.id, op.request.path->view_name, op.site, op.epoch,
+                             ev.time, op.degraded);
+          handle_coord_outcome(out, ev.time);
+          push(ev.time + options_.enforce.lease_ms + 0.001,
+               EventKind::kLeaseExpiryCheck, -1);
           break;
         }
         PendingOp& op = ops.at(ev.op);
@@ -475,6 +643,11 @@ SimResult Simulator::Run() {
         }
         if (op.phase == Phase::kAwaitGrant) {
           op.phase = Phase::kExecuting;
+          if (enforce) {
+            obs::Observe(obs::Hist::kLeaseAcquireMicros,
+                         static_cast<uint64_t>((ev.time - op.issued_at) * 1000.0));
+            // The renew chain has been running since admission; no new one here.
+          }
           push(ev.time + options_.local_exec_ms, EventKind::kExecute, op.id);
         } else if (op.phase == Phase::kGivenUp) {
           // The client moved on; free the coordination entry.
@@ -492,6 +665,34 @@ SimResult Simulator::Run() {
         if (op.dead) {
           break;
         }
+        if (enforce && op.coordinated && ev.time > op.lease_deadline) {
+          // The conservative lease deadline has passed: the coordinator may have
+          // reclaimed the locks and granted a conflicting successor, so executing now
+          // would break the serialization. Go back to admission — if the registration
+          // is in fact still live, the idempotent re-acquire renews it and re-grants.
+          ++result.lease_laps;
+          if (op.admit_attempts >= options_.max_retries || !can_send(ev.time)) {
+            op.phase = Phase::kGivenUp;
+            ++result.timed_out_requests;
+            sites[op.site].live_ops.erase(op.id);
+            push(ev.time, EventKind::kClientIssue, -1, op.site, op.client);
+            break;
+          }
+          op.phase = Phase::kAwaitGrant;
+          ++op.admit_attempts;
+          ++result.retransmissions;
+          transmit(ev.time, op.site, kCoordinatorEndpoint, coord_delay(op.site),
+                   EventKind::kAdmitArrive, op.id);
+          push(ev.time + backoff(op.admit_attempts), EventKind::kRetryTimer, op.id, -1,
+               -1, kStageAdmit, op.admit_attempts);
+          break;
+        }
+        if (enforce && op.effect_prereq > 0 && !fence_covered(op.site, op.effect_prereq)) {
+          // A fenced grant: sync with the commit log before writing, so a reclaimed
+          // predecessor's effect is visible at the origin before this op overwrites it.
+          catch_up(op.site);
+          ++result.fence_log_syncs;
+        }
         bool committed = interp.Run(*op.request.path, op.request.args, &sites[op.site].db);
         double done = ev.time;
         ++result.completed_requests;
@@ -506,6 +707,11 @@ SimResult Simulator::Run() {
         if (op.request.is_write && committed) {
           ++result.committed_writes;
           op.effect_seq = sites[op.site].next_effect_seq++;
+          if (record_trace) {
+            result.trace.ops.push_back(
+                {op.id, op.request.path->view_name, op.site, op.effect_seq});
+            result.trace.site_order[op.site].push_back(op.id);
+          }
           if (chaos) {
             log.push_back({op.id, op.site, op.effect_seq});
           }
@@ -586,6 +792,26 @@ SimResult Simulator::Run() {
           ++result.messages_dropped;
           break;
         }
+        if (enforce) {
+          PendingOp& op = ops.at(ev.op);
+          if (!op.degraded &&
+              options_.enforce.ShardDown(op.home_shard, ev.time)) {
+            ++result.messages_dropped;
+            break;
+          }
+          LeaseCoordinator::Outcome out =
+              coord->Release(op.id, op.site, op.epoch, ev.time);
+          if (!out.fenced) {
+            record_release(op, ev.time);
+          }
+          handle_coord_outcome(out, ev.time);
+          // Release is idempotent; ack every copy so the origin can stop retrying.
+          if (!out.fenced && can_send(ev.time)) {
+            transmit(ev.time, kCoordinatorEndpoint, op.site, coord_delay(op.site),
+                     EventKind::kReleaseAckArrive, op.id);
+          }
+          break;
+        }
         PendingOp& op = ops.at(ev.op);
         switch (op.coord) {
           case CoordState::kActive:
@@ -638,6 +864,13 @@ SimResult Simulator::Run() {
             if (op.phase != Phase::kAwaitGrant || ev.attempt != op.admit_attempts) {
               break;  // the grant arrived, or a newer retry chain took over
             }
+            if (enforce && !op.degraded &&
+                op.admit_attempts >= options_.enforce.degrade_after_retries) {
+              // The backoff budget for fine-grained admission is spent (typically a
+              // downed lock shard): degrade this op to the service-global exclusive
+              // latch — strong consistency for one op beats giving up.
+              op.degraded = true;
+            }
             if (op.admit_attempts >= options_.max_retries || !can_send(ev.time)) {
               op.phase = Phase::kGivenUp;
               ++result.timed_out_requests;
@@ -670,6 +903,11 @@ SimResult Simulator::Run() {
               // The replica is unreachable (typically crashed): release anyway; the
               // catch-up log replays this effect in order before it serves again.
               ++result.ack_giveups;
+              if (enforce) {
+                // The release below skips the full ack handshake, so successors must
+                // not overtake this effect at the replica that never acked it.
+                fence_watermark = static_cast<int64_t>(log.size());
+              }
               op.await_acks.erase(target);
               if (op.phase == Phase::kAwaitAcks && op.await_acks.empty()) {
                 start_release(op, ev.time);
@@ -728,7 +966,11 @@ SimResult Simulator::Run() {
             op.dead = true;
           }
         }
-        push(ev.time + options_.crash_lease_ms, EventKind::kEvictCrashed, -1, ev.site);
+        if (!enforce) {
+          // Enforced mode has no omniscient failure detector: the dead cohort's locks
+          // are reclaimed by lease expiry (or fenced away by the restart epoch).
+          push(ev.time + options_.crash_lease_ms, EventKind::kEvictCrashed, -1, ev.site);
+        }
         break;
       }
       case EventKind::kEvictCrashed: {
@@ -769,6 +1011,7 @@ SimResult Simulator::Run() {
           break;
         }
         site.down = false;
+        ++site.epoch;  // the new incarnation; the coordinator fences the old one away
         ++result.replica_recoveries;
         // Anti-entropy catch-up: replay every missed effect in commit order before
         // serving clients again (restart-from-disk plus log sync).
@@ -788,6 +1031,61 @@ SimResult Simulator::Run() {
         }
         push(ev.time + options_.anti_entropy_interval_ms, EventKind::kAntiEntropy, -1,
              ev.site);
+        break;
+      }
+      case EventKind::kLeaseRenewTimer: {
+        PendingOp& op = ops.at(ev.op);
+        if (op.dead || sites[op.site].down || !can_send(ev.time)) {
+          break;  // the chain dies with the op / the horizon
+        }
+        if (op.phase != Phase::kAwaitGrant && op.phase != Phase::kExecuting &&
+            op.phase != Phase::kAwaitAcks) {
+          break;  // release is on its way; let the lease lapse if that gets lost
+        }
+        transmit(ev.time, op.site, kCoordinatorEndpoint, coord_delay(op.site),
+                 EventKind::kRenewArrive, op.id, -1, ev.time);
+        push(ev.time + options_.enforce.renew_interval_ms, EventKind::kLeaseRenewTimer,
+             op.id);
+        break;
+      }
+      case EventKind::kRenewArrive: {
+        if (options_.faults.CoordinatorDown(ev.time)) {
+          ++result.messages_dropped;
+          break;
+        }
+        PendingOp& op = ops.at(ev.op);
+        if (!op.degraded && options_.enforce.ShardDown(op.home_shard, ev.time)) {
+          ++result.messages_dropped;
+          break;
+        }
+        LeaseCoordinator::Outcome out = coord->Renew(op.id, op.site, op.epoch, ev.time);
+        handle_coord_outcome(out, ev.time);
+        if (out.renewed && can_send(ev.time)) {
+          // Confirm with the renewal's original send time: the origin extends its
+          // conservative deadline from that stamp, which the service's own extension
+          // (taken at arrival, never earlier) is guaranteed to dominate.
+          transmit(ev.time, kCoordinatorEndpoint, op.site, coord_delay(op.site),
+                   EventKind::kRenewAckArrive, op.id, -1, ev.stamp);
+        }
+        break;
+      }
+      case EventKind::kRenewAckArrive: {
+        PendingOp& op = ops.at(ev.op);
+        if (op.dead || sites[op.site].down) {
+          break;
+        }
+        op.lease_deadline =
+            std::max(op.lease_deadline, ev.stamp + options_.enforce.lease_ms);
+        break;
+      }
+      case EventKind::kLeaseExpiryCheck: {
+        if (options_.faults.CoordinatorDown(ev.time) && can_send(ev.time)) {
+          // The whole service is out; its failure detector resumes afterwards.
+          push(ev.time + options_.retry_timeout_ms, EventKind::kLeaseExpiryCheck, -1);
+          break;
+        }
+        LeaseCoordinator::Outcome out = coord->ExpireDue(ev.time);
+        handle_coord_outcome(out, ev.time);
         break;
       }
     }
@@ -849,6 +1147,16 @@ SimResult Simulator::Run() {
     result.converged = result.converged && sites[0].db.SameState(sites[s].db, order_models);
   }
 
+  if (coord) {
+    const LeaseCoordinator::Stats& cs = coord->stats();
+    result.lease_acquires = cs.acquires;
+    result.lease_grants = cs.grants;
+    result.lease_expiries = cs.expiries;
+    result.fencing_rejections = cs.fencing_rejections;
+    result.degradations = cs.degradations;
+    result.lock_waits = cs.lock_waits;
+  }
+
   if (obs::Enabled()) {
     // One-shot flush of the run's message/fault/recovery counters — the event loop
     // itself carries no instrumentation.
@@ -861,6 +1169,11 @@ SimResult Simulator::Run() {
     obs::Add(obs::Counter::kSimReplicaCrashes, result.replica_crashes);
     obs::Add(obs::Counter::kSimReplicaRecoveries, result.replica_recoveries);
     obs::Add(obs::Counter::kSimConflictViolations, result.conflict_violations);
+    obs::Add(obs::Counter::kSimLeaseAcquires, result.lease_acquires);
+    obs::Add(obs::Counter::kSimLeaseExpiries, result.lease_expiries);
+    obs::Add(obs::Counter::kSimFencingRejections, result.fencing_rejections);
+    obs::Add(obs::Counter::kSimDegradations, result.degradations);
+    obs::Add(obs::Counter::kSimFenceHeldEffects, result.fence_held_effects);
     run_span.Arg("requests", result.completed_requests);
     run_span.Arg("messages", result.messages_sent);
     run_span.Arg("converged", result.converged ? 1 : 0);

@@ -40,7 +40,9 @@
 #include <string>
 #include <vector>
 
+#include "src/repl/coord.h"
 #include "src/repl/fault.h"
+#include "src/repl/trace_check.h"
 #include "src/repl/workload.h"
 #include "src/soir/interp.h"
 
@@ -55,6 +57,11 @@ class ConflictTable {
   void SetTotal(bool total) { total_ = total; }
   bool total() const { return total_; }
   size_t size() const { return pairs_.size(); }
+  // Removes one pair (order-insensitive); true when it was present. The mutation knob
+  // for oracle testing: dropping a computed restriction must be detected downstream.
+  bool RemovePair(const std::string& a, const std::string& b);
+  // Canonicalized pair set (each pair stored with first <= second).
+  const std::set<std::pair<std::string, std::string>>& pairs() const { return pairs_; }
 
  private:
   std::set<std::pair<std::string, std::string>> pairs_;
@@ -93,6 +100,14 @@ struct SimOptions {
                                  // grants held by a crashed replica's requests
   double drain_grace_ms = 300.0;  // no new transmissions after duration + grace, so the
                                   // event queue quiesces even under persistent faults
+
+  // --- Runtime enforcement (see src/repl/coord.h) --------------------------------------
+  // When `enforce.enabled`, admission runs through the sharded lease-based
+  // LeaseCoordinator (epoch fencing, lease expiry, degradation) over the hardened
+  // chaos-mode protocol, and `enforce.record_trace` makes the run record the per-site
+  // operation history that trace_check.h validates offline. `record_trace` also works
+  // without enforcement (to audit the omniscient coordinator itself).
+  EnforceOptions enforce;
 };
 
 // Counter definitions (the accounting contract relied on by tests and benches):
@@ -131,6 +146,21 @@ struct SimResult {
   // Must be zero — a non-zero value means the protocol let restriction-set-conflicting
   // operations run concurrently.
   uint64_t conflict_violations = 0;
+
+  // --- Enforcement counters (all zero unless SimOptions::enforce.enabled) --------------
+  uint64_t lease_acquires = 0;      // admission registrations the coordinator accepted
+  uint64_t lease_grants = 0;        // grants issued (including idempotent re-sends)
+  uint64_t lease_expiries = 0;      // registrations reaped by lease expiry / fencing
+  uint64_t fencing_rejections = 0;  // stale-epoch messages the coordinator rejected
+  uint64_t degradations = 0;        // ops that fell back to the exclusive latch
+  uint64_t lock_waits = 0;          // times an op queued on a busy pair-lock
+  uint64_t fence_held_effects = 0;  // watermarked effects parked until log coverage
+  uint64_t fence_log_syncs = 0;     // fenced grants that synced with the log pre-execute
+  uint64_t lease_laps = 0;          // origin-side lease checks that failed at execute
+
+  // Recorded per-site apply history (populated when enforce.record_trace); feed to
+  // CheckTrace with the *full* restriction set to validate the run offline.
+  ExecutionTrace trace;
 
   double ThroughputOpsPerSec() const {
     return duration_ms > 0 ? completed_requests / (duration_ms / 1000.0) : 0;

@@ -1,0 +1,172 @@
+#include "src/repl/trace_check.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/repl/simulator.h"
+#include "src/support/strings.h"
+
+namespace noctua::repl {
+
+std::string TraceViolation::Describe() const {
+  std::string a = "op " + std::to_string(op_a) + "(" + endpoint_a + ")";
+  std::string b = "op " + std::to_string(op_b) + "(" + endpoint_b + ")";
+  if (kind == Kind::kSessionOrder) {
+    return "session-order break: site " + std::to_string(site_a) + " applied " + b +
+           " before " + a + ", but " + a + " precedes " + b +
+           " in origin site " + std::to_string(site_b) + "'s commit order";
+  }
+  return "conflict-order cycle: " + a + " -> " + b + " at site " +
+         std::to_string(site_a) + ", " + b + " -> " + a + " at site " +
+         std::to_string(site_b) + " [restricted pair (" + endpoint_a + ", " +
+         endpoint_b + ")]";
+}
+
+namespace {
+
+struct PositionIndex {
+  // pos[s][op index] = apply position at site s, -1 when the site never applied it.
+  std::vector<std::vector<int32_t>> pos;
+
+  PositionIndex(const ExecutionTrace& trace,
+                const std::unordered_map<int64_t, int32_t>& index) {
+    pos.assign(trace.site_order.size(),
+               std::vector<int32_t>(trace.ops.size(), -1));
+    for (size_t s = 0; s < trace.site_order.size(); ++s) {
+      const auto& order = trace.site_order[s];
+      for (size_t p = 0; p < order.size(); ++p) {
+        auto it = index.find(order[p]);
+        if (it != index.end()) {
+          pos[s][it->second] = static_cast<int32_t>(p);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TraceCheckResult CheckTrace(const ExecutionTrace& trace, const ConflictTable& conflicts) {
+  TraceCheckResult res;
+  res.ops = trace.ops.size();
+  if (!trace.recorded || trace.ops.empty()) {
+    return res;
+  }
+  const size_t num_sites = trace.site_order.size();
+  std::unordered_map<int64_t, int32_t> index;
+  index.reserve(trace.ops.size() * 2);
+  for (size_t i = 0; i < trace.ops.size(); ++i) {
+    index.emplace(trace.ops[i].id, static_cast<int32_t>(i));
+  }
+
+  auto witness = [&](TraceViolation v) {
+    ++res.violations;
+    if (!res.has_witness) {
+      res.has_witness = true;
+      res.first = std::move(v);
+    }
+  };
+
+  // --- 1. Session order: each origin's commits apply in origin_seq order everywhere.
+  for (size_t s = 0; s < num_sites; ++s) {
+    std::map<int, std::pair<int64_t, int64_t>> last;  // origin -> (seq, op id)
+    for (int64_t id : trace.site_order[s]) {
+      auto it = index.find(id);
+      if (it == index.end()) {
+        continue;
+      }
+      const TraceOp& op = trace.ops[it->second];
+      auto [lit, inserted] = last.try_emplace(op.origin, op.origin_seq, op.id);
+      if (!inserted) {
+        if (op.origin_seq < lit->second.first) {
+          TraceViolation v;
+          v.kind = TraceViolation::Kind::kSessionOrder;
+          v.op_a = op.id;  // earlier in the origin's commit order
+          v.op_b = lit->second.second;
+          v.endpoint_a = op.endpoint;
+          v.endpoint_b = trace.ops[index.at(lit->second.second)].endpoint;
+          v.site_a = static_cast<int>(s);
+          v.site_b = op.origin;
+          witness(std::move(v));
+        } else {
+          lit->second = {op.origin_seq, op.id};
+        }
+      }
+    }
+  }
+
+  // --- 2. Conflict order: restricted pairs apply in one global order at every site.
+  std::map<std::string, std::vector<int32_t>> by_endpoint;  // sorted for determinism
+  for (size_t i = 0; i < trace.ops.size(); ++i) {
+    by_endpoint[trace.ops[i].endpoint].push_back(static_cast<int32_t>(i));
+  }
+  PositionIndex positions(trace, index);
+
+  // Checks one restricted endpoint pair (its two op groups) for cross-site agreement.
+  auto check_group_pair = [&](const std::vector<int32_t>& a_ops,
+                              const std::vector<int32_t>& b_ops, bool same_group) {
+    for (size_t i = 0; i < a_ops.size(); ++i) {
+      size_t j_begin = same_group ? i + 1 : 0;
+      for (size_t j = j_begin; j < b_ops.size(); ++j) {
+        int32_t a = a_ops[i];
+        int32_t b = b_ops[j];
+        if (a == b) {
+          continue;
+        }
+        int ref_sign = 0;
+        size_t ref_site = 0;
+        bool counted = false;
+        for (size_t s = 0; s < num_sites; ++s) {
+          int32_t pa = positions.pos[s][a];
+          int32_t pb = positions.pos[s][b];
+          if (pa < 0 || pb < 0) {
+            continue;  // this site never applied one of them (e.g. crash horizon)
+          }
+          if (!counted) {
+            counted = true;
+            ++res.pairs_checked;
+          }
+          int sign = pa < pb ? 1 : -1;
+          if (ref_sign == 0) {
+            ref_sign = sign;
+            ref_site = s;
+          } else if (sign != ref_sign) {
+            const TraceOp& oa = trace.ops[a];
+            const TraceOp& ob = trace.ops[b];
+            TraceViolation v;
+            // Orient the witness as "first site's order, then the dissenting site".
+            v.op_a = ref_sign > 0 ? oa.id : ob.id;
+            v.op_b = ref_sign > 0 ? ob.id : oa.id;
+            v.endpoint_a = ref_sign > 0 ? oa.endpoint : ob.endpoint;
+            v.endpoint_b = ref_sign > 0 ? ob.endpoint : oa.endpoint;
+            v.site_a = static_cast<int>(ref_site);
+            v.site_b = static_cast<int>(s);
+            witness(std::move(v));
+            break;  // one violation per op pair
+          }
+        }
+      }
+    }
+  };
+
+  if (conflicts.total()) {
+    for (auto a = by_endpoint.begin(); a != by_endpoint.end(); ++a) {
+      for (auto b = a; b != by_endpoint.end(); ++b) {
+        check_group_pair(a->second, b->second, a == b);
+      }
+    }
+  } else {
+    for (const auto& [p, q] : conflicts.pairs()) {
+      auto a = by_endpoint.find(p);
+      auto b = by_endpoint.find(q);
+      if (a == by_endpoint.end() || b == by_endpoint.end()) {
+        continue;  // the workload never exercised this pair
+      }
+      check_group_pair(a->second, b->second, p == q);
+    }
+  }
+  return res;
+}
+
+}  // namespace noctua::repl

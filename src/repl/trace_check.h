@@ -1,0 +1,98 @@
+// Offline execution-trace consistency checker — the validation half of the end-to-end
+// oracle (the checking side of Biswas & Enea-style history verification, specialized to
+// PoR consistency over a restriction set).
+//
+// The simulator records, per site, the exact order in which committed write operations
+// were applied (own executions plus replicated effects). PoR consistency demands two
+// things of that history:
+//
+//   1. **Session order**: each origin's operations are applied at every site in the
+//      origin's commit order (the per-origin sequence numbers).
+//   2. **Conflict order**: any two operations whose endpoints are related by the
+//      restriction set are applied in the *same* relative order at every site.
+//
+// A restriction set that is too small lets conflicting operations run uncoordinated,
+// and the replicas apply them in different orders — exactly a conflict-order
+// disagreement: site s applied a before b, site s' applied b before a, i.e. the cycle
+// a -> b -> a in the union of the per-site conflict orders. The checker reports the
+// first such pair with that two-edge witness cycle. With the computed restriction set
+// intact the checker must find nothing, on any fault plan — which is what turns the
+// chaos grid into an oracle for every solver/analyzer change upstream.
+//
+// Complexity: session order is O(total applies); conflict order groups operations by
+// endpoint and compares, per restricted endpoint pair (E, F) and per site, the relative
+// order of every cross pair against site 0 — O(S * sum over restricted (E,F) of
+// |ops_E| * |ops_F|) integer position comparisons, the dense-witness analogue of a
+// polygraph acyclicity check and comfortably sub-second at chaos-grid scale.
+#ifndef SRC_REPL_TRACE_CHECK_H_
+#define SRC_REPL_TRACE_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noctua::repl {
+
+class ConflictTable;
+
+// One committed write operation, registered at its origin commit.
+struct TraceOp {
+  int64_t id = 0;
+  std::string endpoint;
+  int origin = 0;
+  int64_t origin_seq = 0;  // per-origin commit sequence number
+};
+
+// The recorded history of one simulator run. `site_order[s]` lists operation ids in the
+// exact order site s applied them (its own commits plus replicated effects, whether
+// delivered directly, via gap-buffer drain, or by anti-entropy catch-up).
+struct ExecutionTrace {
+  std::vector<TraceOp> ops;
+  std::vector<std::vector<int64_t>> site_order;
+  bool recorded = false;
+
+  void Clear(int num_sites) {
+    ops.clear();
+    site_order.assign(static_cast<size_t>(num_sites), {});
+    recorded = true;
+  }
+};
+
+struct TraceViolation {
+  enum class Kind : uint8_t { kConflictOrder, kSessionOrder };
+  Kind kind = Kind::kConflictOrder;
+  int64_t op_a = 0;
+  int64_t op_b = 0;
+  std::string endpoint_a;
+  std::string endpoint_b;
+  // kConflictOrder: site_a applied op_a before op_b, site_b applied them the other way
+  // around — the witness cycle op_a -> op_b (at site_a) -> op_a (at site_b).
+  // kSessionOrder: site_a applied op_b before op_a although op_a precedes op_b in their
+  // shared origin's commit order; site_b is that origin.
+  int site_a = 0;
+  int site_b = 0;
+
+  // Human-readable witness, e.g.
+  // "conflict-order cycle: op 12(transfer) -> op 31(deposit) at site 0, op 31 -> op 12
+  //  at site 2 [restricted pair (deposit, transfer)]".
+  std::string Describe() const;
+};
+
+struct TraceCheckResult {
+  uint64_t ops = 0;            // operations in the trace
+  uint64_t pairs_checked = 0;  // conflicting op pairs whose cross-site order was compared
+  uint64_t violations = 0;     // total order disagreements + session-order breaks
+  bool has_witness = false;
+  TraceViolation first;  // valid when has_witness
+
+  bool ok() const { return violations == 0; }
+};
+
+// Validates `trace` against the consistency model plus the restriction set `conflicts`.
+// Counts every violation but keeps only the first witness (deterministic: smallest
+// (endpoint pair, op id) in canonical order).
+TraceCheckResult CheckTrace(const ExecutionTrace& trace, const ConflictTable& conflicts);
+
+}  // namespace noctua::repl
+
+#endif  // SRC_REPL_TRACE_CHECK_H_

@@ -183,6 +183,60 @@ TEST(SimulatorTest, DeterministicGivenSeed) {
   EXPECT_DOUBLE_EQ(r1.avg_latency_ms, r2.avg_latency_ms);
 }
 
+TEST(SimulatorTest, EnforcedPoRConvergesWithACleanTrace) {
+  // Routing admission through the lease coordinator (instead of the omniscient
+  // active-set) must preserve both safety properties, and the recorded history must
+  // satisfy the trace checker against the same restriction set.
+  app::App a = apps::MakeSmallBankApp();
+  auto res = analyzer::AnalyzeApp(a);
+  auto eff = res.EffectfulPaths();
+  ConflictTable conflicts = ConflictsFor(a, eff);
+  SimOptions options;
+  options.write_ratio = 0.5;
+  options.duration_ms = 300;
+  options.enforce.enabled = true;
+  Simulator sim(a.schema(), res.paths, conflicts, options);
+  SimResult result = sim.Run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.conflict_violations, 0u);
+  EXPECT_GT(result.completed_requests, 0u);
+  EXPECT_GT(result.lease_acquires, 0u);
+  EXPECT_GT(result.lease_grants, 0u);
+  TraceCheckResult check = CheckTrace(result.trace, conflicts);
+  EXPECT_TRUE(check.ok()) << (check.has_witness ? check.first.Describe() : "");
+  EXPECT_GT(check.pairs_checked, 0u);
+}
+
+TEST(SimulatorTest, EnforcedThroughputSitsBetweenStrongConsistencyAndUnenforcedPoR) {
+  // The enforcement cost model makes runtime coordination measurably non-free: an
+  // enforced run pays per-grant service costs the omniscient coordinator doesn't, but
+  // still beats serializing everything.
+  app::App a = apps::MakeSmallBankApp();
+  auto res = analyzer::AnalyzeApp(a);
+  auto eff = res.EffectfulPaths();
+  ConflictTable conflicts = ConflictsFor(a, eff);
+  SimOptions options;
+  options.write_ratio = 0.5;
+  options.duration_ms = 400;
+
+  Simulator unenforced(a.schema(), res.paths, conflicts, options);
+  double por = unenforced.Run().ThroughputOpsPerSec();
+
+  options.enforce.enabled = true;
+  Simulator enforced(a.schema(), res.paths, conflicts, options);
+  double enforced_por = enforced.Run().ThroughputOpsPerSec();
+
+  options.enforce.enabled = false;
+  options.strong_consistency = true;
+  ConflictTable total;
+  total.SetTotal(true);
+  Simulator sc(a.schema(), res.paths, total, options);
+  double strong = sc.Run().ThroughputOpsPerSec();
+
+  EXPECT_LT(enforced_por, por) << "enforcement came for free — the cost model is dead";
+  EXPECT_GT(enforced_por, strong) << "enforced PoR lost to strong consistency";
+}
+
 TEST(SimulatorTest, CoursewareConvergesUnderPoR) {
   app::App a = apps::MakeCoursewareApp();
   auto res = analyzer::AnalyzeApp(a);
