@@ -9,6 +9,7 @@
 
 #include "src/analyzer/analyzer.h"
 #include "src/app/app.h"
+#include "src/smt/backend.h"
 #include "src/support/strings.h"
 #include "src/verifier/report.h"
 
@@ -19,13 +20,26 @@ namespace noctua::bench {
 // can tell "the metric moved" from "the schema moved".
 //   v1 (implicit): the PR 1-4 sweeps, no schema_version field.
 //   v2: schema_version field added; parallel_sweep rows carry per-phase percentiles.
-inline constexpr int kBenchSchemaVersion = 2;
+//   v3: preamble stamps the resolved solver backend and portfolio race tallies.
+inline constexpr int kBenchSchemaVersion = 3;
 
 // The leading members every BENCH_*.json document starts with. Callers embed it right
 // after their opening brace: json = "{" + BenchJsonPreamble("fault_sweep") + ", ...".
+//
+// The backend members make sweep artifacts self-describing under NOCTUA_SOLVER: a
+// longitudinal regression between two commits means nothing if one ran dfs and the
+// other raced the portfolio. The portfolio tallies are process-lifetime totals at the
+// moment the document is assembled (zero for single backends).
 inline std::string BenchJsonPreamble(const std::string& bench_name) {
+  smt::PortfolioCounts pc = smt::GetPortfolioCounts();
   return "\"bench\": \"" + bench_name +
-         "\", \"schema_version\": " + std::to_string(kBenchSchemaVersion);
+         "\", \"schema_version\": " + std::to_string(kBenchSchemaVersion) +
+         ", \"solver_backend\": \"" +
+         smt::BackendKindName(smt::ResolveBackendKind(smt::BackendKind::kAuto)) +
+         "\", \"portfolio\": {\"races\": " + std::to_string(pc.races) +
+         ", \"wins_dfs\": " + std::to_string(pc.wins_dfs) +
+         ", \"wins_cdcl\": " + std::to_string(pc.wins_cdcl) +
+         ", \"undecided\": " + std::to_string(pc.undecided) + "}";
 }
 
 // Percentiles of a sample set, exact by sorting (benches deal in hundreds of samples,

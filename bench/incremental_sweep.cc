@@ -54,7 +54,7 @@ IncrementalOptions Opts() {
   IncrementalOptions o;
   // Pin the solver's budget decisions so verdicts are identical across separate runs —
   // the identity assertion below is exact.
-  o.pipeline.checker.solver.deterministic_budget = true;
+  o.pipeline.checker.solver.budget.deterministic = true;
   return o;
 }
 

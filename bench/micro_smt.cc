@@ -2,8 +2,11 @@
 // term interning, grounding, solving a representative check, and a full pair check.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "src/analyzer/analyzer.h"
 #include "src/apps/smallbank.h"
+#include "src/smt/backend.h"
 #include "src/smt/ground.h"
 #include "src/smt/solver.h"
 #include "src/verifier/checker.h"
@@ -60,7 +63,9 @@ void BM_GroundQuantifier(benchmark::State& state) {
 }
 BENCHMARK(BM_GroundQuantifier)->Arg(2)->Arg(3)->Arg(4);
 
-void BM_SolveUniqueFieldQuery(benchmark::State& state) {
+// Runs once per backend so the CI artifact carries a dfs/cdcl/portfolio row each; the
+// workflow gates on the portfolio row staying within 10% of the best single backend.
+void BM_SolveUniqueFieldQuery(benchmark::State& state, smt::BackendKind kind) {
   for (auto _ : state) {
     TermFactory f;
     Sort rs = smt::RefSort(0);
@@ -71,15 +76,19 @@ void BM_SolveUniqueFieldQuery(benchmark::State& state) {
     Term wf = f.Forall(v, f.Eq(f.Proj(f.Select(data, v), 0), v));
     Term x = f.Const("x", rs);
     Term y = f.Const("y", rs);
-    smt::Solver solver{smt::SolverOptions{}};
-    auto r = solver.CheckSat(
-        f, {wf, f.Member(x, ids), f.Member(y, ids),
-            f.Eq(f.Proj(f.Select(data, x), 1), f.Proj(f.Select(data, y), 1)),
-            f.Neq(x, y)});
+    std::unique_ptr<smt::SolverBackend> backend =
+        smt::MakeBackend(kind, smt::SolverOptions{});
+    backend->AssertAll(
+        {wf, f.Member(x, ids), f.Member(y, ids),
+         f.Eq(f.Proj(f.Select(data, x), 1), f.Proj(f.Select(data, y), 1)),
+         f.Neq(x, y)});
+    auto r = backend->Check(f);
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_SolveUniqueFieldQuery);
+BENCHMARK_CAPTURE(BM_SolveUniqueFieldQuery, dfs, smt::BackendKind::kDfs);
+BENCHMARK_CAPTURE(BM_SolveUniqueFieldQuery, cdcl, smt::BackendKind::kCdcl);
+BENCHMARK_CAPTURE(BM_SolveUniqueFieldQuery, portfolio, smt::BackendKind::kPortfolio);
 
 // One full commutativity + semantic check on a real pair (the verifier's unit of work).
 void BM_FullPairCheck(benchmark::State& state) {

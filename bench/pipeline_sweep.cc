@@ -174,7 +174,7 @@ int main(int argc, char** argv) {
     // Deterministic solver budget: identical verdicts regardless of machine speed, so
     // the off-vs-on comparison below is exact equality, not a flaky approximation.
     PipelineOptions base;
-    base.checker.solver.deterministic_budget = true;
+    base.checker.solver.budget.deterministic = true;
 
     double off_seconds = 0;
     std::vector<std::string> reference;

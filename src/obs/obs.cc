@@ -140,6 +140,18 @@ const char* CounterName(Counter c) {
       return "smt.ground_expansions";
     case Counter::kSimplifyHits:
       return "smt.simplify_hits";
+    case Counter::kCdclConflicts:
+      return "smt.cdcl_conflicts";
+    case Counter::kCdclLearnedClauses:
+      return "smt.cdcl_learned_clauses";
+    case Counter::kPortfolioRaces:
+      return "smt.portfolio_races";
+    case Counter::kPortfolioWinsDfs:
+      return "smt.portfolio_wins_dfs";
+    case Counter::kPortfolioWinsCdcl:
+      return "smt.portfolio_wins_cdcl";
+    case Counter::kPortfolioUndecided:
+      return "smt.portfolio_undecided";
     case Counter::kEndpointsAnalyzed:
       return "analyzer.endpoints_analyzed";
     case Counter::kEndpointsMemoized:

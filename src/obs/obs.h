@@ -81,6 +81,12 @@ enum class Counter : uint8_t {
   kSolverAssignments,
   kGroundExpansions,
   kSimplifyHits,
+  kCdclConflicts,
+  kCdclLearnedClauses,
+  kPortfolioRaces,
+  kPortfolioWinsDfs,
+  kPortfolioWinsCdcl,
+  kPortfolioUndecided,
   // Analyzer / incremental engine.
   kEndpointsAnalyzed,
   kEndpointsMemoized,

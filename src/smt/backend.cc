@@ -1,0 +1,110 @@
+#include "src/smt/backend.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/smt/cdcl.h"
+#include "src/smt/portfolio.h"
+#include "src/support/check.h"
+
+namespace noctua::smt {
+
+const char* BackendKindName(BackendKind k) {
+  switch (k) {
+    case BackendKind::kAuto:
+      return "auto";
+    case BackendKind::kDfs:
+      return "dfs";
+    case BackendKind::kCdcl:
+      return "cdcl";
+    case BackendKind::kPortfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
+bool ParseBackendKind(const std::string& name, BackendKind* out) {
+  if (name == "dfs") {
+    *out = BackendKind::kDfs;
+  } else if (name == "cdcl") {
+    *out = BackendKind::kCdcl;
+  } else if (name == "portfolio") {
+    *out = BackendKind::kPortfolio;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+BackendKind BackendKindFromEnv() {
+  const char* env = std::getenv("NOCTUA_SOLVER");
+  if (env == nullptr || *env == '\0') {
+    return BackendKind::kDfs;
+  }
+  BackendKind k;
+  if (ParseBackendKind(env, &k)) {
+    return k;
+  }
+  // Same discipline as NOCTUA_THREADS: reject with a one-shot warning rather than
+  // silently absorbing a typo into the default.
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "noctua: ignoring NOCTUA_SOLVER=\"%s\" (expected dfs, cdcl, or "
+                 "portfolio); using dfs\n",
+                 env);
+  }
+  return BackendKind::kDfs;
+}
+
+BackendKind ResolveBackendKind(BackendKind k) {
+  return k == BackendKind::kAuto ? BackendKindFromEnv() : k;
+}
+
+namespace {
+
+// The bounded model finder behind the backend interface: a thin adapter over Solver.
+class DfsBackend : public SolverBackend {
+ public:
+  explicit DfsBackend(const SolverOptions& options) : solver_(options) {}
+
+  const char* name() const override { return "dfs"; }
+  BackendCaps caps() const override {
+    return BackendCaps{/*deterministic_budget=*/true, /*produces_model=*/true,
+                       /*cancellable=*/true};
+  }
+  const SmtModel& model() const override { return solver_.model(); }
+  const SolverStats& stats() const override { return solver_.stats(); }
+  void set_cancel(const std::atomic<bool>* cancel) override { solver_.set_cancel(cancel); }
+
+ protected:
+  SolveResult DoCheck(TermFactory& factory, const std::vector<Term>& assertions) override {
+    return solver_.CheckSat(factory, assertions);
+  }
+
+ private:
+  Solver solver_;
+};
+
+}  // namespace
+
+std::unique_ptr<SolverBackend> MakeBackend(BackendKind kind, const SolverOptions& options) {
+  switch (ResolveBackendKind(kind)) {
+    case BackendKind::kDfs:
+      return std::make_unique<DfsBackend>(options);
+    case BackendKind::kCdcl:
+      return std::make_unique<CdclBackend>(options);
+    case BackendKind::kPortfolio:
+      return std::make_unique<PortfolioBackend>(options);
+    case BackendKind::kAuto:
+      break;  // ResolveBackendKind never returns kAuto
+  }
+  NOCTUA_UNREACHABLE("unresolved backend kind");
+}
+
+std::unique_ptr<SolverBackend> MakeBackend(const SolverOptions& options) {
+  return MakeBackend(options.backend, options);
+}
+
+}  // namespace noctua::smt

@@ -1,0 +1,111 @@
+// The verifier <-> solver boundary: an abstract decision-procedure interface.
+//
+// The paper treats its solver as a black box behind a fixed query shape (assert a
+// refutation query, ask sat/unsat under a budget, read a counterexample model). This
+// header makes that boundary explicit so decision procedures can be swapped without
+// touching the verifier: the bounded model finder ("dfs", solver.h), a CDCL-style ground
+// SAT solver ("cdcl", cdcl.h), and a portfolio that races the two per query
+// ("portfolio", portfolio.h).
+//
+// Construction happens in exactly one place — MakeBackend — so every call site (verifier,
+// tests, benches) picks its procedure through SolverOptions::backend / NOCTUA_SOLVER
+// rather than naming a concrete class.
+//
+// Soundness contract: all backends decide the *same* finite question. Each one
+// preprocesses its query through GroundAndFlatten (identical grounding) and draws
+// candidate values from ValueDomains (identical domains), so for any query that no
+// backend abandons (kUnknown), all backends must return the same verdict. Models may
+// differ — a satisfiable query can have many witnesses — but sat/unsat may not. The
+// portfolio backend and the cross-backend tests check this invariant at runtime.
+#ifndef SRC_SMT_BACKEND_H_
+#define SRC_SMT_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/smt/budget.h"
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+
+namespace noctua::smt {
+
+// What a backend can do, beyond deciding satisfiability. The verifier consults these
+// rather than switching on the backend's name.
+struct BackendCaps {
+  // Honors Budget::deterministic: bounded by max_nodes only, verdicts independent of
+  // machine speed. False for backends whose verdict can depend on wall-clock timing
+  // (the portfolio race).
+  bool deterministic_budget = false;
+  // Fills model() with a witness on kSat.
+  bool produces_model = false;
+  // Polls a set_cancel flag at budget checkpoints and abandons with kUnknown.
+  bool cancellable = false;
+};
+
+// One decision procedure. Usage:
+//
+//   auto backend = MakeBackend(options);
+//   backend->AssertAll(assertions);
+//   SolveResult r = backend->Check(factory);
+//   if (r == SolveResult::kSat) { ... backend->model() ... }
+//
+// Backends are single-use per Check in spirit but reusable in practice: Check decides the
+// conjunction of everything asserted so far and may be called again after further
+// Asserts. The factory passed to Check must be the one that created the asserted terms.
+// Like TermFactory, a backend instance is not thread-safe; create one per thread.
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  void Assert(Term t) { assertions_.push_back(t); }
+  void AssertAll(const std::vector<Term>& ts) {
+    assertions_.insert(assertions_.end(), ts.begin(), ts.end());
+  }
+  const std::vector<Term>& assertions() const { return assertions_; }
+
+  // Decides satisfiability of the conjunction of all asserted terms.
+  SolveResult Check(TermFactory& factory) { return DoCheck(factory, assertions_); }
+
+  // Stable lower-case identifier ("dfs", "cdcl", "portfolio"): the tag verdict caches
+  // and bench JSON use.
+  virtual const char* name() const = 0;
+  virtual BackendCaps caps() const = 0;
+
+  // Valid after Check returned kSat (when caps().produces_model).
+  virtual const SmtModel& model() const = 0;
+  virtual const SolverStats& stats() const = 0;
+
+  // Installs a cooperative cancellation flag (nullptr to clear); see Solver::set_cancel.
+  virtual void set_cancel(const std::atomic<bool>* cancel) = 0;
+
+ protected:
+  virtual SolveResult DoCheck(TermFactory& factory, const std::vector<Term>& assertions) = 0;
+
+ private:
+  std::vector<Term> assertions_;
+};
+
+// THE factory: the only place concrete backends are constructed. Resolves
+// options.backend (kAuto consults NOCTUA_SOLVER) and returns the matching procedure.
+std::unique_ptr<SolverBackend> MakeBackend(const SolverOptions& options);
+
+// Same, with the kind pinned explicitly (ignoring options.backend). The portfolio uses
+// this to build its two contestants; tests use it to pin a procedure under test.
+std::unique_ptr<SolverBackend> MakeBackend(BackendKind kind, const SolverOptions& options);
+
+// Process-wide portfolio tallies, accumulated across every portfolio Check since process
+// start. The verifier snapshots these around a run to report win deltas; bench JSON
+// stamps them into sweep preambles.
+struct PortfolioCounts {
+  uint64_t races = 0;      // portfolio Checks executed
+  uint64_t wins_dfs = 0;   // races where the model finder answered first
+  uint64_t wins_cdcl = 0;  // races where the SAT backend answered first
+  uint64_t undecided = 0;  // races where neither produced a decisive verdict
+};
+PortfolioCounts GetPortfolioCounts();
+
+}  // namespace noctua::smt
+
+#endif  // SRC_SMT_BACKEND_H_

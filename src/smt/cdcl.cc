@@ -1,0 +1,534 @@
+#include "src/smt/cdcl.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/smt/eval.h"
+#include "src/smt/ground.h"
+#include "src/support/check.h"
+#include "src/support/stopwatch.h"
+
+namespace noctua::smt {
+
+// ---------------------------------------------------------------------------
+// CdclSearch: the propositional core.
+// ---------------------------------------------------------------------------
+
+int CdclSearch::NewVar() {
+  int v = num_vars();
+  value_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();  // positive literal 2v
+  watches_.emplace_back();  // negative literal 2v+1
+  return v;
+}
+
+int CdclSearch::LitValue(int lit) const {
+  int8_t v = value_[VarOf(lit)];
+  if (v < 0) {
+    return -1;
+  }
+  return (v == 1) != IsNeg(lit) ? 1 : 0;
+}
+
+void CdclSearch::AddClause(std::vector<int> lits) {
+  NOCTUA_CHECK_MSG(decision_level() == 0, "AddClause is a level-0 operation");
+  if (unsat_) {
+    return;
+  }
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<int> kept;
+  kept.reserve(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) {
+    // Sorted order puts 2v next to 2v+1: a tautology makes the clause vacuous.
+    if (i + 1 < lits.size() && lits[i + 1] == Negate(lits[i])) {
+      return;
+    }
+    int lv = LitValue(lits[i]);
+    if (lv == 1) {
+      return;  // satisfied at level 0
+    }
+    if (lv == -1) {
+      kept.push_back(lits[i]);
+    }
+    // level-0 false literals are dropped
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (!Enqueue(kept[0], -1)) {
+      unsat_ = true;
+    }
+    return;
+  }
+  AttachClause(std::move(kept));
+}
+
+void CdclSearch::AddEncodingClause(std::vector<int> lits) {
+  NOCTUA_CHECK_MSG(lits.size() >= 2, "encoding clause must have >= 2 literals");
+  for (int lit : lits) {
+    NOCTUA_CHECK_MSG(LitValue(lit) == -1, "encoding clause over an assigned literal");
+  }
+  AttachClause(std::move(lits));
+}
+
+int CdclSearch::AttachClause(std::vector<int> lits) {
+  int ci = static_cast<int>(clauses_.size());
+  watches_[lits[0]].push_back(ci);
+  watches_[lits[1]].push_back(ci);
+  clauses_.push_back(Clause{std::move(lits)});
+  return ci;
+}
+
+bool CdclSearch::Enqueue(int lit, int reason_clause) {
+  int lv = LitValue(lit);
+  if (lv == 0) {
+    return false;
+  }
+  if (lv == 1) {
+    return true;
+  }
+  int v = VarOf(lit);
+  value_[v] = IsNeg(lit) ? 0 : 1;
+  level_[v] = decision_level();
+  reason_[v] = reason_clause;
+  trail_.push_back(lit);
+  ++nodes_;
+  return true;
+}
+
+int CdclSearch::Propagate() {
+  while (qhead_ < trail_.size()) {
+    int p = trail_[qhead_++];  // p just became true...
+    int fl = Negate(p);        // ...so fl just became false
+    std::vector<int>& wl = watches_[fl];
+    size_t i = 0;
+    size_t j = 0;
+    int conflict = -1;
+    for (; i < wl.size(); ++i) {
+      int ci = wl[i];
+      std::vector<int>& c = clauses_[ci].lits;
+      // Keep the falsified watch at position 1.
+      if (c[0] == fl) {
+        std::swap(c[0], c[1]);
+      }
+      if (LitValue(c[0]) == 1) {
+        wl[j++] = ci;  // satisfied by the other watch
+        continue;
+      }
+      bool moved = false;
+      for (size_t k = 2; k < c.size(); ++k) {
+        if (LitValue(c[k]) != 0) {
+          std::swap(c[1], c[k]);
+          watches_[c[1]].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        continue;  // watch migrated to the non-false literal
+      }
+      wl[j++] = ci;  // all other literals false: unit or conflict
+      if (LitValue(c[0]) == 0) {
+        conflict = ci;
+        ++i;
+        break;
+      }
+      Enqueue(c[0], ci);
+    }
+    while (i < wl.size()) {
+      wl[j++] = wl[i++];
+    }
+    wl.resize(j);
+    if (conflict != -1) {
+      qhead_ = trail_.size();  // drain: the conflict invalidates pending propagation
+      return conflict;
+    }
+  }
+  return -1;
+}
+
+void CdclSearch::Decide(int lit) {
+  NOCTUA_CHECK_MSG(LitValue(lit) == -1, "deciding an assigned literal");
+  trail_lim_.push_back(static_cast<int>(trail_.size()));
+  Enqueue(lit, -1);
+}
+
+void CdclSearch::BacktrackTo(int level) {
+  if (decision_level() <= level) {
+    return;
+  }
+  size_t keep = static_cast<size_t>(trail_lim_[level]);
+  for (size_t i = trail_.size(); i > keep; --i) {
+    int v = VarOf(trail_[i - 1]);
+    value_[v] = -1;
+    reason_[v] = -1;
+  }
+  trail_.resize(keep);
+  trail_lim_.resize(level);
+  qhead_ = keep;
+}
+
+void CdclSearch::BumpVar(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) {
+      a *= 1e-100;
+    }
+    var_inc_ *= 1e-100;
+  }
+}
+
+CdclSearch::Conflict CdclSearch::Analyze(const std::vector<int>& conflict_lits) {
+  const int clevel = decision_level();
+  NOCTUA_CHECK_MSG(clevel > 0, "conflict analysis at level 0");
+  std::vector<int> learned{0};  // slot 0 is the asserting literal, filled below
+  int counter = 0;
+  int p = -1;
+  size_t idx = trail_.size();
+  const std::vector<int>* reason_lits = &conflict_lits;
+  // Resolve backwards along the trail until exactly one literal of the current decision
+  // level remains: the first unique implication point.
+  for (;;) {
+    for (int q : *reason_lits) {
+      if (q == p) {
+        continue;  // the implied literal of p's reason clause
+      }
+      int v = VarOf(q);
+      if (seen_[v] == 0 && level_[v] > 0) {
+        seen_[v] = 1;
+        BumpVar(v);
+        if (level_[v] == clevel) {
+          ++counter;
+        } else {
+          learned.push_back(q);
+        }
+      }
+    }
+    do {
+      --idx;
+    } while (seen_[VarOf(trail_[idx])] == 0);
+    p = trail_[idx];
+    seen_[VarOf(p)] = 0;
+    --counter;
+    if (counter == 0) {
+      break;
+    }
+    int rc = reason_[VarOf(p)];
+    NOCTUA_CHECK_MSG(rc >= 0, "non-UIP current-level literal without a reason");
+    reason_lits = &clauses_[rc].lits;
+  }
+  learned[0] = Negate(p);
+  Conflict result;
+  if (learned.size() > 1) {
+    // Move the highest-level remaining literal to slot 1: it defines the backjump level
+    // and must hold a watch so backtracking past it re-wakes the clause.
+    size_t mi = 1;
+    for (size_t k = 2; k < learned.size(); ++k) {
+      if (level_[VarOf(learned[k])] > level_[VarOf(learned[mi])]) {
+        mi = k;
+      }
+    }
+    std::swap(learned[1], learned[mi]);
+    result.backjump_level = level_[VarOf(learned[1])];
+  }
+  for (size_t k = 1; k < learned.size(); ++k) {
+    seen_[VarOf(learned[k])] = 0;
+  }
+  result.learned = std::move(learned);
+  var_inc_ /= 0.95;  // decay: recent conflicts weigh more
+  return result;
+}
+
+void CdclSearch::ResolveConflict(const std::vector<int>& conflict_lits) {
+  ++conflicts_;
+  Conflict c = Analyze(conflict_lits);
+  BacktrackTo(c.backjump_level);
+  ++learned_;
+  if (c.learned.size() == 1) {
+    bool ok = Enqueue(c.learned[0], -1);
+    NOCTUA_CHECK_MSG(ok, "asserting literal false after backjump");
+  } else {
+    int ci = AttachClause(std::move(c.learned));
+    bool ok = Enqueue(clauses_[ci].lits[0], ci);
+    NOCTUA_CHECK_MSG(ok, "asserting literal false after backjump");
+  }
+}
+
+int CdclSearch::PickBranchVar() const {
+  int best = -1;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (value_[v] < 0 && (best == -1 || activity_[v] > activity_[best])) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+SolveResult CdclSearch::Solve(const std::function<TheoryResult()>& theory,
+                              const std::function<bool()>& budget) {
+  if (unsat_) {
+    return SolveResult::kUnsat;
+  }
+  for (;;) {
+    int confl = Propagate();
+    if (confl != -1) {
+      if (decision_level() == 0) {
+        unsat_ = true;
+        return SolveResult::kUnsat;
+      }
+      ResolveConflict(clauses_[confl].lits);
+      continue;
+    }
+    if (budget && budget()) {
+      return SolveResult::kUnknown;
+    }
+    if (theory) {
+      TheoryResult tr = theory();
+      if (tr.verdict == TheoryVerdict::kSat) {
+        return SolveResult::kSat;
+      }
+      if (tr.verdict == TheoryVerdict::kConsistent && tr.decision >= 0) {
+        Decide(tr.decision);
+        continue;
+      }
+      if (tr.verdict == TheoryVerdict::kConflict) {
+        // The nogood is false under the current assignment, but its literals may all
+        // live below the current level; analysis requires a current-level literal, so
+        // first backjump to the deepest level the nogood mentions.
+        int maxl = 0;
+        for (int q : tr.nogood) {
+          maxl = std::max(maxl, level_[VarOf(q)]);
+        }
+        if (tr.nogood.empty() || maxl == 0) {
+          unsat_ = true;  // falsified by level-0 facts alone
+          return SolveResult::kUnsat;
+        }
+        BacktrackTo(maxl);
+        ResolveConflict(tr.nogood);
+        continue;
+      }
+    }
+    int v = PickBranchVar();
+    if (v == -1) {
+      // Complete conflict-free assignment. With a theory hook this is unreachable in
+      // practice (a total assignment evaluates every assertion to a known value, so the
+      // hook answers kSat or kConflict), but it is the sat condition for pure SAT.
+      return SolveResult::kSat;
+    }
+    // Always try "true" first: for the direct [atom = value] encoding a positive decision
+    // fixes an atom and lets exactly-one clauses propagate the siblings false.
+    Decide(PosLit(v));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CdclBackend: lazy direct encoding + substitute-and-simplify theory.
+// ---------------------------------------------------------------------------
+
+SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& assertions) {
+  Stopwatch watch;
+  stats_ = SolverStats{};
+  model_.values.clear();
+  const Budget& budget = options_.budget;
+  Deadline deadline = budget.timeout_seconds > 0 && !budget.deterministic
+                          ? Deadline::AfterSeconds(budget.timeout_seconds)
+                          : Deadline::Never();
+
+  Grounder grounder(&factory, options_.scope);
+  std::vector<Term> pending;
+  bool feasible = GroundAndFlatten(grounder, factory, assertions, &pending);
+  stats_.binders_expanded = grounder.binders_expanded();
+  if (!feasible) {
+    stats_.seconds = watch.ElapsedSeconds();
+    return SolveResult::kUnsat;
+  }
+  if (pending.empty()) {
+    stats_.seconds = watch.ElapsedSeconds();
+    return SolveResult::kSat;
+  }
+
+  ValueDomains domains;
+  domains.Harvest(pending, options_.max_int_domain, options_.max_string_domain);
+
+  // Per-assertion support approximation: the constants an assertion mentions. Every atom
+  // that can influence its residual — including array cells materialized mid-search —
+  // has its base constant in this set, so nogoods quantify over assigned atoms with a
+  // mentioned base, never the whole registry.
+  std::vector<std::unordered_set<Term>> consts_of(pending.size());
+  for (size_t ai = 0; ai < pending.size(); ++ai) {
+    std::unordered_set<Term> seen;
+    std::vector<Term> stack{pending[ai]};
+    while (!stack.empty()) {
+      Term t = stack.back();
+      stack.pop_back();
+      if (!seen.insert(t).second) {
+        continue;
+      }
+      if (t->kind() == TermKind::kConst) {
+        consts_of[ai].insert(t);
+      }
+      for (Term c : t->children()) {
+        stack.push_back(c);
+      }
+    }
+  }
+  auto base_const = [](Term atom) {
+    while (atom->kind() != TermKind::kConst) {
+      atom = atom->child(0);
+    }
+    return atom;
+  };
+
+  // Lazy direct encoding: atoms get their variable block (one per candidate value, tied
+  // by exactly-one clauses) the first time they survive in a residual. An atom with a
+  // single candidate value gets no variables at all — it is a fact, substituted always.
+  CdclSearch search;
+  std::vector<Term> atom_terms;            // discovered atoms, first-appearance order
+  std::vector<std::vector<Term>> lits_of;  // atom id -> candidate literal terms
+  std::vector<std::vector<int>> vars_of;   // atom id -> variable block ({} for facts)
+  std::unordered_map<Term, int> atom_id;
+  std::unordered_map<Term, Term> forced;   // the facts, as a standing substitution
+
+  auto ensure_atom = [&](Term atom) -> int {
+    auto it = atom_id.find(atom);
+    if (it != atom_id.end()) {
+      return it->second;
+    }
+    int id = static_cast<int>(atom_terms.size());
+    atom_id.emplace(atom, id);
+    atom_terms.push_back(atom);
+    std::vector<Term> lits = domains.LiteralsFor(factory, options_.scope, atom);
+    std::vector<int> block;
+    if (lits.size() == 1) {
+      forced.emplace(atom, lits[0]);
+    } else {
+      block.reserve(lits.size());
+      std::vector<int> alo;
+      alo.reserve(lits.size());
+      for (size_t j = 0; j < lits.size(); ++j) {
+        int v = search.NewVar();
+        block.push_back(v);
+        alo.push_back(CdclSearch::PosLit(v));
+      }
+      // At least one value, at most one value (pairwise; domains are bounded and small).
+      search.AddEncodingClause(std::move(alo));
+      for (size_t j = 0; j < block.size(); ++j) {
+        for (size_t k = j + 1; k < block.size(); ++k) {
+          search.AddEncodingClause(
+              {CdclSearch::NegLit(block[j]), CdclSearch::NegLit(block[k])});
+        }
+      }
+    }
+    lits_of.push_back(std::move(lits));
+    vars_of.push_back(std::move(block));
+    return id;
+  };
+
+  // The lazy theory: substitute every atom the propositional state has fixed into the
+  // assertions and let the simplifier collapse the residuals. Literal false => nogood
+  // over the assigned support atoms; all literal true => model found; otherwise suggest
+  // deciding the first atom surviving in the first open residual (the model finder's
+  // branching rule, which never touches atoms the simplifier eliminated).
+  auto theory = [&]() -> TheoryResult {
+    for (;;) {
+      std::unordered_map<Term, Term> values = forced;
+      for (size_t i = 0; i < atom_terms.size(); ++i) {
+        const std::vector<int>& block = vars_of[i];
+        for (size_t j = 0; j < block.size(); ++j) {
+          if (search.value(block[j]) == 1) {
+            values.emplace(atom_terms[i], lits_of[i][j]);
+            break;
+          }
+        }
+      }
+      std::unordered_map<Term, Term> memo;
+      std::unordered_map<Term, Term> atom_memo;
+      Term branch_atom = nullptr;
+      bool all_true = true;
+      for (size_t ai = 0; ai < pending.size(); ++ai) {
+        ++stats_.evaluations;
+        Term r = SubstFixpoint(factory, pending[ai], values, memo);
+        if (r->IsBoolLit(true)) {
+          continue;
+        }
+        if (r->IsBoolLit(false)) {
+          TheoryResult out;
+          out.verdict = TheoryVerdict::kConflict;
+          for (size_t i = 0; i < atom_terms.size(); ++i) {
+            const std::vector<int>& block = vars_of[i];
+            if (block.empty() || consts_of[ai].count(base_const(atom_terms[i])) == 0) {
+              continue;
+            }
+            for (size_t j = 0; j < block.size(); ++j) {
+              if (search.value(block[j]) == 1) {
+                out.nogood.push_back(CdclSearch::NegLit(block[j]));
+                break;
+              }
+            }
+          }
+          return out;
+        }
+        all_true = false;
+        if (branch_atom == nullptr) {
+          branch_atom = FindFirstAtom(r, atom_memo);
+          NOCTUA_CHECK_MSG(branch_atom != nullptr, "undecided residual without atoms");
+        }
+      }
+      if (all_true) {
+        return TheoryResult{TheoryVerdict::kSat, {}, -1};
+      }
+      int id = ensure_atom(branch_atom);
+      if (vars_of[id].empty()) {
+        continue;  // a fact joined `forced`: substitute it and re-simplify
+      }
+      for (int var : vars_of[id]) {
+        if (search.value(var) == -1) {
+          TheoryResult out;
+          out.decision = CdclSearch::PosLit(var);
+          return out;
+        }
+      }
+      NOCTUA_UNREACHABLE("open residual atom with no decidable value");
+    }
+  };
+
+  auto over_budget = [&]() {
+    if (search.nodes() > budget.max_nodes) {
+      return true;
+    }
+    return deadline.Expired() ||
+           (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed));
+  };
+
+  SolveResult result = search.Solve(theory, over_budget);
+  stats_.nodes_visited = search.nodes();
+  stats_.num_atoms = atom_terms.size();
+  stats_.conflicts = search.conflicts();
+  stats_.learned_clauses = search.learned_clauses();
+  if (result == SolveResult::kSat) {
+    for (size_t i = 0; i < atom_terms.size(); ++i) {
+      const std::vector<int>& block = vars_of[i];
+      for (size_t j = 0; j < block.size(); ++j) {
+        if (search.value(block[j]) == 1) {
+          model_.values[GroundAtomName(atom_terms[i])] = lits_of[i][j]->ToString();
+          break;
+        }
+      }
+    }
+    for (const auto& [atom, lit] : forced) {
+      model_.values[GroundAtomName(atom)] = lit->ToString();
+    }
+  }
+  stats_.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace noctua::smt

@@ -1,5 +1,6 @@
 #include "src/smt/ground.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/support/check.h"
@@ -189,6 +190,111 @@ void Grounder::CollectAtoms(Term grounded, std::vector<Term>* atoms) {
     }
   };
   walk(grounded, walk);
+}
+
+bool GroundAndFlatten(Grounder& g, TermFactory& f, const std::vector<Term>& assertions,
+                      std::vector<Term>* out) {
+  for (Term a : assertions) {
+    Term ground = g.Ground(f.And(a, f.True()));  // And() normalizes/flattens
+    if (ground->kind() == TermKind::kAnd) {
+      for (Term c : ground->children()) {
+        out->push_back(c);
+      }
+    } else {
+      out->push_back(ground);
+    }
+  }
+  for (Term a : *out) {
+    if (a->IsBoolLit(false)) {
+      return false;
+    }
+  }
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [](Term a) { return a->IsBoolLit(true); }),
+             out->end());
+  return true;
+}
+
+std::string GroundAtomName(Term atom) {
+  switch (atom->kind()) {
+    case TermKind::kConst:
+      return atom->str_payload();
+    case TermKind::kSelect: {
+      Term idx = atom->child(1);
+      std::string i = idx->kind() == TermKind::kRefLit
+                          ? std::to_string(idx->int_payload())
+                          : "(" + std::to_string(idx->child(0)->int_payload()) + "," +
+                                std::to_string(idx->child(1)->int_payload()) + ")";
+      return GroundAtomName(atom->child(0)) + "[" + i + "]";
+    }
+    case TermKind::kProj:
+      return GroundAtomName(atom->child(0)) + "." + std::to_string(atom->int_payload());
+    default:
+      return atom->ToString();
+  }
+}
+
+Term SubstGround(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
+                 std::unordered_map<Term, Term>& memo) {
+  auto vit = values.find(t);
+  if (vit != values.end()) {
+    return vit->second;
+  }
+  if (t->children().empty()) {
+    return t;
+  }
+  auto it = memo.find(t);
+  if (it != memo.end()) {
+    return it->second;
+  }
+  std::vector<Term> kids;
+  kids.reserve(t->children().size());
+  bool changed = false;
+  for (Term c : t->children()) {
+    Term nc = SubstGround(f, c, values, memo);
+    changed = changed || nc != c;
+    kids.push_back(nc);
+  }
+  Term result = changed ? RebuildTerm(f, t, std::move(kids)) : t;
+  // The rebuilt term may expose an assigned atom (e.g. a fresh Select cell).
+  vit = values.find(result);
+  if (vit != values.end()) {
+    result = vit->second;
+  }
+  memo.emplace(t, result);
+  return result;
+}
+
+Term SubstFixpoint(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
+                   std::unordered_map<Term, Term>& memo) {
+  for (int round = 0; round < 16; ++round) {
+    Term r = SubstGround(f, t, values, memo);
+    if (r == t) {
+      return r;
+    }
+    t = r;
+  }
+  return t;
+}
+
+Term FindFirstAtom(Term t, std::unordered_map<Term, Term>& memo) {
+  auto it = memo.find(t);
+  if (it != memo.end()) {
+    return it->second;
+  }
+  Term found = nullptr;
+  if (Grounder::IsGroundAtom(t)) {
+    found = t;
+  } else {
+    for (Term c : t->children()) {
+      found = FindFirstAtom(c, memo);
+      if (found != nullptr) {
+        break;
+      }
+    }
+  }
+  memo.emplace(t, found);
+  return found;
 }
 
 }  // namespace noctua::smt

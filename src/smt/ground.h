@@ -49,6 +49,36 @@ class Grounder {
   uint64_t binders_expanded_ = 0;
 };
 
+// Grounds every assertion over `g`'s scope and flattens top-level conjunctions into
+// `out` (one conjunct per entry, literal-true conjuncts dropped), so each conjunct can
+// prune or propagate independently. Returns false — leaving `out` meaningless — when
+// some conjunct grounded to literal false, i.e. the conjunction is trivially unsat.
+//
+// Every backend preprocesses its query through this one helper: identical grounding is
+// one of the two legs (with ValueDomains) that cross-backend verdict identity stands on.
+bool GroundAndFlatten(Grounder& g, TermFactory& f, const std::vector<Term>& assertions,
+                      std::vector<Term>* out);
+
+// Renders a ground atom for model reporting: "c", "c[1]", "c[(0,1)]", "c[1].2". Every
+// backend names model entries through this one function so models are comparable.
+std::string GroundAtomName(Term atom);
+
+// Multi-atom substitution with rebuild through the factory (simplifications re-fire).
+// Note that substituting a Ref-valued atom can *materialize* new ground atoms (assigning
+// x := #0 turns Select(data, x) into the cell Select(data, #0)), so callers must iterate
+// with the full assignment trail until a fixpoint is reached — or use SubstFixpoint.
+Term SubstGround(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
+                 std::unordered_map<Term, Term>& memo);
+
+// Substitutes until no assigned atom remains reachable.
+Term SubstFixpoint(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
+                   std::unordered_map<Term, Term>& memo);
+
+// First ground atom in DFS order, memoized (nullptr when the term contains none). This is
+// the shared branching heuristic: backends decide atoms that survive in simplified
+// residuals, never don't-care atoms the simplifier already collapsed away.
+Term FindFirstAtom(Term t, std::unordered_map<Term, Term>& memo);
+
 }  // namespace noctua::smt
 
 #endif  // SRC_SMT_GROUND_H_

@@ -1,0 +1,164 @@
+#include "src/smt/portfolio.h"
+
+#include <array>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/support/check.h"
+#include "src/support/stopwatch.h"
+#include "src/support/thread_pool.h"
+
+namespace noctua::smt {
+
+namespace {
+
+// Process-wide tallies across every portfolio race (see GetPortfolioCounts).
+std::atomic<uint64_t> g_races{0};
+std::atomic<uint64_t> g_wins_dfs{0};
+std::atomic<uint64_t> g_wins_cdcl{0};
+std::atomic<uint64_t> g_undecided{0};
+
+// -1 = decide from hardware_concurrency; 0/1 = forced by SetRaceModeForTesting.
+std::atomic<int> g_force_race{-1};
+
+// One 2-slot pool per calling thread. Verifier workers run portfolio races
+// concurrently, and a ThreadPool supports only one ParallelFor at a time, so the pool
+// cannot be shared; thread_local also avoids nesting a race inside the verifier's own
+// pool (which would deadlock the caller-participates protocol).
+ThreadPool& PortfolioPool() {
+  static thread_local ThreadPool pool(2);
+  return pool;
+}
+
+}  // namespace
+
+void PortfolioBackend::SetRaceModeForTesting(int mode) {
+  g_force_race.store(mode, std::memory_order_relaxed);
+}
+
+PortfolioCounts GetPortfolioCounts() {
+  PortfolioCounts c;
+  c.races = g_races.load(std::memory_order_relaxed);
+  c.wins_dfs = g_wins_dfs.load(std::memory_order_relaxed);
+  c.wins_cdcl = g_wins_cdcl.load(std::memory_order_relaxed);
+  c.undecided = g_undecided.load(std::memory_order_relaxed);
+  return c;
+}
+
+// Single-core fallback: run the contestants one after another on the caller's factory
+// (no second thread, so no clones needed), stopping at the first decisive verdict. dfs
+// goes first — it is the cheaper contestant on typical queries — and cdcl only sees the
+// queries dfs abandoned, which is exactly where clause learning earns its keep.
+SolveResult PortfolioBackend::Cascade(TermFactory& factory,
+                                      const std::vector<Term>& assertions) {
+  Stopwatch watch;
+  constexpr std::array<BackendKind, 2> kOrder = {BackendKind::kDfs, BackendKind::kCdcl};
+  g_races.fetch_add(1, std::memory_order_relaxed);
+  uint64_t prior_nodes = 0;
+  uint64_t prior_evals = 0;
+  for (size_t i = 0; i < kOrder.size(); ++i) {
+    auto backend = MakeBackend(kOrder[i], options_);
+    backend->set_cancel(cancel_);
+    backend->AssertAll(assertions);
+    SolveResult r = backend->Check(factory);
+    if (r != SolveResult::kUnknown) {
+      (i == 0 ? g_wins_dfs : g_wins_cdcl).fetch_add(1, std::memory_order_relaxed);
+      stats_ = backend->stats();
+      stats_.portfolio_winner = static_cast<int>(i);
+      stats_.nodes_visited += prior_nodes;
+      stats_.evaluations += prior_evals;
+      model_ = backend->model();
+      stats_.seconds = watch.ElapsedSeconds();
+      return r;
+    }
+    prior_nodes += backend->stats().nodes_visited;
+    prior_evals += backend->stats().evaluations;
+  }
+  g_undecided.fetch_add(1, std::memory_order_relaxed);
+  stats_.nodes_visited = prior_nodes;
+  stats_.evaluations = prior_evals;
+  stats_.seconds = watch.ElapsedSeconds();
+  return SolveResult::kUnknown;
+}
+
+SolveResult PortfolioBackend::DoCheck(TermFactory& factory,
+                                      const std::vector<Term>& assertions) {
+  Stopwatch watch;
+  stats_ = SolverStats{};
+  model_.values.clear();
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    return SolveResult::kUnknown;
+  }
+
+  int forced = g_force_race.load(std::memory_order_relaxed);
+  bool race = forced >= 0 ? forced != 0 : std::thread::hardware_concurrency() >= 2;
+  if (!race) {
+    return Cascade(factory, assertions);
+  }
+
+  // From here on, contestants work on private clones, never the caller's factory.
+  constexpr std::array<BackendKind, 2> kContestants = {BackendKind::kDfs,
+                                                       BackendKind::kCdcl};
+
+  // A TermFactory is not thread-safe, so each contestant gets a private factory and the
+  // query is cloned into it HERE, serially, before any second thread exists. Inside the
+  // race each contestant touches only its own clone.
+  std::array<TermFactory, 2> factories;
+  std::array<std::vector<Term>, 2> cloned;
+  for (size_t i = 0; i < 2; ++i) {
+    cloned[i].reserve(assertions.size());
+    for (Term a : assertions) {
+      cloned[i].push_back(CloneTermInto(factories[i], a));
+    }
+  }
+
+  std::array<std::unique_ptr<SolverBackend>, 2> backends;
+  std::array<std::atomic<bool>, 2> cancel = {false, false};
+  std::array<SolveResult, 2> results = {SolveResult::kUnknown, SolveResult::kUnknown};
+  std::atomic<int> winner{-1};
+
+  SolverOptions child = options_;
+  PortfolioPool().ParallelFor(2, [&](size_t i) {
+    backends[i] = MakeBackend(kContestants[i], child);
+    backends[i]->set_cancel(&cancel[i]);
+    backends[i]->AssertAll(cloned[i]);
+    SolveResult r = backends[i]->Check(factories[i]);
+    results[i] = r;
+    if (r != SolveResult::kUnknown) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+        // First decisive verdict: stop the other contestant at its next checkpoint.
+        cancel[1 - i].store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  g_races.fetch_add(1, std::memory_order_relaxed);
+  int w = winner.load(std::memory_order_relaxed);
+  if (w < 0) {
+    g_undecided.fetch_add(1, std::memory_order_relaxed);
+    // Both abandoned: report combined effort so budgets charged upstream stay honest.
+    stats_.nodes_visited =
+        backends[0]->stats().nodes_visited + backends[1]->stats().nodes_visited;
+    stats_.evaluations = backends[0]->stats().evaluations + backends[1]->stats().evaluations;
+    stats_.seconds = watch.ElapsedSeconds();
+    return SolveResult::kUnknown;
+  }
+
+  // The cross-backend soundness oracle: decisive contestants answered the same finite
+  // question over identical grounding and domains, so they must agree.
+  if (results[0] != SolveResult::kUnknown && results[1] != SolveResult::kUnknown) {
+    NOCTUA_CHECK_MSG(results[0] == results[1],
+                     "portfolio backends disagree: dfs and cdcl returned different "
+                     "verdicts for one query");
+  }
+  (w == 0 ? g_wins_dfs : g_wins_cdcl).fetch_add(1, std::memory_order_relaxed);
+  stats_ = backends[w]->stats();
+  stats_.portfolio_winner = w;
+  model_ = backends[w]->model();
+  stats_.seconds = watch.ElapsedSeconds();
+  return results[w];
+}
+
+}  // namespace noctua::smt

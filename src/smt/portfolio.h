@@ -1,0 +1,69 @@
+// The portfolio backend: races the bounded model finder and the CDCL ground-SAT backend
+// on the same query, takes the first decisive verdict, and cancels the loser.
+//
+// Why a race instead of a choice: the two procedures have complementary cost profiles.
+// The model finder is fast when three-valued pruning collapses the search (most unsat
+// refutation queries), while clause learning pays off when the query has deep propagation
+// structure. Per-query winners are hard to predict, so we run both and keep whichever
+// answers first — the classic SAT-portfolio move, scoped to a 2-contestant race per
+// query.
+//
+// Soundness doubles as a free oracle: both contestants decide the identical finite
+// question (shared grounding + shared value domains), so whenever both finish decisively
+// their verdicts MUST agree, and the race checks that with a hard failure on
+// disagreement. Verdicts under a deterministic (node-only) budget stay machine-
+// independent even though the *winner* is timing-dependent: cancellation only ever turns
+// the loser's would-be verdict into kUnknown, never flips a decisive answer.
+//
+// On a machine without a second core the race degenerates: both contestants serialize,
+// so every query pays for both searches plus two factory clones. The backend detects
+// that (hardware_concurrency < 2) and runs a sequential cascade instead — dfs first,
+// cdcl only if dfs abandons — directly on the caller's factory, since no second thread
+// ever exists. Same verdicts (a cascade winner would also have won the race), same
+// tallies, no racing overhead.
+#ifndef SRC_SMT_PORTFOLIO_H_
+#define SRC_SMT_PORTFOLIO_H_
+
+#include <atomic>
+
+#include "src/smt/backend.h"
+#include "src/smt/solver.h"
+#include "src/smt/term.h"
+
+namespace noctua::smt {
+
+class PortfolioBackend : public SolverBackend {
+ public:
+  explicit PortfolioBackend(SolverOptions options) : options_(std::move(options)) {}
+
+  const char* name() const override { return "portfolio"; }
+  BackendCaps caps() const override {
+    // Not cancellable: the race is synchronous and self-cancels its loser; an external
+    // flag is only honored between races (checked before one starts).
+    return BackendCaps{/*deterministic_budget=*/true, /*produces_model=*/true,
+                       /*cancellable=*/false};
+  }
+  const SmtModel& model() const override { return model_; }
+  const SolverStats& stats() const override { return stats_; }
+  void set_cancel(const std::atomic<bool>* cancel) override { cancel_ = cancel; }
+
+  // Overrides the race-vs-cascade choice: 1 forces the threaded race, 0 forces the
+  // sequential cascade, -1 restores hardware detection. Tests use this to cover both
+  // paths regardless of the machine they run on.
+  static void SetRaceModeForTesting(int mode);
+
+ protected:
+  SolveResult DoCheck(TermFactory& factory, const std::vector<Term>& assertions) override;
+
+ private:
+  SolveResult Cascade(TermFactory& factory, const std::vector<Term>& assertions);
+
+  SolverOptions options_;
+  SmtModel model_;
+  SolverStats stats_;
+  const std::atomic<bool>* cancel_ = nullptr;
+};
+
+}  // namespace noctua::smt
+
+#endif  // SRC_SMT_PORTFOLIO_H_

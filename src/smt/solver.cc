@@ -30,7 +30,8 @@ std::string SmtModel::ToString() const {
   return out;
 }
 
-void Solver::HarvestLiterals(const std::vector<Term>& roots) {
+void ValueDomains::Harvest(const std::vector<Term>& roots, int max_int_domain,
+                           int max_string_domain) {
   std::set<int64_t> ints;
   std::set<std::string> strings;
   std::unordered_set<Term> seen;
@@ -62,7 +63,7 @@ void Solver::HarvestLiterals(const std::vector<Term>& roots) {
     dom.insert(v + 1);
   }
   int_domain_.assign(dom.begin(), dom.end());
-  if (static_cast<int>(int_domain_.size()) > options_.max_int_domain) {
+  if (static_cast<int>(int_domain_.size()) > max_int_domain) {
     // Keep the values closest to zero: thresholds in application code are small, and
     // small counterexamples are the ones we expect to exist.
     std::sort(int_domain_.begin(), int_domain_.end(), [](int64_t a, int64_t b) {
@@ -70,7 +71,7 @@ void Solver::HarvestLiterals(const std::vector<Term>& roots) {
       int64_t bb = b < 0 ? -b : b;
       return aa != bb ? aa < bb : a < b;
     });
-    int_domain_.resize(options_.max_int_domain);
+    int_domain_.resize(max_int_domain);
     std::sort(int_domain_.begin(), int_domain_.end());
   }
 
@@ -78,12 +79,13 @@ void Solver::HarvestLiterals(const std::vector<Term>& roots) {
   string_domain_.assign(strings.begin(), strings.end());
   string_domain_.push_back("!fresh_a");
   string_domain_.push_back("!fresh_b");
-  if (static_cast<int>(string_domain_.size()) > options_.max_string_domain) {
-    string_domain_.resize(options_.max_string_domain);
+  if (static_cast<int>(string_domain_.size()) > max_string_domain) {
+    string_domain_.resize(max_string_domain);
   }
 }
 
-std::vector<Term> Solver::DomainFor(TermFactory& f, Term atom) const {
+std::vector<Term> ValueDomains::LiteralsFor(TermFactory& f, const Scope& scope,
+                                            Term atom) const {
   const Sort& sort = atom->sort();
   std::vector<Term> out;
   if (sort->is_bool()) {
@@ -99,7 +101,7 @@ std::vector<Term> Solver::DomainFor(TermFactory& f, Term atom) const {
       out.push_back(f.StrLit(s));
     }
   } else if (sort->is_ref()) {
-    int n = options_.scope.RefSize(sort->model_id());
+    int n = scope.RefSize(sort->model_id());
     out.reserve(n);
     for (int i = 0; i < n; ++i) {
       out.push_back(f.RefLit(sort, i));
@@ -110,133 +112,53 @@ std::vector<Term> Solver::DomainFor(TermFactory& f, Term atom) const {
   return out;
 }
 
-namespace {
-
-// Renders a ground atom for model reporting: "c", "c[1]", "c[(0,1)]", "c[1].2".
-std::string AtomName(Term atom) {
-  switch (atom->kind()) {
-    case TermKind::kConst:
-      return atom->str_payload();
-    case TermKind::kSelect: {
-      Term idx = atom->child(1);
-      std::string i = idx->kind() == TermKind::kRefLit
-                          ? std::to_string(idx->int_payload())
-                          : "(" + std::to_string(idx->child(0)->int_payload()) + "," +
-                                std::to_string(idx->child(1)->int_payload()) + ")";
-      return AtomName(atom->child(0)) + "[" + i + "]";
+std::vector<Value> ValueDomains::ValuesFor(const Scope& scope, const Sort& sort) const {
+  std::vector<Value> out;
+  if (sort->is_bool()) {
+    out = {Value::Bool(false), Value::Bool(true)};
+  } else if (sort->is_int()) {
+    out.reserve(int_domain_.size());
+    for (int64_t v : int_domain_) {
+      out.push_back(Value::Int(v));
     }
-    case TermKind::kProj:
-      return AtomName(atom->child(0)) + "." + std::to_string(atom->int_payload());
-    default:
-      return atom->ToString();
-  }
-}
-
-// Multi-atom substitution with rebuild through the factory (simplifications re-fire).
-// Note that substituting a Ref-valued atom can *materialize* new ground atoms (assigning
-// x := #0 turns Select(data, x) into the cell Select(data, #0)), so callers must iterate
-// with the full assignment trail until a fixpoint is reached.
-Term SubstGround(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
-                 std::unordered_map<Term, Term>& memo) {
-  auto vit = values.find(t);
-  if (vit != values.end()) {
-    return vit->second;
-  }
-  if (t->children().empty()) {
-    return t;
-  }
-  auto it = memo.find(t);
-  if (it != memo.end()) {
-    return it->second;
-  }
-  std::vector<Term> kids;
-  kids.reserve(t->children().size());
-  bool changed = false;
-  for (Term c : t->children()) {
-    Term nc = SubstGround(f, c, values, memo);
-    changed = changed || nc != c;
-    kids.push_back(nc);
-  }
-  Term result = changed ? RebuildTerm(f, t, std::move(kids)) : t;
-  // The rebuilt term may expose an assigned atom (e.g. a fresh Select cell).
-  vit = values.find(result);
-  if (vit != values.end()) {
-    result = vit->second;
-  }
-  memo.emplace(t, result);
-  return result;
-}
-
-// Substitutes until no assigned atom remains reachable.
-Term SubstFixpoint(TermFactory& f, Term t, const std::unordered_map<Term, Term>& values,
-                   std::unordered_map<Term, Term>& memo) {
-  for (int round = 0; round < 16; ++round) {
-    Term r = SubstGround(f, t, values, memo);
-    if (r == t) {
-      return r;
+  } else if (sort->is_string()) {
+    out.reserve(string_domain_.size());
+    for (const std::string& s : string_domain_) {
+      out.push_back(Value::Str(s));
     }
-    t = r;
-  }
-  return t;
-}
-
-// First ground atom in DFS order, memoized (nullptr when the term contains none).
-Term FindFirstAtom(Term t, std::unordered_map<Term, Term>& memo) {
-  auto it = memo.find(t);
-  if (it != memo.end()) {
-    return it->second;
-  }
-  Term found = nullptr;
-  if (Grounder::IsGroundAtom(t)) {
-    found = t;
+  } else if (sort->is_ref()) {
+    int n = scope.RefSize(sort->model_id());
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      out.push_back(Value::Ref(i));
+    }
   } else {
-    for (Term c : t->children()) {
-      found = FindFirstAtom(c, memo);
-      if (found != nullptr) {
-        break;
-      }
-    }
+    NOCTUA_UNREACHABLE("atom of composite sort");
   }
-  memo.emplace(t, found);
-  return found;
+  return out;
 }
-
-}  // namespace
 
 SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assertions) {
   Stopwatch watch;
   stats_ = SolverStats{};
   model_.values.clear();
-  Deadline deadline = options_.timeout_seconds > 0 && !options_.deterministic_budget
-                          ? Deadline::AfterSeconds(options_.timeout_seconds)
+  const Budget& budget = options_.budget;
+  Deadline deadline = budget.timeout_seconds > 0 && !budget.deterministic
+                          ? Deadline::AfterSeconds(budget.timeout_seconds)
                           : Deadline::Never();
 
   // Ground all binders over the finite scope, then flatten top-level conjunctions so each
   // conjunct prunes independently.
   Grounder grounder(&f, options_.scope);
   std::vector<Term> pending;
-  for (Term a : raw_assertions) {
-    Term g = grounder.Ground(f.And(a, f.True()));  // And() normalizes/flattens
-    if (g->kind() == TermKind::kAnd) {
-      for (Term c : g->children()) {
-        pending.push_back(c);
-      }
-    } else {
-      pending.push_back(g);
-    }
-  }
+  bool feasible = GroundAndFlatten(grounder, f, raw_assertions, &pending);
   stats_.binders_expanded = grounder.binders_expanded();
-  for (Term a : pending) {
-    if (a->IsBoolLit(false)) {
-      stats_.seconds = watch.ElapsedSeconds();
-      return SolveResult::kUnsat;
-    }
+  if (!feasible) {
+    stats_.seconds = watch.ElapsedSeconds();
+    return SolveResult::kUnsat;
   }
-  pending.erase(std::remove_if(pending.begin(), pending.end(),
-                               [](Term a) { return a->IsBoolLit(true); }),
-                pending.end());
 
-  HarvestLiterals(pending);
+  domains_.Harvest(pending, options_.max_int_domain, options_.max_string_domain);
 
   std::unordered_map<Term, Term> atom_memo;
   std::map<std::string, std::string>& model_values = model_.values;
@@ -262,7 +184,7 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
 
   auto record_model = [&]() {
     for (const auto& [atom, value] : assigned) {
-      model_values[AtomName(atom)] = value->ToString();
+      model_values[GroundAtomName(atom)] = value->ToString();
     }
   };
 
@@ -276,15 +198,17 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
   stats_.num_atoms = 1;
 
   std::vector<Frame> stack;
-  stack.push_back(Frame{first, DomainFor(f, first), 0, pending});
+  stack.push_back(Frame{first, domains_.LiteralsFor(f, options_.scope, first), 0, pending});
 
   bool timed_out = false;
   while (!stack.empty()) {
-    if ((++stats_.nodes_visited & 0x3f) == 0 && deadline.Expired()) {
+    if ((++stats_.nodes_visited & 0x3f) == 0 &&
+        (deadline.Expired() ||
+         (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)))) {
       timed_out = true;
       break;
     }
-    if (stats_.nodes_visited > options_.max_nodes) {
+    if (stats_.nodes_visited > budget.max_nodes) {
       timed_out = true;
       break;
     }
@@ -339,7 +263,8 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
     Term next_atom = pick_atom(next_pending);
     NOCTUA_CHECK_MSG(next_atom != nullptr, "undecided residual without atoms");
     stats_.num_atoms = std::max(stats_.num_atoms, stack.size() + 1);
-    stack.push_back(Frame{next_atom, DomainFor(f, next_atom), 0, std::move(next_pending)});
+    stack.push_back(Frame{next_atom, domains_.LiteralsFor(f, options_.scope, next_atom), 0,
+                          std::move(next_pending)});
   }
 
   stats_.seconds = watch.ElapsedSeconds();

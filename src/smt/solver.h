@@ -1,4 +1,5 @@
-// A bounded model finder: the Noctua verification backend's decision procedure.
+// A bounded model finder: the default decision procedure behind the SolverBackend
+// interface (backend.h).
 //
 // This plays the role Z3 plays in the paper. The verifier's checking rules are refutation
 // queries — "is there a database state and arguments that break commutativity /
@@ -19,16 +20,19 @@
 // become definitely-true are dropped from deeper levels.
 //
 // kSat means a counterexample was found (the check FAILS); kUnsat means the property holds
-// within the scope; kUnknown means the deadline or node budget was exhausted, which the
-// verifier treats conservatively (restrict the pair), mirroring the paper's 2s timeout.
+// within the scope; kUnknown means the budget was exhausted (or a portfolio race cancelled
+// the search), which the verifier treats conservatively (restrict the pair), mirroring the
+// paper's 2s timeout.
 #ifndef SRC_SMT_SOLVER_H_
 #define SRC_SMT_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/smt/budget.h"
 #include "src/smt/eval.h"
 #include "src/smt/term.h"
 #include "src/support/stopwatch.h"
@@ -49,25 +53,55 @@ struct SmtModel {
 };
 
 struct SolverStats {
+  // Search nodes: DFS assignments, or CDCL decisions + propagations. The unit Budget's
+  // max_nodes is charged against.
   uint64_t nodes_visited = 0;
   uint64_t evaluations = 0;
   double seconds = 0;
   size_t num_atoms = 0;
   // Binder expansions performed while grounding this query's assertions.
   uint64_t binders_expanded = 0;
+  // CDCL-only: conflicts analyzed and clauses learned (0 for the model finder).
+  uint64_t conflicts = 0;
+  uint64_t learned_clauses = 0;
+  // Portfolio-only: which sub-backend produced the verdict (0 = dfs, 1 = cdcl,
+  // -1 = not a portfolio run or no decisive winner).
+  int portfolio_winner = -1;
 };
 
 struct SolverOptions {
   Scope scope{2};
-  double timeout_seconds = 2.0;  // the paper's per-check timeout
+  Budget budget;
   int max_int_domain = 8;
   int max_string_domain = 6;
-  uint64_t max_nodes = 50'000'000;
-  // Bound the search by max_nodes only, ignoring the wall-clock timeout. The search is
-  // deterministic given the term DAG, so with this set the solver's verdict is too —
-  // independent of machine speed, CPU contention, or how many verification workers run
-  // alongside. Used by tests that assert byte-identical verdicts across thread counts.
-  bool deterministic_budget = false;
+  // Which decision procedure answers checks. kAuto defers to NOCTUA_SOLVER (see
+  // budget.h); construction goes through smt::MakeBackend — the one factory.
+  BackendKind backend = BackendKind::kAuto;
+};
+
+// The finite value space one query's search ranges over, harvested from the query's own
+// literals. Every backend MUST build its candidate values through this class: verdict
+// agreement across backends (the cross-backend soundness oracle) relies on all of them
+// deciding satisfiability over identical domains.
+class ValueDomains {
+ public:
+  // Harvests int/string literals from the grounded assertions and assembles the bounded
+  // domains described in the header comment.
+  void Harvest(const std::vector<Term>& roots, int max_int_domain, int max_string_domain);
+
+  const std::vector<int64_t>& ints() const { return int_domain_; }
+  const std::vector<std::string>& strings() const { return string_domain_; }
+
+  // Candidate value literals for one ground atom term (the DFS substitution search).
+  std::vector<Term> LiteralsFor(TermFactory& f, const Scope& scope, Term atom) const;
+
+  // Candidate Values for one decomposed scalar atom of `sort` (the CDCL direct
+  // encoding). Same values, same order, as LiteralsFor.
+  std::vector<Value> ValuesFor(const Scope& scope, const Sort& sort) const;
+
+ private:
+  std::vector<int64_t> int_domain_;
+  std::vector<std::string> string_domain_;
 };
 
 class Solver {
@@ -84,16 +118,17 @@ class Solver {
   const SolverStats& stats() const { return stats_; }
   const SolverOptions& options() const { return options_; }
 
- private:
-  // Builds the candidate value domain (as literal terms) for one ground atom.
-  std::vector<Term> DomainFor(TermFactory& f, Term atom) const;
-  void HarvestLiterals(const std::vector<Term>& roots);
+  // Installs a cooperative cancellation flag (nullptr to clear): the search polls it at
+  // its budget checkpoints and abandons with kUnknown when set. This is how a portfolio
+  // race stops the losing backend mid-search.
+  void set_cancel(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
+ private:
   SolverOptions options_;
   SmtModel model_;
   SolverStats stats_;
-  std::vector<int64_t> int_domain_;
-  std::vector<std::string> string_domain_;
+  ValueDomains domains_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 }  // namespace noctua::smt

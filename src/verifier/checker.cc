@@ -1,9 +1,12 @@
 #include "src/verifier/checker.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <string_view>
 
 #include "src/obs/obs.h"
+#include "src/smt/backend.h"
 #include "src/support/check.h"
 #include "src/support/stopwatch.h"
 
@@ -128,15 +131,16 @@ CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
     return CheckOutcome::kUnsupported;
   }
   obs::ScopedSpan span("solve", obs::kCatSolve);
-  smt::Solver solver(options_.solver);
-  smt::SolveResult r = solver.CheckSat(factory, assertions);
-  const smt::SolverStats& ss = solver.stats();
+  std::unique_ptr<smt::SolverBackend> backend = smt::MakeBackend(options_.solver);
+  backend->AssertAll(assertions);
+  smt::SolveResult r = backend->Check(factory);
+  const smt::SolverStats& ss = backend->stats();
   if (stats != nullptr) {
     stats->solver_nodes = ss.nodes_visited;
   }
   if (obs::Enabled()) {
-    // Flush per-query solver introspection in one shot — the solver counted its own
-    // nodes, so the DFS itself carried no instrumentation.
+    // Flush per-query solver introspection in one shot — the backend counted its own
+    // nodes, so the search itself carried no instrumentation.
     span.Arg("nodes", ss.nodes_visited);
     span.Arg("assignments", ss.evaluations);
     span.Arg("atoms", ss.num_atoms);
@@ -144,6 +148,22 @@ CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
     obs::Add(obs::Counter::kSolverAssignments, ss.evaluations);
     obs::Add(obs::Counter::kGroundExpansions, ss.binders_expanded);
     obs::Add(obs::Counter::kSimplifyHits, factory.intern_hits());
+    if (ss.conflicts > 0) {
+      obs::Add(obs::Counter::kCdclConflicts, ss.conflicts);
+    }
+    if (ss.learned_clauses > 0) {
+      obs::Add(obs::Counter::kCdclLearnedClauses, ss.learned_clauses);
+    }
+    if (std::string_view(backend->name()) == "portfolio") {
+      obs::Add(obs::Counter::kPortfolioRaces);
+      if (ss.portfolio_winner == 0) {
+        obs::Add(obs::Counter::kPortfolioWinsDfs);
+      } else if (ss.portfolio_winner == 1) {
+        obs::Add(obs::Counter::kPortfolioWinsCdcl);
+      } else {
+        obs::Add(obs::Counter::kPortfolioUndecided);
+      }
+    }
     obs::Observe(obs::Hist::kSolveMicros, static_cast<uint64_t>(ss.seconds * 1e6));
     obs::Observe(obs::Hist::kSolverNodesPerQuery, ss.nodes_visited);
     obs::Observe(obs::Hist::kSolverAssignmentsPerQuery, ss.evaluations);

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/obs/obs.h"
+#include "src/smt/backend.h"
 #include "src/soir/serialize.h"
 #include "src/support/check.h"
 #include "src/support/rng.h"
@@ -177,6 +178,19 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   // accumulate, so report stats are computed as deltas from this snapshot. Only the
   // run-local cache may be bounded — evicting from a store would turn replayable
   // verdicts into cold misses on the next warm run.
+  // Cache keys carry a backend tag for non-default backends. Verdicts themselves are
+  // backend-independent (the cross-backend soundness contract), but kTimeout is not: a
+  // query one backend finishes may exhaust another's budget, so entries must not leak
+  // across backends. The dfs default stays untagged to keep existing artifact stores
+  // replayable.
+  const smt::BackendKind backend_kind =
+      smt::ResolveBackendKind(checker.options().solver.backend);
+  const std::string backend_tag =
+      backend_kind == smt::BackendKind::kDfs
+          ? std::string()
+          : std::string(smt::BackendKindName(backend_kind)) + "|";
+  const smt::PortfolioCounts portfolio_before = smt::GetPortfolioCounts();
+
   VerdictCache local_cache(parallel.store != nullptr ? 0 : parallel.cache_capacity);
   VerdictCache* cache = parallel.store != nullptr ? parallel.store : &local_cache;
   const uint64_t hits_before = cache->hits();
@@ -264,7 +278,7 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
       Stopwatch com_watch;
       CheckStats cs;
       v.commutativity = cached_query(
-          [&] { return CommutativityKey(schema, p, q, order_models); }, &cs,
+          [&] { return backend_tag + CommutativityKey(schema, p, q, order_models); }, &cs,
           [&](CheckStats* st) { return checker.CheckCommutativity(p, q, &order_models, st); });
       v.com_seconds = com_watch.ElapsedSeconds();
       v.solver_nodes += cs.solver_nodes;
@@ -275,11 +289,11 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
       Stopwatch sem_watch;
       CheckStats s1, s2;
       CheckOutcome a =
-          cached_query([&] { return NotInvalidateKey(schema, p, q); }, &s1,
+          cached_query([&] { return backend_tag + NotInvalidateKey(schema, p, q); }, &s1,
                        [&](CheckStats* st) { return checker.CheckNotInvalidate(p, q, st); });
       CheckOutcome b = CheckOutcome::kPass;
       if (a == CheckOutcome::kPass) {
-        b = cached_query([&] { return NotInvalidateKey(schema, q, p); }, &s2,
+        b = cached_query([&] { return backend_tag + NotInvalidateKey(schema, q, p); }, &s2,
                          [&](CheckStats* st) { return checker.CheckNotInvalidate(q, p, st); });
       }
       v.semantic = Checker::WorseOutcome(a, b);
@@ -323,6 +337,14 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   report.stats.pool_tasks = pool_stats.tasks;
   report.stats.pool_steals = pool_stats.steals;
   report.stats.cache_evictions = cache->evictions() - evictions_before;
+  report.stats.solver_backend = smt::BackendKindName(backend_kind);
+  {
+    const smt::PortfolioCounts after = smt::GetPortfolioCounts();
+    report.stats.portfolio_races = after.races - portfolio_before.races;
+    report.stats.portfolio_wins_dfs = after.wins_dfs - portfolio_before.wins_dfs;
+    report.stats.portfolio_wins_cdcl = after.wins_cdcl - portfolio_before.wins_cdcl;
+    report.stats.portfolio_undecided = after.undecided - portfolio_before.undecided;
+  }
   for (const VerdictCache::ShardStats& s : cache->PerShardStats()) {
     report.stats.cache_shards.push_back(
         ReportStats::CacheShardStat{s.entries, s.hits, s.misses, s.evictions});

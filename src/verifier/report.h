@@ -97,6 +97,16 @@ struct ReportStats {
   uint64_t pool_steals = 0;      // tasks a participant stole from another's deque
   uint64_t cache_evictions = 0;  // verdicts dropped by a bounded run-local cache
 
+  // Resolved solver backend name ("dfs", "cdcl", "portfolio") every query of this run
+  // went through.
+  std::string solver_backend = "dfs";
+  // Portfolio race tallies for this run (all zero for single backends): races executed,
+  // wins per contestant, races with no decisive verdict.
+  uint64_t portfolio_races = 0;
+  uint64_t portfolio_wins_dfs = 0;
+  uint64_t portfolio_wins_cdcl = 0;
+  uint64_t portfolio_undecided = 0;
+
   // Per-shard snapshot of the verdict cache after the run (occupancy plus lifetime
   // hit/miss/eviction counts of the cache object — for a persistent store these span
   // all runs it served).

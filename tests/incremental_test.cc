@@ -146,7 +146,7 @@ IncrementalOptions Opts(int threads = 2) {
   o.pipeline.parallel.threads = threads;
   // Pin the solver to its node budget so verdicts are identical run-to-run even on a
   // loaded machine — the identity assertions below are exact.
-  o.pipeline.checker.solver.deterministic_budget = true;
+  o.pipeline.checker.solver.budget.deterministic = true;
   return o;
 }
 

@@ -262,7 +262,7 @@ TEST(JsonParser, AcceptsAndRejects) {
 TEST(RunReport, TodoPipelineProducesCoherentReport) {
   app::App app = apps::MakeTodoApp();
   PipelineOptions options;
-  options.checker.solver.deterministic_budget = true;
+  options.checker.solver.budget.deterministic = true;
   options.obs.enabled = true;
   PipelineResult result = Pipeline::Run(app, options);
 
@@ -318,7 +318,7 @@ TEST(RunReport, TodoPipelineProducesCoherentReport) {
 TEST(RunReport, DisabledPipelineProducesNoReport) {
   app::App app = apps::MakeTodoApp();
   PipelineOptions options;
-  options.checker.solver.deterministic_budget = true;
+  options.checker.solver.budget.deterministic = true;
   PipelineResult result = Pipeline::Run(app, options);
   EXPECT_FALSE(result.has_report);
   EXPECT_FALSE(Active());

@@ -164,7 +164,7 @@ PipelineOptions EngineConfig(int threads, bool cache, bool cheapest_first,
   options.parallel.cache = cache;
   options.parallel.cheapest_first = cheapest_first;
   options.checker.project_footprint = projection;
-  options.checker.solver.deterministic_budget = true;
+  options.checker.solver.budget.deterministic = true;
   return options;
 }
 

@@ -7,9 +7,12 @@
 //   * the simulator converges for every evaluated app under its computed restriction set.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/analyzer/analyzer.h"
 #include "src/apps/apps.h"
 #include "src/repl/simulator.h"
+#include "src/smt/backend.h"
 #include "src/smt/eval.h"
 #include "src/smt/ground.h"
 #include "src/smt/solver.h"
@@ -119,23 +122,36 @@ TEST_P(SolverPropertyTest, SatModelsSatisfyFormulaUnderIndependentEvaluator) {
     RandomTerms gen(&f, &rng);
     Term formula = gen.Bool(3);
     smt::SolverOptions options;
-    options.timeout_seconds = 5.0;
-    smt::Solver solver(options);
-    smt::SolveResult r = solver.CheckSat(f, {formula});
-    ASSERT_NE(r, smt::SolveResult::kUnknown);
-    if (r == smt::SolveResult::kSat) {
-      smt::Value v = EvalUnderModel(options.scope, formula, solver.model());
-      // The model may omit don't-care atoms; a known value must be true.
-      if (v.is_known()) {
-        EXPECT_TRUE(v.bool_v()) << formula->ToString() << "\nmodel:\n"
-                                << solver.model().ToString();
+    options.budget.timeout_seconds = 5.0;
+
+    // Every random formula doubles as a cross-backend agreement check: the model finder
+    // and the CDCL backend decide the same finite question, so their verdicts must match
+    // and each backend's model must satisfy the formula under the independent Evaluator.
+    constexpr smt::BackendKind kKinds[] = {smt::BackendKind::kDfs, smt::BackendKind::kCdcl};
+    smt::SolveResult verdicts[2];
+    for (int b = 0; b < 2; ++b) {
+      std::unique_ptr<smt::SolverBackend> backend = smt::MakeBackend(kKinds[b], options);
+      backend->Assert(formula);
+      smt::SolveResult r = backend->Check(f);
+      ASSERT_NE(r, smt::SolveResult::kUnknown);
+      verdicts[b] = r;
+      if (r == smt::SolveResult::kSat) {
+        smt::Value v = EvalUnderModel(options.scope, formula, backend->model());
+        // The model may omit don't-care atoms; a known value must be true.
+        if (v.is_known()) {
+          EXPECT_TRUE(v.bool_v()) << backend->name() << ": " << formula->ToString()
+                                  << "\nmodel:\n"
+                                  << backend->model().ToString();
+        }
+      } else {
+        // UNSAT: the negation must be satisfiable (no formula is both ways).
+        std::unique_ptr<smt::SolverBackend> neg = smt::MakeBackend(kKinds[b], options);
+        neg->Assert(f.Not(formula));
+        EXPECT_EQ(neg->Check(f), smt::SolveResult::kSat)
+            << backend->name() << ": " << formula->ToString();
       }
-    } else {
-      // UNSAT: the negation must be satisfiable (no formula is both ways).
-      smt::Solver solver2(options);
-      EXPECT_EQ(solver2.CheckSat(f, {f.Not(formula)}), smt::SolveResult::kSat)
-          << formula->ToString();
     }
+    ASSERT_EQ(verdicts[0], verdicts[1]) << "dfs and cdcl disagree on " << formula->ToString();
   }
 }
 

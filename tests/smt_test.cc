@@ -1,7 +1,10 @@
 // Unit tests for the SMT substrate: sorts, term construction/simplification, evaluation,
-// and the bounded model finder.
+// and the solver backends (every solver test runs against dfs, cdcl, and portfolio).
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "src/smt/backend.h"
 #include "src/smt/eval.h"
 #include "src/smt/solver.h"
 #include "src/smt/sort.h"
@@ -283,14 +286,18 @@ TEST(AtomTableTest, DecomposesCompositeConstants) {
 
 // --- Solver -------------------------------------------------------------------------------
 
-class SolverTest : public ::testing::Test {
+// Every solver-behavior test runs against each backend: the same queries must get the
+// same verdicts from the model finder, the CDCL backend, and the portfolio race.
+class SolverTest : public ::testing::TestWithParam<BackendKind> {
  protected:
   SolveResult Check(const std::vector<Term>& assertions) {
-    Solver solver(options);
+    options.backend = GetParam();
+    std::unique_ptr<SolverBackend> backend = MakeBackend(options);
     last_model.values.clear();
-    SolveResult r = solver.CheckSat(f, assertions);
+    backend->AssertAll(assertions);
+    SolveResult r = backend->Check(f);
     if (r == SolveResult::kSat) {
-      last_model = solver.model();
+      last_model = backend->model();
     }
     return r;
   }
@@ -300,25 +307,25 @@ class SolverTest : public ::testing::Test {
   SmtModel last_model;
 };
 
-TEST_F(SolverTest, TrivialSatAndUnsat) {
+TEST_P(SolverTest, TrivialSatAndUnsat) {
   Term x = f.Const("x", IntSort());
   EXPECT_EQ(Check({f.Eq(x, f.IntLit(3))}), SolveResult::kSat);
   EXPECT_EQ(Check({f.Eq(x, f.IntLit(3)), f.Eq(x, f.IntLit(4))}), SolveResult::kUnsat);
 }
 
-TEST_F(SolverTest, GroundContradiction) {
+TEST_P(SolverTest, GroundContradiction) {
   EXPECT_EQ(Check({f.Const("p", BoolSort()), f.Not(f.Const("p", BoolSort()))}),
             SolveResult::kUnsat);
 }
 
-TEST_F(SolverTest, ArithmeticWitness) {
+TEST_P(SolverTest, ArithmeticWitness) {
   Term x = f.Const("x", IntSort());
   Term y = f.Const("y", IntSort());
   // x + y == 3 and x < y has a witness with the harvested domain {.., 2, 3, 4}.
   EXPECT_EQ(Check({f.Eq(f.Add(x, y), f.IntLit(3)), f.Lt(x, y)}), SolveResult::kSat);
 }
 
-TEST_F(SolverTest, RefDistinctBeyondScopeIsUnsat) {
+TEST_P(SolverTest, RefDistinctBeyondScopeIsUnsat) {
   Term a = f.Const("a", RefSort(0));
   Term b = f.Const("b", RefSort(0));
   Term c = f.Const("c", RefSort(0));
@@ -328,7 +335,7 @@ TEST_F(SolverTest, RefDistinctBeyondScopeIsUnsat) {
   EXPECT_EQ(Check({f.Distinct({a, b, c})}), SolveResult::kSat);
 }
 
-TEST_F(SolverTest, SetReasoning) {
+TEST_P(SolverTest, SetReasoning) {
   Sort rs = RefSort(0);
   Term s = f.Const("s", SetSort(rs));
   Term e = f.Const("e", rs);
@@ -339,7 +346,7 @@ TEST_F(SolverTest, SetReasoning) {
             SolveResult::kSat);
 }
 
-TEST_F(SolverTest, ArrayWellFormedness) {
+TEST_P(SolverTest, ArrayWellFormedness) {
   // data[i].0 == i for all i, and two members with equal field-0 must be the same element.
   Sort rs = RefSort(0);
   Sort obj = TupleSort({rs, IntSort()});
@@ -354,13 +361,13 @@ TEST_F(SolverTest, ArrayWellFormedness) {
   EXPECT_EQ(Check({wf, both_in, same_pk, f.Neq(x, y)}), SolveResult::kUnsat);
 }
 
-TEST_F(SolverTest, StringWitnessUsesFreshSymbols) {
+TEST_P(SolverTest, StringWitnessUsesFreshSymbols) {
   Term s = f.Const("s", StringSort());
   // s != every literal in the formula: satisfiable thanks to fresh symbols.
   EXPECT_EQ(Check({f.Neq(s, f.StrLit("alice")), f.Neq(s, f.StrLit("bob"))}), SolveResult::kSat);
 }
 
-TEST_F(SolverTest, TimeoutReturnsUnknown) {
+TEST_P(SolverTest, TimeoutReturnsUnknown) {
   // A formula engineered to be hard: many int unknowns with only a global constraint that
   // cannot be pruned locally, under a tiny timeout.
   std::vector<Term> xs;
@@ -370,7 +377,7 @@ TEST_F(SolverTest, TimeoutReturnsUnknown) {
     xs.push_back(x);
     sum = f.Add(sum, f.Mul(x, x));
   }
-  options.timeout_seconds = 0.02;
+  options.budget.timeout_seconds = 0.02;
   options.max_int_domain = 8;
   // sum of squares == 9999 is unsatisfiable over the small domain but requires exhausting
   // a large space; with the small timeout the solver must give up.
@@ -378,7 +385,7 @@ TEST_F(SolverTest, TimeoutReturnsUnknown) {
   EXPECT_EQ(r, SolveResult::kUnknown);
 }
 
-TEST_F(SolverTest, ModelIsReturnedAndConsistent) {
+TEST_P(SolverTest, ModelIsReturnedAndConsistent) {
   Term x = f.Const("x", IntSort());
   Term p = f.Const("p", BoolSort());
   ASSERT_EQ(Check({f.Eq(x, f.IntLit(7)), p}), SolveResult::kSat);
@@ -386,7 +393,7 @@ TEST_F(SolverTest, ModelIsReturnedAndConsistent) {
   EXPECT_EQ(last_model.values.at("p"), "true");
 }
 
-TEST_F(SolverTest, CommutativityStyleQuery) {
+TEST_P(SolverTest, CommutativityStyleQuery) {
   // A miniature commutativity check: two increments commute (unsat = no counterexample),
   // increment and assignment do not (sat = counterexample exists).
   Sort rs = RefSort(0);
@@ -416,27 +423,45 @@ TEST_F(SolverTest, CommutativityStyleQuery) {
   EXPECT_EQ(Check({differs2}), SolveResult::kSat);
 }
 
-// Parameterized sweep: solver scope sizes behave consistently.
-class ScopeSweepTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Backends, SolverTest,
+                         ::testing::Values(BackendKind::kDfs, BackendKind::kCdcl,
+                                           BackendKind::kPortfolio),
+                         [](const ::testing::TestParamInfo<BackendKind>& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
+
+// Parameterized sweep: solver scope sizes behave consistently, on every backend.
+class ScopeSweepTest : public ::testing::TestWithParam<std::tuple<int, BackendKind>> {};
 
 TEST_P(ScopeSweepTest, PigeonholePrinciple) {
   // k+1 pairwise distinct refs never fit in a scope of k; k do.
-  int k = GetParam();
+  auto [k, kind] = GetParam();
   TermFactory f;
   SolverOptions options;
   options.scope = Scope(k);
+  options.backend = kind;
   std::vector<Term> refs;
   for (int i = 0; i <= k; ++i) {
     refs.push_back(f.Const("r" + std::to_string(i), RefSort(0)));
   }
-  Solver solver(options);
-  EXPECT_EQ(solver.CheckSat(f, {f.Distinct(refs)}), SolveResult::kUnsat);
+  std::unique_ptr<SolverBackend> backend = MakeBackend(options);
+  backend->AssertAll({f.Distinct(refs)});
+  EXPECT_EQ(backend->Check(f), SolveResult::kUnsat);
   refs.pop_back();
-  Solver solver2(options);
-  EXPECT_EQ(solver2.CheckSat(f, {f.Distinct(refs)}), SolveResult::kSat);
+  std::unique_ptr<SolverBackend> backend2 = MakeBackend(options);
+  backend2->AssertAll({f.Distinct(refs)});
+  EXPECT_EQ(backend2->Check(f), SolveResult::kSat);
 }
 
-INSTANTIATE_TEST_SUITE_P(Scopes, ScopeSweepTest, ::testing::Values(1, 2, 3, 4));
+INSTANTIATE_TEST_SUITE_P(
+    Scopes, ScopeSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(BackendKind::kDfs, BackendKind::kCdcl,
+                                         BackendKind::kPortfolio)),
+    [](const ::testing::TestParamInfo<std::tuple<int, BackendKind>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) +
+             std::string(BackendKindName(std::get<1>(info.param)));
+    });
 
 }  // namespace
 }  // namespace noctua::smt
