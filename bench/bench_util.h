@@ -21,7 +21,9 @@ namespace noctua::bench {
 //   v1 (implicit): the PR 1-4 sweeps, no schema_version field.
 //   v2: schema_version field added; parallel_sweep rows carry per-phase percentiles.
 //   v3: preamble stamps the resolved solver backend and portfolio race tallies.
-inline constexpr int kBenchSchemaVersion = 3;
+//   v4: preamble stamps solver optimization tallies (incremental reuse, symmetry
+//       pruning, CDCL restarts/forgetting).
+inline constexpr int kBenchSchemaVersion = 4;
 
 // The leading members every BENCH_*.json document starts with. Callers embed it right
 // after their opening brace: json = "{" + BenchJsonPreamble("fault_sweep") + ", ...".
@@ -32,6 +34,7 @@ inline constexpr int kBenchSchemaVersion = 3;
 // moment the document is assembled (zero for single backends).
 inline std::string BenchJsonPreamble(const std::string& bench_name) {
   smt::PortfolioCounts pc = smt::GetPortfolioCounts();
+  smt::SolverSharedCounts sc = smt::GetSolverSharedCounts();
   return "\"bench\": \"" + bench_name +
          "\", \"schema_version\": " + std::to_string(kBenchSchemaVersion) +
          ", \"solver_backend\": \"" +
@@ -39,7 +42,12 @@ inline std::string BenchJsonPreamble(const std::string& bench_name) {
          "\", \"portfolio\": {\"races\": " + std::to_string(pc.races) +
          ", \"wins_dfs\": " + std::to_string(pc.wins_dfs) +
          ", \"wins_cdcl\": " + std::to_string(pc.wins_cdcl) +
-         ", \"undecided\": " + std::to_string(pc.undecided) + "}";
+         ", \"undecided\": " + std::to_string(pc.undecided) +
+         "}, \"solver\": {\"incremental_reuse_hits\": " +
+         std::to_string(sc.incremental_reuse_hits) +
+         ", \"symmetry_pruned_nodes\": " + std::to_string(sc.symmetry_pruned) +
+         ", \"cdcl_restarts\": " + std::to_string(sc.cdcl_restarts) +
+         ", \"cdcl_clauses_forgotten\": " + std::to_string(sc.cdcl_clauses_forgotten) + "}";
 }
 
 // Percentiles of a sample set, exact by sorting (benches deal in hundreds of samples,

@@ -2,13 +2,19 @@
 // term interning, grounding, solving a representative check, and a full pair check.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "src/analyzer/analyzer.h"
+#include "src/apps/apps.h"
 #include "src/apps/smallbank.h"
+#include "src/pipeline/pipeline.h"
 #include "src/smt/backend.h"
 #include "src/smt/ground.h"
 #include "src/smt/solver.h"
+#include "src/soir/serialize.h"
+#include "src/support/check.h"
 #include "src/verifier/checker.h"
 
 namespace {
@@ -103,6 +109,38 @@ void BM_FullPairCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPairCheck);
 
+// The per-pair hot path under the optimization toggles: one PairSession runs the
+// commutativity query plus both NotInvalidate directions on a real SmallBank pair —
+// exactly what the verifier's pair loop executes. The prefilter is disabled so the
+// timer measures solver work, not footprint set intersection. Scope 3 rather than the
+// default 2: the optimizations exist for the queries where search dominates, and at
+// scope 2 the fixed encode/ground floor hides most of the win. CI gates the geomean
+// off/on ratio across backends (see the pair-query speedup gate in ci.yml).
+void BM_PairQuery(benchmark::State& state, smt::BackendKind kind, bool optimized) {
+  static app::App a = apps::MakeSmallBankApp();
+  static analyzer::AnalysisResult res = analyzer::AnalyzeApp(a);
+  static std::vector<soir::CodePath> eff = res.EffectfulPaths();
+  verifier::CheckerOptions opt;
+  opt.solver.backend = kind;
+  opt.solver.scope = smt::Scope(3);
+  opt.solver.symmetry = optimized ? smt::Toggle::kOn : smt::Toggle::kOff;
+  opt.solver.incremental = optimized ? smt::Toggle::kOn : smt::Toggle::kOff;
+  opt.independence_prefilter = false;
+  verifier::Checker checker(a.schema(), opt);
+  for (auto _ : state) {
+    verifier::Checker::PairSession session(checker, eff[1], eff[2]);
+    benchmark::DoNotOptimize(session.Commutativity());
+    benchmark::DoNotOptimize(session.NotInvalidatePQ());
+    benchmark::DoNotOptimize(session.NotInvalidateQP());
+  }
+}
+BENCHMARK_CAPTURE(BM_PairQuery, dfs_off, smt::BackendKind::kDfs, false);
+BENCHMARK_CAPTURE(BM_PairQuery, dfs_on, smt::BackendKind::kDfs, true);
+BENCHMARK_CAPTURE(BM_PairQuery, cdcl_off, smt::BackendKind::kCdcl, false);
+BENCHMARK_CAPTURE(BM_PairQuery, cdcl_on, smt::BackendKind::kCdcl, true);
+BENCHMARK_CAPTURE(BM_PairQuery, portfolio_off, smt::BackendKind::kPortfolio, false);
+BENCHMARK_CAPTURE(BM_PairQuery, portfolio_on, smt::BackendKind::kPortfolio, true);
+
 void BM_AnalyzeSmallBank(benchmark::State& state) {
   app::App a = apps::MakeSmallBankApp();
   for (auto _ : state) {
@@ -111,6 +149,67 @@ void BM_AnalyzeSmallBank(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeSmallBank);
 
+// Deterministic verdict fingerprint of one app under one backend/toggle setting:
+// FNV-1a over the "p|q|com|sem" verdict lines of a full deterministic-budget verify.
+// The optimizations must never change a verdict, so the fingerprint is the artifact
+// CI diffs against the committed baseline to prove restriction-set identity.
+uint64_t VerdictFingerprint(const apps::AppEntry& entry, smt::BackendKind kind,
+                            bool optimized) {
+  app::App a = entry.make();
+  PipelineOptions analysis_only;
+  analysis_only.verify = false;
+  analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
+
+  PipelineOptions options;
+  options.parallel.threads = 2;
+  options.checker.solver.backend = kind;
+  options.checker.solver.budget.deterministic = true;
+  options.checker.solver.symmetry = optimized ? smt::Toggle::kOn : smt::Toggle::kOff;
+  options.checker.solver.incremental = optimized ? smt::Toggle::kOn : smt::Toggle::kOff;
+  verifier::RestrictionReport report = Pipeline::Verify(a, analysis, options);
+
+  std::string lines;
+  for (const verifier::PairVerdict& v : report.pairs) {
+    lines += v.p + "|" + v.q + "|" + verifier::CheckOutcomeName(v.commutativity) + "|" +
+             verifier::CheckOutcomeName(v.semantic) + "\n";
+  }
+  return soir::Fnv1a64(lines);
+}
+
+// Stamps per-app, per-backend verdict fingerprints into the benchmark context, after
+// CHECK-ing that the optimized and unoptimized runs produce identical verdicts. Gated
+// behind NOCTUA_BENCH_FINGERPRINTS=1 because it runs 18 full verifies (~half a minute);
+// plain timing runs skip it. Only the fast apps are fingerprinted — the slow trio
+// (Zhihu, OwnPhotos, PostGraduation) is covered by the tier-1 identity tests instead.
+void AddVerdictFingerprints() {
+  for (const apps::AppEntry& entry : apps::EvaluatedApps()) {
+    if (entry.name != "Todo" && entry.name != "SmallBank" && entry.name != "Courseware") {
+      continue;
+    }
+    for (smt::BackendKind kind :
+         {smt::BackendKind::kDfs, smt::BackendKind::kCdcl, smt::BackendKind::kPortfolio}) {
+      uint64_t off = VerdictFingerprint(entry, kind, /*optimized=*/false);
+      uint64_t on = VerdictFingerprint(entry, kind, /*optimized=*/true);
+      NOCTUA_CHECK_MSG(off == on, "optimizations changed a restriction set");
+      benchmark::AddCustomContext(
+          "fingerprint_" + entry.name + "_" + smt::BackendKindName(kind),
+          soir::DigestHex(on));
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  const char* fp = std::getenv("NOCTUA_BENCH_FINGERPRINTS");
+  if (fp != nullptr && std::string(fp) == "1") {
+    AddVerdictFingerprints();
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

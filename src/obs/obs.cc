@@ -144,6 +144,14 @@ const char* CounterName(Counter c) {
       return "smt.cdcl_conflicts";
     case Counter::kCdclLearnedClauses:
       return "smt.cdcl_learned_clauses";
+    case Counter::kSolverIncrementalReuse:
+      return "solver.incremental_reuse_hits";
+    case Counter::kSolverSymmetryPruned:
+      return "solver.symmetry_pruned_nodes";
+    case Counter::kCdclRestarts:
+      return "cdcl.restarts";
+    case Counter::kCdclClausesForgotten:
+      return "cdcl.clauses_forgotten";
     case Counter::kPortfolioRaces:
       return "smt.portfolio_races";
     case Counter::kPortfolioWinsDfs:

@@ -83,6 +83,10 @@ enum class Counter : uint8_t {
   kSimplifyHits,
   kCdclConflicts,
   kCdclLearnedClauses,
+  kSolverIncrementalReuse,
+  kSolverSymmetryPruned,
+  kCdclRestarts,
+  kCdclClausesForgotten,
   kPortfolioRaces,
   kPortfolioWinsDfs,
   kPortfolioWinsCdcl,

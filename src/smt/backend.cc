@@ -62,6 +62,95 @@ BackendKind ResolveBackendKind(BackendKind k) {
   return k == BackendKind::kAuto ? BackendKindFromEnv() : k;
 }
 
+bool ParseToggle(const std::string& value, Toggle* out) {
+  if (value == "on") {
+    *out = Toggle::kOn;
+    return true;
+  }
+  if (value == "off") {
+    *out = Toggle::kOff;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// NOCTUA_SOLVER's strict-parse discipline applied to an on/off knob: unset means on,
+// malformed values warn once on stderr and fall back to on.
+bool ToggleFromEnv(const char* var, bool* warned) {
+  const char* env = std::getenv(var);
+  if (env == nullptr || *env == '\0') {
+    return true;
+  }
+  Toggle t;
+  if (ParseToggle(env, &t)) {
+    return t == Toggle::kOn;
+  }
+  if (!*warned) {
+    *warned = true;
+    std::fprintf(stderr, "noctua: ignoring %s=\"%s\" (expected on or off); using on\n", var,
+                 env);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SymmetryFromEnv() {
+  static bool warned = false;
+  return ToggleFromEnv("NOCTUA_SYMMETRY", &warned);
+}
+
+bool IncrementalFromEnv() {
+  static bool warned = false;
+  return ToggleFromEnv("NOCTUA_INCREMENTAL", &warned);
+}
+
+bool SymmetryEnabled(const SolverOptions& options) {
+  return options.symmetry == Toggle::kAuto ? SymmetryFromEnv()
+                                           : options.symmetry == Toggle::kOn;
+}
+
+bool IncrementalEnabled(const SolverOptions& options) {
+  return options.incremental == Toggle::kAuto ? IncrementalFromEnv()
+                                              : options.incremental == Toggle::kOn;
+}
+
+namespace {
+
+// Process-wide optimization tallies (see GetSolverSharedCounts).
+std::atomic<uint64_t> g_reuse_hits{0};
+std::atomic<uint64_t> g_symmetry_pruned{0};
+std::atomic<uint64_t> g_cdcl_restarts{0};
+std::atomic<uint64_t> g_cdcl_forgotten{0};
+
+}  // namespace
+
+SolverSharedCounts GetSolverSharedCounts() {
+  SolverSharedCounts c;
+  c.incremental_reuse_hits = g_reuse_hits.load(std::memory_order_relaxed);
+  c.symmetry_pruned = g_symmetry_pruned.load(std::memory_order_relaxed);
+  c.cdcl_restarts = g_cdcl_restarts.load(std::memory_order_relaxed);
+  c.cdcl_clauses_forgotten = g_cdcl_forgotten.load(std::memory_order_relaxed);
+  return c;
+}
+
+void AccumulateSolverSharedCounts(const SolverStats& stats) {
+  if (stats.incremental_reuse_hits > 0) {
+    g_reuse_hits.fetch_add(stats.incremental_reuse_hits, std::memory_order_relaxed);
+  }
+  if (stats.symmetry_pruned > 0) {
+    g_symmetry_pruned.fetch_add(stats.symmetry_pruned, std::memory_order_relaxed);
+  }
+  if (stats.restarts > 0) {
+    g_cdcl_restarts.fetch_add(stats.restarts, std::memory_order_relaxed);
+  }
+  if (stats.clauses_forgotten > 0) {
+    g_cdcl_forgotten.fetch_add(stats.clauses_forgotten, std::memory_order_relaxed);
+  }
+}
+
 namespace {
 
 // The bounded model finder behind the backend interface: a thin adapter over Solver.
@@ -72,7 +161,7 @@ class DfsBackend : public SolverBackend {
   const char* name() const override { return "dfs"; }
   BackendCaps caps() const override {
     return BackendCaps{/*deterministic_budget=*/true, /*produces_model=*/true,
-                       /*cancellable=*/true};
+                       /*cancellable=*/true, /*incremental=*/true};
   }
   const SmtModel& model() const override { return solver_.model(); }
   const SolverStats& stats() const override { return solver_.stats(); }
@@ -80,7 +169,9 @@ class DfsBackend : public SolverBackend {
 
  protected:
   SolveResult DoCheck(TermFactory& factory, const std::vector<Term>& assertions) override {
-    return solver_.CheckSat(factory, assertions);
+    SolveResult r = solver_.CheckSat(factory, assertions);
+    AccumulateSolverSharedCounts(solver_.stats());
+    return r;
   }
 
  private:

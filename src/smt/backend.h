@@ -28,6 +28,7 @@
 #include "src/smt/budget.h"
 #include "src/smt/solver.h"
 #include "src/smt/term.h"
+#include "src/support/check.h"
 
 namespace noctua::smt {
 
@@ -42,6 +43,12 @@ struct BackendCaps {
   bool produces_model = false;
   // Polls a set_cancel flag at budget checkpoints and abandons with kUnknown.
   bool cancellable = false;
+  // Retains grounding work across Checks on the same factory, so a Push/Assert/Check/Pop
+  // sequence over a stable frame re-grounds only the pushed deltas. All backends accept
+  // the Push/Pop interface (it lives in the base class); this cap advertises that
+  // repeated Checks actually get cheaper, which is what the verifier's pair sessions
+  // key on.
+  bool incremental = false;
 };
 
 // One decision procedure. Usage:
@@ -55,6 +62,13 @@ struct BackendCaps {
 // conjunction of everything asserted so far and may be called again after further
 // Asserts. The factory passed to Check must be the one that created the asserted terms.
 // Like TermFactory, a backend instance is not thread-safe; create one per thread.
+//
+// Incremental use: Push opens an assertion frame, Pop discards everything asserted since
+// the matching Push. The verifier asserts one pair's common frame (axioms, shared path
+// definitions) at level zero, then solves each query direction as Push / Assert(negated
+// goal) / Check / Pop on the same backend instance — the persistent ground cache inside
+// the concrete backends (see caps().incremental) makes the repeated frame essentially
+// free.
 class SolverBackend {
  public:
   virtual ~SolverBackend() = default;
@@ -63,10 +77,44 @@ class SolverBackend {
   void AssertAll(const std::vector<Term>& ts) {
     assertions_.insert(assertions_.end(), ts.begin(), ts.end());
   }
+  // Alias of Assert, matching the incremental-API naming used alongside Push/Pop.
+  void AddAssertion(Term t) { Assert(t); }
   const std::vector<Term>& assertions() const { return assertions_; }
 
-  // Decides satisfiability of the conjunction of all asserted terms.
-  SolveResult Check(TermFactory& factory) { return DoCheck(factory, assertions_); }
+  // Opens an assertion frame: Pop removes every assertion added since the matching Push.
+  void Push() { frames_.push_back(assertions_.size()); }
+  void Pop() {
+    NOCTUA_CHECK_MSG(!frames_.empty(), "SolverBackend::Pop without matching Push");
+    assertions_.resize(frames_.back());
+    frames_.pop_back();
+  }
+  size_t num_frames() const { return frames_.size(); }
+  // Clears all assertions and frames; grounding caches inside the backend survive.
+  void ResetAssertions() {
+    assertions_.clear();
+    frames_.clear();
+  }
+
+  // Decides satisfiability of the conjunction of all asserted terms. Assertions from the
+  // innermost frame are passed to the procedure first: the newest frame holds the
+  // (negated) per-query goal, and goal-first ordering is the search heuristic every
+  // caller of the non-incremental path already encodes by hand.
+  SolveResult Check(TermFactory& factory) {
+    if (frames_.empty()) {
+      return DoCheck(factory, assertions_);
+    }
+    std::vector<Term> ordered;
+    ordered.reserve(assertions_.size());
+    size_t end = assertions_.size();
+    for (size_t i = frames_.size(); i-- > 0;) {
+      ordered.insert(ordered.end(), assertions_.begin() + static_cast<long>(frames_[i]),
+                     assertions_.begin() + static_cast<long>(end));
+      end = frames_[i];
+    }
+    ordered.insert(ordered.end(), assertions_.begin(),
+                   assertions_.begin() + static_cast<long>(end));
+    return DoCheck(factory, ordered);
+  }
 
   // Stable lower-case identifier ("dfs", "cdcl", "portfolio"): the tag verdict caches
   // and bench JSON use.
@@ -85,6 +133,7 @@ class SolverBackend {
 
  private:
   std::vector<Term> assertions_;
+  std::vector<size_t> frames_;  // start index of each open Push frame
 };
 
 // THE factory: the only place concrete backends are constructed. Resolves
@@ -105,6 +154,25 @@ struct PortfolioCounts {
   uint64_t undecided = 0;  // races where neither produced a decisive verdict
 };
 PortfolioCounts GetPortfolioCounts();
+
+// Process-wide optimization tallies, accumulated by every concrete backend at the end of
+// each Check (portfolio contestants count individually). Same reporting pattern as
+// PortfolioCounts: the verifier snapshots before/after a run and reports the deltas,
+// bench JSON stamps the totals into preambles.
+struct SolverSharedCounts {
+  uint64_t incremental_reuse_hits = 0;   // root assertions served from a ground cache
+  uint64_t symmetry_pruned = 0;          // values (dfs) / clause slots (cdcl) pruned
+  uint64_t cdcl_restarts = 0;            // Luby restarts performed
+  uint64_t cdcl_clauses_forgotten = 0;   // learned clauses dropped by DB reduction
+};
+SolverSharedCounts GetSolverSharedCounts();
+// Folds one Check's stats into the process-wide tallies; called by concrete backends.
+void AccumulateSolverSharedCounts(const SolverStats& stats);
+
+// Resolved values of the optimization toggles for a given options struct (kAuto defers
+// to NOCTUA_SYMMETRY / NOCTUA_INCREMENTAL; both default to on).
+bool SymmetryEnabled(const SolverOptions& options);
+bool IncrementalEnabled(const SolverOptions& options);
 
 }  // namespace noctua::smt
 

@@ -36,6 +36,25 @@ enum class BackendKind : uint8_t {
   kPortfolio,  // race dfs and cdcl per query; first decisive verdict wins
 };
 
+// Tri-state switch for an individual solver optimization. kAuto defers to the matching
+// NOCTUA_* environment knob (which itself defaults to on); kOn/kOff pin the choice in
+// code regardless of the environment. Both hot-path optimizations added on top of the
+// backends — symmetry reduction and incremental grounding — are verdict-preserving, so
+// the toggles exist for A/B measurement and bisection, not for correctness escape
+// hatches.
+enum class Toggle : uint8_t { kAuto, kOn, kOff };
+
+// Strict parse of a toggle value: exactly "on" or "off". Returns false — leaving *out
+// untouched — on anything else, including "auto", "1", "true".
+bool ParseToggle(const std::string& value, Toggle* out);
+
+// NOCTUA_SYMMETRY / NOCTUA_INCREMENTAL with the NOCTUA_THREADS parsing discipline: an
+// unset variable means on, "on"/"off" are honored, and anything else is rejected with a
+// one-shot stderr warning and treated as on (fail-fast on typos, never silently
+// absorbed).
+bool SymmetryFromEnv();
+bool IncrementalFromEnv();
+
 // Lower-case knob value, e.g. "dfs"; "auto" for kAuto.
 const char* BackendKindName(BackendKind k);
 

@@ -35,7 +35,7 @@ int CdclSearch::LitValue(int lit) const {
   return (v == 1) != IsNeg(lit) ? 1 : 0;
 }
 
-void CdclSearch::AddClause(std::vector<int> lits) {
+void CdclSearch::AddClause(std::vector<int> lits, bool removable) {
   NOCTUA_CHECK_MSG(decision_level() == 0, "AddClause is a level-0 operation");
   if (unsat_) {
     return;
@@ -68,7 +68,7 @@ void CdclSearch::AddClause(std::vector<int> lits) {
     }
     return;
   }
-  AttachClause(std::move(kept));
+  AttachClause(std::move(kept), removable);
 }
 
 void CdclSearch::AddEncodingClause(std::vector<int> lits) {
@@ -79,11 +79,11 @@ void CdclSearch::AddEncodingClause(std::vector<int> lits) {
   AttachClause(std::move(lits));
 }
 
-int CdclSearch::AttachClause(std::vector<int> lits) {
+int CdclSearch::AttachClause(std::vector<int> lits, bool removable) {
   int ci = static_cast<int>(clauses_.size());
   watches_[lits[0]].push_back(ci);
   watches_[lits[1]].push_back(ci);
-  clauses_.push_back(Clause{std::move(lits)});
+  clauses_.push_back(Clause{std::move(lits), removable, removable ? cla_inc_ : 0.0});
   return ci;
 }
 
@@ -186,6 +186,20 @@ void CdclSearch::BumpVar(int var) {
   }
 }
 
+void CdclSearch::BumpClause(int ci) {
+  Clause& c = clauses_[ci];
+  if (!c.removable) {
+    return;  // only removable clauses compete for DB slots
+  }
+  c.activity += cla_inc_;
+  if (c.activity > 1e100) {
+    for (Clause& cl : clauses_) {
+      cl.activity *= 1e-100;
+    }
+    cla_inc_ *= 1e-100;
+  }
+}
+
 CdclSearch::Conflict CdclSearch::Analyze(const std::vector<int>& conflict_lits) {
   const int clevel = decision_level();
   NOCTUA_CHECK_MSG(clevel > 0, "conflict analysis at level 0");
@@ -223,6 +237,7 @@ CdclSearch::Conflict CdclSearch::Analyze(const std::vector<int>& conflict_lits) 
     }
     int rc = reason_[VarOf(p)];
     NOCTUA_CHECK_MSG(rc >= 0, "non-UIP current-level literal without a reason");
+    BumpClause(rc);  // the clause earned its keep: shield it from DB reduction
     reason_lits = &clauses_[rc].lits;
   }
   learned[0] = Negate(p);
@@ -243,7 +258,8 @@ CdclSearch::Conflict CdclSearch::Analyze(const std::vector<int>& conflict_lits) 
     seen_[VarOf(learned[k])] = 0;
   }
   result.learned = std::move(learned);
-  var_inc_ /= 0.95;  // decay: recent conflicts weigh more
+  var_inc_ /= 0.95;   // decay: recent conflicts weigh more
+  cla_inc_ /= 0.999;  // clause activities decay slower — DB reduction looks further back
   return result;
 }
 
@@ -256,10 +272,113 @@ void CdclSearch::ResolveConflict(const std::vector<int>& conflict_lits) {
     bool ok = Enqueue(c.learned[0], -1);
     NOCTUA_CHECK_MSG(ok, "asserting literal false after backjump");
   } else {
-    int ci = AttachClause(std::move(c.learned));
+    int ci = AttachClause(std::move(c.learned), /*removable=*/true);
     bool ok = Enqueue(clauses_[ci].lits[0], ci);
     NOCTUA_CHECK_MSG(ok, "asserting literal false after backjump");
   }
+}
+
+void CdclSearch::ConfigureRestarts(uint64_t unit, std::function<void()> on_restart) {
+  restart_unit_ = unit;
+  on_restart_ = std::move(on_restart);
+  conflicts_at_restart_ = conflicts_;
+}
+
+namespace {
+
+// The Luby sequence 1,1,2,1,1,2,4,1,... (0-indexed), the classic universal restart
+// schedule: total work within a constant factor of any fixed schedule.
+uint64_t LubySeq(uint64_t x) {
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x %= size;
+  }
+  return uint64_t{1} << seq;
+}
+
+}  // namespace
+
+void CdclSearch::MaybeRestart() {
+  if (restart_unit_ == 0 || unsat_) {
+    return;
+  }
+  if (conflicts_ - conflicts_at_restart_ < LubySeq(restarts_) * restart_unit_) {
+    return;
+  }
+  BacktrackTo(0);
+  ++restarts_;
+  conflicts_at_restart_ = conflicts_;
+  ReduceDb();
+  if (on_restart_) {
+    on_restart_();  // learned clauses survive; the hook may inject more at level 0
+  }
+}
+
+void CdclSearch::ReduceDb() {
+  NOCTUA_CHECK_MSG(decision_level() == 0, "DB reduction is a level-0 operation");
+  // Reasons of level-0 assignments must survive: Analyze may still walk them.
+  std::vector<char> is_reason(clauses_.size(), 0);
+  for (int lit : trail_) {
+    int rc = reason_[VarOf(lit)];
+    if (rc >= 0) {
+      is_reason[static_cast<size_t>(rc)] = 1;
+    }
+  }
+  std::vector<int> candidates;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    const Clause& c = clauses_[i];
+    if (c.removable && c.lits.size() > 2 && is_reason[i] == 0) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  // Reduce only once the removable set is worth the rebuild; keep the busier half.
+  constexpr size_t kReduceMin = 200;
+  if (candidates.size() < kReduceMin) {
+    return;
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    double aa = clauses_[static_cast<size_t>(a)].activity;
+    double bb = clauses_[static_cast<size_t>(b)].activity;
+    return aa != bb ? aa < bb : a > b;  // least active first; newer dropped on ties
+  });
+  std::vector<char> drop(clauses_.size(), 0);
+  size_t n_drop = candidates.size() / 2;
+  for (size_t i = 0; i < n_drop; ++i) {
+    drop[static_cast<size_t>(candidates[i])] = 1;
+  }
+  std::vector<int> remap(clauses_.size(), -1);
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size() - n_drop);
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (drop[i] == 0) {
+      remap[i] = static_cast<int>(kept.size());
+      kept.push_back(std::move(clauses_[i]));
+    }
+  }
+  clauses_ = std::move(kept);
+  for (std::vector<int>& wl : watches_) {
+    wl.clear();
+  }
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    // Watch positions 0/1 are maintained in place by propagation, so re-watching the
+    // same positions reproduces the exact watch state the surviving clauses had.
+    watches_[clauses_[i].lits[0]].push_back(static_cast<int>(i));
+    watches_[clauses_[i].lits[1]].push_back(static_cast<int>(i));
+  }
+  for (size_t v = 0; v < reason_.size(); ++v) {
+    if (reason_[v] >= 0) {
+      reason_[v] = remap[static_cast<size_t>(reason_[v])];
+      NOCTUA_CHECK_MSG(reason_[v] >= 0, "DB reduction dropped a live reason clause");
+    }
+  }
+  forgotten_ += n_drop;
 }
 
 int CdclSearch::PickBranchVar() const {
@@ -284,7 +403,11 @@ SolveResult CdclSearch::Solve(const std::function<TheoryResult()>& theory,
         unsat_ = true;
         return SolveResult::kUnsat;
       }
-      ResolveConflict(clauses_[confl].lits);
+      BumpClause(confl);
+      // ResolveConflict may attach clauses (invalidating references into clauses_), so
+      // hand it a copy of the conflicting literals.
+      ResolveConflict(std::vector<int>(clauses_[confl].lits));
+      MaybeRestart();
       continue;
     }
     if (budget && budget()) {
@@ -313,6 +436,7 @@ SolveResult CdclSearch::Solve(const std::function<TheoryResult()>& theory,
         }
         BacktrackTo(maxl);
         ResolveConflict(tr.nogood);
+        MaybeRestart();
         continue;
       }
     }
@@ -333,6 +457,39 @@ SolveResult CdclSearch::Solve(const std::function<TheoryResult()>& theory,
 // CdclBackend: lazy direct encoding + substitute-and-simplify theory.
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Renames elements a <-> b of `model`'s Ref sort throughout `t`, rebuilding through the
+// factory's smart constructors (hash-consing keeps unchanged subterms shared). For a
+// symmetry-clean model this renaming is an automorphism of the grounded formula, so the
+// image of an entailed nogood is itself entailed.
+Term PermuteRefs(TermFactory& f, Term t, int model, int a, int b) {
+  if (t->kind() == TermKind::kRefLit) {
+    if (t->sort()->is_ref() && t->sort()->model_id() == model) {
+      int64_t i = t->int_payload();
+      int64_t ni = i == a ? b : (i == b ? a : i);
+      if (ni != i) {
+        return f.RefLit(t->sort(), static_cast<int>(ni));
+      }
+    }
+    return t;
+  }
+  if (t->children().empty()) {
+    return t;
+  }
+  std::vector<Term> kids;
+  kids.reserve(t->children().size());
+  bool changed = false;
+  for (Term c : t->children()) {
+    Term n = PermuteRefs(f, c, model, a, b);
+    changed = changed || n != c;
+    kids.push_back(n);
+  }
+  return changed ? RebuildTerm(f, t, std::move(kids)) : t;
+}
+
+}  // namespace
+
 SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& assertions) {
   Stopwatch watch;
   stats_ = SolverStats{};
@@ -342,21 +499,34 @@ SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& 
                           ? Deadline::AfterSeconds(budget.timeout_seconds)
                           : Deadline::Never();
 
-  Grounder grounder(&factory, options_.scope);
   std::vector<Term> pending;
-  bool feasible = GroundAndFlatten(grounder, factory, assertions, &pending);
-  stats_.binders_expanded = grounder.binders_expanded();
+  bool feasible;
+  if (IncrementalEnabled(options_)) {
+    feasible = inc_ground_.Ground(factory, options_.scope, assertions, &pending,
+                                  &stats_.incremental_reuse_hits, &stats_.binders_expanded);
+  } else {
+    Grounder grounder(&factory, options_.scope);
+    feasible = GroundAndFlatten(grounder, factory, assertions, &pending);
+    stats_.binders_expanded = grounder.binders_expanded();
+  }
   if (!feasible) {
     stats_.seconds = watch.ElapsedSeconds();
+    AccumulateSolverSharedCounts(stats_);
     return SolveResult::kUnsat;
   }
   if (pending.empty()) {
     stats_.seconds = watch.ElapsedSeconds();
+    AccumulateSolverSharedCounts(stats_);
     return SolveResult::kSat;
   }
 
   ValueDomains domains;
   domains.Harvest(pending, options_.max_int_domain, options_.max_string_domain);
+
+  SymmetryBreaker symmetry;
+  if (SymmetryEnabled(options_)) {
+    symmetry.Analyze(assertions, pending, options_.scope);
+  }
 
   // Per-assertion support approximation: the constants an assertion mentions. Every atom
   // that can influence its residual — including array cells materialized mid-search —
@@ -396,6 +566,9 @@ SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& 
   std::vector<std::vector<int>> vars_of;   // atom id -> variable block ({} for facts)
   std::unordered_map<Term, int> atom_id;
   std::unordered_map<Term, Term> forced;   // the facts, as a standing substitution
+  // Variable -> (atom id, value index): the decode table the symmetric-nogood multiplier
+  // uses to lift propositional nogood literals back to [atom = value] facts.
+  std::vector<std::pair<int, int>> var_origin;
 
   auto ensure_atom = [&](Term atom) -> int {
     auto it = atom_id.find(atom);
@@ -417,6 +590,7 @@ SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& 
         int v = search.NewVar();
         block.push_back(v);
         alo.push_back(CdclSearch::PosLit(v));
+        var_origin.emplace_back(id, static_cast<int>(j));
       }
       // At least one value, at most one value (pairwise; domains are bounded and small).
       search.AddEncodingClause(std::move(alo));
@@ -430,6 +604,107 @@ SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& 
     lits_of.push_back(std::move(lits));
     vars_of.push_back(std::move(block));
     return id;
+  };
+
+  // Symmetry reduction, propositional form. The governed Ref constants of each clean
+  // model get their variable blocks eagerly (at level 0, where AddClause is legal) and
+  // value-precedence canonicity is compiled to clauses:
+  //   * rank 0 is pinned to element #0 (unit);
+  //   * rank t can never exceed element #t (units excluding v > t);
+  //   * rank t taking element v >= 2 requires some earlier rank to have taken v-1
+  //     (v = 1 is subsumed: rank 0 already holds element #0).
+  // These clauses are not formula-entailed — they select the lex-leader representative of
+  // each model orbit — so they are input (irremovable) clauses, and the learned clauses
+  // that resolve against them must never be permuted (see the nogood multiplier below).
+  if (symmetry.active()) {
+    for (const SymmetryBreaker::Group& g : symmetry.groups()) {
+      std::vector<int> blocks;  // flattened [rank][value] -> var, rank-major
+      size_t width = 0;
+      for (Term c : g.consts) {
+        int id = ensure_atom(c);
+        if (vars_of[id].empty()) {
+          blocks.clear();
+          break;  // a forced constant breaks the rank numbering; skip the group
+        }
+        width = vars_of[id].size();
+        blocks.insert(blocks.end(), vars_of[id].begin(), vars_of[id].end());
+      }
+      if (blocks.empty()) {
+        continue;
+      }
+      auto var_at = [&](size_t rank, size_t v) { return blocks[rank * width + v]; };
+      size_t ranks = g.consts.size();
+      search.AddClause({CdclSearch::PosLit(var_at(0, 0))});
+      stats_.symmetry_pruned += width - 1;
+      for (size_t t = 1; t < ranks; ++t) {
+        for (size_t v = t + 1; v < width; ++v) {
+          search.AddClause({CdclSearch::NegLit(var_at(t, v))});
+          ++stats_.symmetry_pruned;
+        }
+        for (size_t v = 2; v <= t && v < width; ++v) {
+          std::vector<int> precede{CdclSearch::NegLit(var_at(t, v))};
+          for (size_t j = 0; j < t; ++j) {
+            precede.push_back(CdclSearch::PosLit(var_at(j, v - 1)));
+          }
+          search.AddClause(std::move(precede));
+          ++stats_.symmetry_pruned;
+        }
+      }
+    }
+  }
+
+  // The symmetric-nogood multiplier: every theory nogood is formula-entailed, and a
+  // transposition of a clean model's elements is a formula automorphism, so the permuted
+  // image of a nogood is also entailed — queue it and inject at the next restart (level
+  // 0, where AddClause is legal). Only theory nogoods qualify: clauses learned by Analyze
+  // may resolve against the canonicity clauses above, which are NOT symmetric.
+  std::vector<std::vector<int>> sym_queue;
+  constexpr size_t kMaxSymNogood = 8;
+  constexpr size_t kMaxSymQueue = 256;
+  auto queue_symmetric_images = [&](const std::vector<int>& nogood) {
+    if (!symmetry.active() || nogood.empty() || nogood.size() > kMaxSymNogood) {
+      return;
+    }
+    for (const SymmetryBreaker::Group& g : symmetry.groups()) {
+      int k = options_.scope.RefSize(g.model_id);
+      for (int a = 0; a < k && sym_queue.size() < kMaxSymQueue; ++a) {
+        for (int b = a + 1; b < k && sym_queue.size() < kMaxSymQueue; ++b) {
+          std::vector<int> image;
+          image.reserve(nogood.size());
+          bool ok = true;
+          bool changed = false;
+          for (int lit : nogood) {
+            int var = CdclSearch::VarOf(lit);
+            auto [aid, vidx] = var_origin[var];
+            Term patom = PermuteRefs(factory, atom_terms[aid], g.model_id, a, b);
+            Term pval = PermuteRefs(factory, lits_of[aid][vidx], g.model_id, a, b);
+            if (patom == atom_terms[aid] && pval == lits_of[aid][vidx]) {
+              image.push_back(lit);
+              continue;
+            }
+            changed = true;
+            int pid = ensure_atom(patom);
+            const std::vector<int>& pblock = vars_of[pid];
+            const std::vector<Term>& plits = lits_of[pid];
+            size_t pj = plits.size();
+            for (size_t j = 0; j < plits.size(); ++j) {
+              if (plits[j] == pval) {
+                pj = j;
+                break;
+              }
+            }
+            if (pblock.empty() || pj == plits.size()) {
+              ok = false;  // permuted fact, or value outside the permuted atom's domain
+              break;
+            }
+            image.push_back(CdclSearch::NegLit(pblock[pj]));
+          }
+          if (ok && changed) {
+            sym_queue.push_back(std::move(image));
+          }
+        }
+      }
+    }
   };
 
   // The lazy theory: substitute every atom the propositional state has fixed into the
@@ -474,6 +749,7 @@ SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& 
               }
             }
           }
+          queue_symmetric_images(out.nogood);
           return out;
         }
         all_true = false;
@@ -508,11 +784,22 @@ SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& 
            (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed));
   };
 
+  // Luby restarts with activity-based DB reduction; the restart hook drains the queued
+  // symmetric nogood images (removable: the reducer may forget them again).
+  search.ConfigureRestarts(100, [&]() {
+    for (std::vector<int>& cl : sym_queue) {
+      search.AddClause(std::move(cl), /*removable=*/true);
+    }
+    sym_queue.clear();
+  });
+
   SolveResult result = search.Solve(theory, over_budget);
   stats_.nodes_visited = search.nodes();
   stats_.num_atoms = atom_terms.size();
   stats_.conflicts = search.conflicts();
   stats_.learned_clauses = search.learned_clauses();
+  stats_.restarts = search.restarts();
+  stats_.clauses_forgotten = search.clauses_forgotten();
   if (result == SolveResult::kSat) {
     for (size_t i = 0; i < atom_terms.size(); ++i) {
       const std::vector<int>& block = vars_of[i];
@@ -528,6 +815,7 @@ SolveResult CdclBackend::DoCheck(TermFactory& factory, const std::vector<Term>& 
     }
   }
   stats_.seconds = watch.ElapsedSeconds();
+  AccumulateSolverSharedCounts(stats_);
   return result;
 }
 

@@ -77,7 +77,9 @@ class CdclSearch {
   // Adds an input clause. Must be called at decision level 0: literals already false at
   // level 0 are dropped, satisfied clauses are discarded, duplicates and tautologies are
   // handled. An empty (or contradicted-unit) result marks the instance unsat.
-  void AddClause(std::vector<int> lits);
+  // `removable` marks a derived (entailed) clause the DB reducer may later forget; input
+  // clauses that define the problem must stay irremovable.
+  void AddClause(std::vector<int> lits, bool removable = false);
 
   // Adds a clause whose literals are ALL unassigned (checked), at any decision level —
   // the lazy encoder's entry point for the exactly-one clauses of an atom discovered
@@ -116,6 +118,16 @@ class CdclSearch {
   uint64_t nodes() const { return nodes_; }
   uint64_t conflicts() const { return conflicts_; }
   uint64_t learned_clauses() const { return learned_; }
+  uint64_t restarts() const { return restarts_; }
+  uint64_t clauses_forgotten() const { return forgotten_; }
+
+  // Enables Luby restarts: after luby(r+1) * `unit` conflicts since the last restart the
+  // search backjumps to level 0, reduces the learned-clause DB by activity (keeping
+  // binaries, input/encoding clauses, and reasons of level-0 assignments), and invokes
+  // `on_restart` (may be null) — the hook the lazy backend uses to inject symmetric
+  // images of theory nogoods at a level where AddClause is legal. `unit` == 0 disables
+  // restarts (the default, which leaves pure-SAT unit tests bit-for-bit unchanged).
+  void ConfigureRestarts(uint64_t unit, std::function<void()> on_restart = nullptr);
 
   // Unassigned variable with the highest activity (ties toward the smallest index), or
   // -1 when every variable is assigned.
@@ -129,16 +141,24 @@ class CdclSearch {
 
  private:
   // Appends a clause and attaches watches on lits[0] and lits[1]. Size must be >= 2.
-  int AttachClause(std::vector<int> lits);
+  int AttachClause(std::vector<int> lits, bool removable = false);
   // Assigns `lit` true with `reason_clause` (-1 for decisions / level-0 facts). Returns
   // false iff `lit` is already false.
   bool Enqueue(int lit, int reason_clause);
   void BumpVar(int var);
+  void BumpClause(int ci);
   // Analyze + backtrack + learn + assert for a falsified clause at the current level.
   void ResolveConflict(const std::vector<int>& conflict_lits);
+  // Restart when the Luby schedule says so: backjump to 0, reduce the DB, run the hook.
+  void MaybeRestart();
+  // Drops the least-active half of the removable clauses (keeping binaries and reasons
+  // of level-0 assignments), rebuilding watches and remapping reasons. Level 0 only.
+  void ReduceDb();
 
   struct Clause {
     std::vector<int> lits;
+    bool removable = false;   // learned / injected: the DB reducer may drop it
+    double activity = 0.0;    // bumped when the clause participates in conflict analysis
   };
 
   std::vector<Clause> clauses_;
@@ -152,10 +172,16 @@ class CdclSearch {
   std::vector<int> trail_lim_;             // trail size at each decision level
   size_t qhead_ = 0;                       // propagation frontier into trail_
   double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
   bool unsat_ = false;
   uint64_t nodes_ = 0;
   uint64_t conflicts_ = 0;
   uint64_t learned_ = 0;
+  uint64_t restart_unit_ = 0;              // 0 = restarts disabled
+  uint64_t restarts_ = 0;
+  uint64_t forgotten_ = 0;
+  uint64_t conflicts_at_restart_ = 0;
+  std::function<void()> on_restart_;
 };
 
 // The SolverBackend adapter: grounds, encodes atoms directly, and runs CdclSearch with
@@ -167,7 +193,7 @@ class CdclBackend : public SolverBackend {
   const char* name() const override { return "cdcl"; }
   BackendCaps caps() const override {
     return BackendCaps{/*deterministic_budget=*/true, /*produces_model=*/true,
-                       /*cancellable=*/true};
+                       /*cancellable=*/true, /*incremental=*/true};
   }
   const SmtModel& model() const override { return model_; }
   const SolverStats& stats() const override { return stats_; }
@@ -180,6 +206,9 @@ class CdclBackend : public SolverBackend {
   SolverOptions options_;
   SmtModel model_;
   SolverStats stats_;
+  // Persistent ground cache: repeated Checks over a stable frame (the verifier's pair
+  // sessions) re-ground only their fresh roots. Used when incremental solving is on.
+  IncrementalGrounder inc_ground_;
   const std::atomic<bool>* cancel_ = nullptr;
 };
 

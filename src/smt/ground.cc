@@ -215,6 +215,38 @@ bool GroundAndFlatten(Grounder& g, TermFactory& f, const std::vector<Term>& asse
   return true;
 }
 
+bool IncrementalGrounder::Ground(TermFactory& f, const Scope& scope,
+                                 const std::vector<Term>& assertions, std::vector<Term>* out,
+                                 uint64_t* reuse_hits, uint64_t* binders_expanded) {
+  if (factory_ != &f) {
+    // Term identity is per-factory: a new factory invalidates everything.
+    factory_ = &f;
+    grounder_ = std::make_unique<Grounder>(&f, scope);
+    roots_.clear();
+  }
+  const uint64_t before = grounder_->binders_expanded();
+  bool feasible = true;
+  for (Term a : assertions) {
+    auto it = roots_.find(a);
+    if (it == roots_.end()) {
+      Entry e;
+      e.feasible = GroundAndFlatten(*grounder_, f, {a}, &e.conjuncts);
+      it = roots_.emplace(a, std::move(e)).first;
+    } else if (reuse_hits != nullptr) {
+      ++*reuse_hits;
+    }
+    if (!it->second.feasible) {
+      feasible = false;
+    } else {
+      out->insert(out->end(), it->second.conjuncts.begin(), it->second.conjuncts.end());
+    }
+  }
+  if (binders_expanded != nullptr) {
+    *binders_expanded += grounder_->binders_expanded() - before;
+  }
+  return feasible;
+}
+
 std::string GroundAtomName(Term atom) {
   switch (atom->kind()) {
     case TermKind::kConst:

@@ -10,6 +10,7 @@
 #ifndef SRC_SMT_GROUND_H_
 #define SRC_SMT_GROUND_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +59,38 @@ class Grounder {
 // one of the two legs (with ValueDomains) that cross-backend verdict identity stands on.
 bool GroundAndFlatten(Grounder& g, TermFactory& f, const std::vector<Term>& assertions,
                       std::vector<Term>* out);
+
+// A Grounder that persists across Checks of one backend instance, plus a per-root cache
+// of flattened conjuncts. The verifier's pair sessions assert a stable frame (axioms,
+// shared path definitions) across several queries on one backend; with this class the
+// frame's binders are expanded once and every later Check serves the frame roots from
+// the cache, grounding only the fresh per-query goals. Composing the per-root results
+// reproduces GroundAndFlatten exactly (same conjuncts, same order, same infeasibility
+// rule), which keeps the cross-backend identity contract intact.
+//
+// The cache is keyed on term identity, which is only meaningful within one TermFactory:
+// when Ground is called with a different factory the whole state is rebuilt from
+// scratch. The scope is fixed at the first call per factory (backends never change
+// scope mid-life).
+class IncrementalGrounder {
+ public:
+  // Grounds `assertions`, appending flattened conjuncts to `out` (append-only; `out` is
+  // not cleared). Returns false when some conjunct is literal false, like
+  // GroundAndFlatten. `reuse_hits` (optional) is incremented once per root served from
+  // the cache; `binders_expanded` (optional) receives the number of binder expansions
+  // this call actually performed (cache hits contribute zero).
+  bool Ground(TermFactory& f, const Scope& scope, const std::vector<Term>& assertions,
+              std::vector<Term>* out, uint64_t* reuse_hits, uint64_t* binders_expanded);
+
+ private:
+  struct Entry {
+    std::vector<Term> conjuncts;
+    bool feasible = true;
+  };
+  const TermFactory* factory_ = nullptr;
+  std::unique_ptr<Grounder> grounder_;
+  std::unordered_map<Term, Entry> roots_;
+};
 
 // Renders a ground atom for model reporting: "c", "c[1]", "c[(0,1)]", "c[1].2". Every
 // backend names model entries through this one function so models are comparable.

@@ -55,25 +55,33 @@ SolveResult PortfolioBackend::Cascade(TermFactory& factory,
   Stopwatch watch;
   constexpr std::array<BackendKind, 2> kOrder = {BackendKind::kDfs, BackendKind::kCdcl};
   g_races.fetch_add(1, std::memory_order_relaxed);
+  const bool persist = IncrementalEnabled(options_);
   uint64_t prior_nodes = 0;
   uint64_t prior_evals = 0;
   for (size_t i = 0; i < kOrder.size(); ++i) {
-    auto backend = MakeBackend(kOrder[i], options_);
-    backend->set_cancel(cancel_);
-    backend->AssertAll(assertions);
-    SolveResult r = backend->Check(factory);
+    if (!persist || cascade_backends_[i] == nullptr) {
+      cascade_backends_[i] = MakeBackend(kOrder[i], options_);
+    }
+    SolverBackend& backend = *cascade_backends_[i];
+    backend.ResetAssertions();
+    backend.set_cancel(cancel_);
+    backend.AssertAll(assertions);
+    SolveResult r = backend.Check(factory);
+    // The caller's cancel flag may not outlive this Check; a persistent contestant must
+    // not keep pointing at it.
+    backend.set_cancel(nullptr);
     if (r != SolveResult::kUnknown) {
       (i == 0 ? g_wins_dfs : g_wins_cdcl).fetch_add(1, std::memory_order_relaxed);
-      stats_ = backend->stats();
+      stats_ = backend.stats();
       stats_.portfolio_winner = static_cast<int>(i);
       stats_.nodes_visited += prior_nodes;
       stats_.evaluations += prior_evals;
-      model_ = backend->model();
+      model_ = backend.model();
       stats_.seconds = watch.ElapsedSeconds();
       return r;
     }
-    prior_nodes += backend->stats().nodes_visited;
-    prior_evals += backend->stats().evaluations;
+    prior_nodes += backend.stats().nodes_visited;
+    prior_evals += backend.stats().evaluations;
   }
   g_undecided.fetch_add(1, std::memory_order_relaxed);
   stats_.nodes_visited = prior_nodes;
@@ -103,27 +111,34 @@ SolveResult PortfolioBackend::DoCheck(TermFactory& factory,
 
   // A TermFactory is not thread-safe, so each contestant gets a private factory and the
   // query is cloned into it HERE, serially, before any second thread exists. Inside the
-  // race each contestant touches only its own clone.
-  std::array<TermFactory, 2> factories;
+  // race each contestant touches only its own clone. With incremental solving on, the
+  // factories and contestants persist across Checks: hash-consing maps a repeated frame
+  // to the identical terms, so the contestant's ground cache carries over.
+  const bool persist = IncrementalEnabled(options_);
+  for (size_t i = 0; i < 2; ++i) {
+    if (!persist || race_factories_[i] == nullptr) {
+      race_factories_[i] = std::make_unique<TermFactory>();
+      race_backends_[i] = MakeBackend(kContestants[i], options_);
+    }
+  }
   std::array<std::vector<Term>, 2> cloned;
   for (size_t i = 0; i < 2; ++i) {
     cloned[i].reserve(assertions.size());
     for (Term a : assertions) {
-      cloned[i].push_back(CloneTermInto(factories[i], a));
+      cloned[i].push_back(CloneTermInto(*race_factories_[i], a));
     }
   }
 
-  std::array<std::unique_ptr<SolverBackend>, 2> backends;
   std::array<std::atomic<bool>, 2> cancel = {false, false};
   std::array<SolveResult, 2> results = {SolveResult::kUnknown, SolveResult::kUnknown};
   std::atomic<int> winner{-1};
 
-  SolverOptions child = options_;
   PortfolioPool().ParallelFor(2, [&](size_t i) {
-    backends[i] = MakeBackend(kContestants[i], child);
-    backends[i]->set_cancel(&cancel[i]);
-    backends[i]->AssertAll(cloned[i]);
-    SolveResult r = backends[i]->Check(factories[i]);
+    SolverBackend& b = *race_backends_[i];
+    b.ResetAssertions();
+    b.set_cancel(&cancel[i]);
+    b.AssertAll(cloned[i]);
+    SolveResult r = b.Check(*race_factories_[i]);
     results[i] = r;
     if (r != SolveResult::kUnknown) {
       int expected = -1;
@@ -133,15 +148,20 @@ SolveResult PortfolioBackend::DoCheck(TermFactory& factory,
       }
     }
   });
+  // The cancel flags are stack-local; persistent contestants must not outlive them with
+  // the pointer installed.
+  race_backends_[0]->set_cancel(nullptr);
+  race_backends_[1]->set_cancel(nullptr);
 
   g_races.fetch_add(1, std::memory_order_relaxed);
   int w = winner.load(std::memory_order_relaxed);
   if (w < 0) {
     g_undecided.fetch_add(1, std::memory_order_relaxed);
     // Both abandoned: report combined effort so budgets charged upstream stay honest.
-    stats_.nodes_visited =
-        backends[0]->stats().nodes_visited + backends[1]->stats().nodes_visited;
-    stats_.evaluations = backends[0]->stats().evaluations + backends[1]->stats().evaluations;
+    stats_.nodes_visited = race_backends_[0]->stats().nodes_visited +
+                           race_backends_[1]->stats().nodes_visited;
+    stats_.evaluations =
+        race_backends_[0]->stats().evaluations + race_backends_[1]->stats().evaluations;
     stats_.seconds = watch.ElapsedSeconds();
     return SolveResult::kUnknown;
   }
@@ -154,9 +174,9 @@ SolveResult PortfolioBackend::DoCheck(TermFactory& factory,
                      "verdicts for one query");
   }
   (w == 0 ? g_wins_dfs : g_wins_cdcl).fetch_add(1, std::memory_order_relaxed);
-  stats_ = backends[w]->stats();
+  stats_ = race_backends_[w]->stats();
   stats_.portfolio_winner = w;
-  model_ = backends[w]->model();
+  model_ = race_backends_[w]->model();
   stats_.seconds = watch.ElapsedSeconds();
   return results[w];
 }

@@ -24,7 +24,9 @@
 #ifndef SRC_SMT_PORTFOLIO_H_
 #define SRC_SMT_PORTFOLIO_H_
 
+#include <array>
 #include <atomic>
+#include <memory>
 
 #include "src/smt/backend.h"
 #include "src/smt/solver.h"
@@ -39,9 +41,13 @@ class PortfolioBackend : public SolverBackend {
   const char* name() const override { return "portfolio"; }
   BackendCaps caps() const override {
     // Not cancellable: the race is synchronous and self-cancels its loser; an external
-    // flag is only honored between races (checked before one starts).
+    // flag is only honored between races (checked before one starts). Incremental:
+    // contestants persist across Checks (when incremental solving is on), so their
+    // ground caches see the shared frame of a pair session — racing included, because
+    // each contestant's private clone factory hash-conses repeated frames to the same
+    // terms.
     return BackendCaps{/*deterministic_budget=*/true, /*produces_model=*/true,
-                       /*cancellable=*/false};
+                       /*cancellable=*/false, /*incremental=*/true};
   }
   const SmtModel& model() const override { return model_; }
   const SolverStats& stats() const override { return stats_; }
@@ -61,6 +67,13 @@ class PortfolioBackend : public SolverBackend {
   SolverOptions options_;
   SmtModel model_;
   SolverStats stats_;
+  // Persistent contestants (incremental solving): the cascade pair runs on the caller's
+  // factory (its ground caches self-invalidate if that factory changes); the race pair
+  // owns private clone factories so repeated frames hash-cons to identical terms and
+  // re-grounding is skipped. All reset per Check via ResetAssertions.
+  std::array<std::unique_ptr<SolverBackend>, 2> cascade_backends_;
+  std::array<std::unique_ptr<TermFactory>, 2> race_factories_;
+  std::array<std::unique_ptr<SolverBackend>, 2> race_backends_;
   const std::atomic<bool>* cancel_ = nullptr;
 };
 

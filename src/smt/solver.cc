@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/smt/backend.h"  // SymmetryEnabled / IncrementalEnabled
 #include "src/smt/ground.h"
 #include "src/support/check.h"
 
@@ -138,6 +139,95 @@ std::vector<Value> ValueDomains::ValuesFor(const Scope& scope, const Sort& sort)
   return out;
 }
 
+void SymmetryBreaker::Analyze(const std::vector<Term>& raw,
+                              const std::vector<Term>& grounded, const Scope& scope) {
+  groups_.clear();
+  position_.clear();
+
+  // Models whose elements the RAW assertions distinguish by name: an explicit element
+  // literal, or an ArgExtreme binder (its grounding breaks key ties by element order and
+  // yields element 0 for empty sets — both element-order dependent, so permuting
+  // elements is not an automorphism of the grounded formula). Judged before grounding:
+  // grounding itself introduces element literals everywhere.
+  std::set<int> dirty;
+  auto mark_sort = [&](const Sort& s) {
+    if (s->is_ref()) {
+      dirty.insert(s->model_id());
+    } else if (s->is_pair()) {
+      dirty.insert(s->children()[0]->model_id());
+      dirty.insert(s->children()[1]->model_id());
+    }
+  };
+  std::unordered_set<Term> seen;
+  std::vector<Term> stack(raw.begin(), raw.end());
+  while (!stack.empty()) {
+    Term t = stack.back();
+    stack.pop_back();
+    if (t == nullptr || !seen.insert(t).second) {
+      continue;
+    }
+    if (t->kind() == TermKind::kRefLit || t->kind() == TermKind::kArgExtreme) {
+      mark_sort(t->sort());
+    }
+    for (Term c : t->children()) {
+      stack.push_back(c);
+    }
+  }
+
+  // Governed constants: the scalar Ref-sorted ground constants of every clean model with
+  // at least two interchangeable elements, in deterministic first-occurrence order.
+  std::vector<Term> atoms;
+  for (Term g : grounded) {
+    Grounder::CollectAtoms(g, &atoms);
+  }
+  std::unordered_set<Term> taken;
+  std::map<int, std::vector<Term>> per_model;
+  for (Term a : atoms) {
+    if (a->kind() != TermKind::kConst || !a->sort()->is_ref()) {
+      continue;
+    }
+    int m = a->sort()->model_id();
+    if (dirty.count(m) != 0 || scope.RefSize(m) < 2) {
+      continue;
+    }
+    if (!taken.insert(a).second) {
+      continue;
+    }
+    per_model[m].push_back(a);
+  }
+  for (auto& [m, consts] : per_model) {
+    Group g;
+    g.model_id = m;
+    g.consts = std::move(consts);
+    for (size_t rank = 0; rank < g.consts.size(); ++rank) {
+      position_[g.consts[rank]] = {static_cast<int>(groups_.size()), static_cast<int>(rank)};
+    }
+    groups_.push_back(std::move(g));
+  }
+}
+
+int SymmetryBreaker::MaxAllowedIndex(Term atom,
+                                     const std::function<int(Term)>& value_of) const {
+  auto it = position_.find(atom);
+  if (it == position_.end()) {
+    return -1;
+  }
+  const auto [group_idx, rank] = it->second;
+  if (rank == 0) {
+    return 0;  // the group leader is pinned to element 0
+  }
+  const Group& g = groups_[static_cast<size_t>(group_idx)];
+  int bound = -1;
+  for (int j = 0; j < rank; ++j) {
+    int v = value_of(g.consts[static_cast<size_t>(j)]);
+    // An unassigned predecessor is bounded by its own canonical ceiling j (c_j <= j in
+    // every value-precedence-canonical assignment), which keeps the bound sound for
+    // partial assignments: no canonical completion is ever pruned.
+    bound = std::max(bound, v >= 0 ? v : j);
+  }
+  return bound + 1;
+}
+
 SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assertions) {
   Stopwatch watch;
   stats_ = SolverStats{};
@@ -148,17 +238,30 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
                           : Deadline::Never();
 
   // Ground all binders over the finite scope, then flatten top-level conjunctions so each
-  // conjunct prunes independently.
-  Grounder grounder(&f, options_.scope);
+  // conjunct prunes independently. With incremental solving on, roots seen by an earlier
+  // CheckSat on this Solver (the verifier's stable per-pair frame) are served from the
+  // persistent cache instead of re-expanded.
   std::vector<Term> pending;
-  bool feasible = GroundAndFlatten(grounder, f, raw_assertions, &pending);
-  stats_.binders_expanded = grounder.binders_expanded();
+  bool feasible;
+  if (IncrementalEnabled(options_)) {
+    feasible = inc_ground_.Ground(f, options_.scope, raw_assertions, &pending,
+                                  &stats_.incremental_reuse_hits, &stats_.binders_expanded);
+  } else {
+    Grounder grounder(&f, options_.scope);
+    feasible = GroundAndFlatten(grounder, f, raw_assertions, &pending);
+    stats_.binders_expanded = grounder.binders_expanded();
+  }
   if (!feasible) {
     stats_.seconds = watch.ElapsedSeconds();
     return SolveResult::kUnsat;
   }
 
   domains_.Harvest(pending, options_.max_int_domain, options_.max_string_domain);
+
+  SymmetryBreaker symmetry;
+  if (SymmetryEnabled(options_)) {
+    symmetry.Analyze(raw_assertions, pending, options_.scope);
+  }
 
   std::unordered_map<Term, Term> atom_memo;
   std::map<std::string, std::string>& model_values = model_.values;
@@ -182,6 +285,39 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
     return nullptr;
   };
 
+  // Conflict-guided assignment ordering (phase saving): the last value of an atom that
+  // did NOT immediately conflict is tried first when the atom is re-decided on another
+  // branch — backtracking over an unrelated decision usually leaves it viable.
+  std::unordered_map<Term, Term> saved_phase;
+
+  // Builds one frame's candidate list: the shared domain, truncated to the symmetry
+  // breaker's lex-leader bound (Ref literals come in element order, so truncating by
+  // index IS the value-precedence cut), with the saved phase rotated to the front.
+  auto make_domain = [&](Term atom, const std::unordered_map<Term, Term>& trail) {
+    std::vector<Term> dom = domains_.LiteralsFor(f, options_.scope, atom);
+    if (symmetry.active() && atom->sort()->is_ref()) {
+      int ub = symmetry.MaxAllowedIndex(atom, [&](Term c) -> int {
+        auto it = trail.find(c);
+        if (it == trail.end() || it->second->kind() != TermKind::kRefLit) {
+          return -1;
+        }
+        return static_cast<int>(it->second->int_payload());
+      });
+      if (ub >= 0 && static_cast<size_t>(ub) + 1 < dom.size()) {
+        stats_.symmetry_pruned += dom.size() - (static_cast<size_t>(ub) + 1);
+        dom.resize(static_cast<size_t>(ub) + 1);
+      }
+    }
+    auto it = saved_phase.find(atom);
+    if (it != saved_phase.end()) {
+      auto pos = std::find(dom.begin(), dom.end(), it->second);
+      if (pos != dom.end() && pos != dom.begin()) {
+        std::rotate(dom.begin(), pos, pos + 1);
+      }
+    }
+    return dom;
+  };
+
   auto record_model = [&]() {
     for (const auto& [atom, value] : assigned) {
       model_values[GroundAtomName(atom)] = value->ToString();
@@ -198,7 +334,7 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
   stats_.num_atoms = 1;
 
   std::vector<Frame> stack;
-  stack.push_back(Frame{first, domains_.LiteralsFor(f, options_.scope, first), 0, pending});
+  stack.push_back(Frame{first, make_domain(first, trail_map), 0, pending});
 
   bool timed_out = false;
   while (!stack.empty()) {
@@ -255,6 +391,7 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
     if (conflict) {
       continue;
     }
+    saved_phase[frame.atom] = value;
     if (next_pending.empty()) {
       record_model();
       stats_.seconds = watch.ElapsedSeconds();
@@ -263,7 +400,7 @@ SolveResult Solver::CheckSat(TermFactory& f, const std::vector<Term>& raw_assert
     Term next_atom = pick_atom(next_pending);
     NOCTUA_CHECK_MSG(next_atom != nullptr, "undecided residual without atoms");
     stats_.num_atoms = std::max(stats_.num_atoms, stack.size() + 1);
-    stack.push_back(Frame{next_atom, domains_.LiteralsFor(f, options_.scope, next_atom), 0,
+    stack.push_back(Frame{next_atom, make_domain(next_atom, trail_map), 0,
                           std::move(next_pending)});
   }
 

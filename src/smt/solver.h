@@ -28,12 +28,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/smt/budget.h"
 #include "src/smt/eval.h"
+#include "src/smt/ground.h"
 #include "src/smt/term.h"
 #include "src/support/stopwatch.h"
 
@@ -64,6 +68,15 @@ struct SolverStats {
   // CDCL-only: conflicts analyzed and clauses learned (0 for the model finder).
   uint64_t conflicts = 0;
   uint64_t learned_clauses = 0;
+  // Root assertions whose grounding this Check served from the backend's persistent
+  // ground cache instead of re-expanding (incremental solving, see IncrementalGrounder).
+  uint64_t incremental_reuse_hits = 0;
+  // Work removed by lex-leader symmetry reduction: candidate values dropped from DFS
+  // frames, or CDCL literals pinned/excluded by the precedence clauses.
+  uint64_t symmetry_pruned = 0;
+  // CDCL-only: Luby restarts performed and learned clauses dropped by DB reduction.
+  uint64_t restarts = 0;
+  uint64_t clauses_forgotten = 0;
   // Portfolio-only: which sub-backend produced the verdict (0 = dfs, 1 = cdcl,
   // -1 = not a portfolio run or no decisive winner).
   int portfolio_winner = -1;
@@ -77,6 +90,12 @@ struct SolverOptions {
   // Which decision procedure answers checks. kAuto defers to NOCTUA_SOLVER (see
   // budget.h); construction goes through smt::MakeBackend — the one factory.
   BackendKind backend = BackendKind::kAuto;
+  // Lex-leader symmetry reduction over the k interchangeable instances of each model
+  // sort, and reuse of grounding work across Checks on one backend instance. Both are
+  // verdict-preserving; kAuto defers to NOCTUA_SYMMETRY / NOCTUA_INCREMENTAL (default
+  // on). See SymmetryEnabled / IncrementalEnabled in backend.h.
+  Toggle symmetry = Toggle::kAuto;
+  Toggle incremental = Toggle::kAuto;
 };
 
 // The finite value space one query's search ranges over, harvested from the query's own
@@ -104,6 +123,49 @@ class ValueDomains {
   std::vector<std::string> string_domain_;
 };
 
+// Lex-leader symmetry reduction over the k interchangeable elements of each model's Ref
+// sort (the ROADMAP's DPOR move applied to value symmetry). A query never distinguishes
+// the elements of a Ref sort by name unless an assertion mentions a concrete element —
+// an explicit kRefLit, or a kArgExtreme binder (whose grounding breaks ties by element
+// order and picks element 0 for empty sets). For every *clean* model sort the full
+// symmetric group acts on satisfying assignments: permuting element names in every
+// Ref-valued atom and simultaneously relocating the array cells they index maps models
+// to models. It therefore suffices to search value-precedence canonical assignments of
+// the sort's scalar Ref constants c_0, c_1, ... (in deterministic first-occurrence
+// order): c_0 = #0, and c_t <= 1 + max_{j<t} c_j. Every orbit contains such a
+// representative (sort the used element names by first use), so pruning the rest is
+// verdict-preserving.
+//
+// Cleanliness is judged on the RAW pre-grounding assertions: after grounding, element
+// literals are everywhere by construction, which is exactly why the check must happen
+// before.
+class SymmetryBreaker {
+ public:
+  // Computes dirty models from `raw`, then collects the governed scalar Ref constants
+  // per clean model from the grounded conjuncts' atoms (first-occurrence order).
+  void Analyze(const std::vector<Term>& raw, const std::vector<Term>& grounded,
+               const Scope& scope);
+
+  bool active() const { return !groups_.empty(); }
+
+  struct Group {
+    int model_id = -1;
+    std::vector<Term> consts;  // governed scalar Ref constants, precedence order
+  };
+  const std::vector<Group>& groups() const { return groups_; }
+
+  // Largest element index `atom` may be assigned under value precedence, given the
+  // current assignment of its predecessors: `value_of` returns a predecessor's assigned
+  // element index, or -1 while unassigned (an unassigned c_j is bounded by its canonical
+  // ceiling j, which keeps the bound sound for partial assignments). Returns -1 when
+  // `atom` is not a governed constant (no restriction).
+  int MaxAllowedIndex(Term atom, const std::function<int(Term)>& value_of) const;
+
+ private:
+  std::unordered_map<Term, std::pair<int, int>> position_;  // const -> (group idx, rank)
+  std::vector<Group> groups_;
+};
+
 class Solver {
  public:
   explicit Solver(SolverOptions options) : options_(std::move(options)) {}
@@ -128,6 +190,10 @@ class Solver {
   SmtModel model_;
   SolverStats stats_;
   ValueDomains domains_;
+  // Survives across CheckSat calls: repeated queries over a shared frame (the verifier's
+  // pair sessions) re-ground only their fresh roots. Only used when incremental solving
+  // is enabled; the legacy path builds a throwaway Grounder per call.
+  IncrementalGrounder inc_ground_;
   const std::atomic<bool>* cancel_ = nullptr;
 };
 

@@ -130,11 +130,19 @@ CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
   if (any_unsupported) {
     return CheckOutcome::kUnsupported;
   }
-  obs::ScopedSpan span("solve", obs::kCatSolve);
   std::unique_ptr<smt::SolverBackend> backend = smt::MakeBackend(options_.solver);
   backend->AssertAll(assertions);
-  smt::SolveResult r = backend->Check(factory);
-  const smt::SolverStats& ss = backend->stats();
+  return RunSolverOn(*backend, factory, false, stats);
+}
+
+CheckOutcome Checker::RunSolverOn(smt::SolverBackend& backend, smt::TermFactory& factory,
+                                  bool any_unsupported, CheckStats* stats) const {
+  if (any_unsupported) {
+    return CheckOutcome::kUnsupported;
+  }
+  obs::ScopedSpan span("solve", obs::kCatSolve);
+  smt::SolveResult r = backend.Check(factory);
+  const smt::SolverStats& ss = backend.stats();
   if (stats != nullptr) {
     stats->solver_nodes = ss.nodes_visited;
   }
@@ -154,7 +162,19 @@ CheckOutcome Checker::RunSolver(smt::TermFactory& factory,
     if (ss.learned_clauses > 0) {
       obs::Add(obs::Counter::kCdclLearnedClauses, ss.learned_clauses);
     }
-    if (std::string_view(backend->name()) == "portfolio") {
+    if (ss.incremental_reuse_hits > 0) {
+      obs::Add(obs::Counter::kSolverIncrementalReuse, ss.incremental_reuse_hits);
+    }
+    if (ss.symmetry_pruned > 0) {
+      obs::Add(obs::Counter::kSolverSymmetryPruned, ss.symmetry_pruned);
+    }
+    if (ss.restarts > 0) {
+      obs::Add(obs::Counter::kCdclRestarts, ss.restarts);
+    }
+    if (ss.clauses_forgotten > 0) {
+      obs::Add(obs::Counter::kCdclClausesForgotten, ss.clauses_forgotten);
+    }
+    if (std::string_view(backend.name()) == "portfolio") {
       obs::Add(obs::Counter::kPortfolioRaces);
       if (ss.portfolio_winner == 0) {
         obs::Add(obs::Counter::kPortfolioWinsDfs);
@@ -340,17 +360,277 @@ CheckOutcome Checker::CheckNotInvalidate(const soir::CodePath& p, const soir::Co
 
 CheckOutcome Checker::CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
                                     CheckStats* stats) const {
+  return CheckSemantic(p, q, stats, nullptr, nullptr);
+}
+
+CheckOutcome Checker::CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
+                                    CheckStats* stats, CheckStats* dir1_stats,
+                                    CheckStats* dir2_stats) const {
+  PairSession session(*this, p, q);
   CheckStats s1, s2;
-  CheckOutcome a = CheckNotInvalidate(p, q, &s1);
-  CheckOutcome b = a == CheckOutcome::kPass ? CheckNotInvalidate(q, p, &s2)
+  CheckOutcome a = session.NotInvalidatePQ(&s1);
+  CheckOutcome b = a == CheckOutcome::kPass ? session.NotInvalidateQP(&s2)
                                             : CheckOutcome::kPass;
   if (stats != nullptr) {
     stats->seconds = s1.seconds + s2.seconds;
     stats->solver_nodes = s1.solver_nodes + s2.solver_nodes;
-    stats->prefiltered = s1.prefiltered && s2.prefiltered;
+    // One prefilter decision covers both directions (footprint disjointness is
+    // symmetric); s2 stays default-initialized — not measured — when direction two is
+    // skipped, so ANDing it in would misreport a prefiltered pair as solved.
+    stats->prefiltered = s1.prefiltered;
+  }
+  if (dir1_stats != nullptr) {
+    *dir1_stats = s1;
+  }
+  if (dir2_stats != nullptr) {
+    *dir2_stats = s2;
   }
   // The worse of the two directions decides.
   return WorseOutcome(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// PairSession
+// ---------------------------------------------------------------------------
+
+struct Checker::PairSession::Shared {
+  // The factory outlives (and is destroyed after) the encoders and backend below, all of
+  // which hold terms interned in it.
+  smt::TermFactory factory;
+  std::unique_ptr<Encoder> com_enc;
+  std::unique_ptr<Encoder> ni_enc;
+  std::unique_ptr<smt::SolverBackend> backend;
+  bool incremental = false;
+
+  // What the backend currently holds asserted; commutativity and NotInvalidate
+  // interleave by re-asserting their base (cheap: grounding is cached per root).
+  enum class Mode : uint8_t { kNone, kCom, kNi };
+  Mode mode = Mode::kNone;
+
+  bool com_built = false;
+  std::vector<Term> com_assertions;
+  bool com_unsupported = false;
+
+  bool ni_built = false;
+  std::vector<Term> ni_frame;     // asserted once, shared by both directions
+  std::vector<Term> ni_delta_pq;  // pushed/popped per direction
+  std::vector<Term> ni_delta_qp;
+  bool ni_unsupported_pq = false;
+  bool ni_unsupported_qp = false;
+};
+
+Checker::PairSession::PairSession(const Checker& checker, const soir::CodePath& p,
+                                  const soir::CodePath& q,
+                                  const std::set<int>* order_models)
+    : checker_(checker), p_(p), q_(q) {
+  ni_order_ = Encoder::OrderRelevantModels(p);
+  std::set<int> oq = Encoder::OrderRelevantModels(q);
+  ni_order_.insert(oq.begin(), oq.end());
+  com_order_ = order_models != nullptr ? *order_models : ni_order_;
+  prefiltered_ =
+      checker_.options_.independence_prefilter && checker_.Independent(p_, q_);
+}
+
+Checker::PairSession::~PairSession() = default;
+
+void Checker::PairSession::EnsureShared() {
+  if (shared_ != nullptr) {
+    return;
+  }
+  shared_ = std::make_unique<Shared>();
+  shared_->backend = smt::MakeBackend(checker_.options_.solver);
+  shared_->incremental = smt::IncrementalEnabled(checker_.options_.solver) &&
+                         shared_->backend->caps().incremental;
+}
+
+CheckOutcome Checker::PairSession::Commutativity(CheckStats* stats) {
+  Stopwatch watch;
+  if (prefiltered_) {
+    if (stats != nullptr) {
+      stats->prefiltered = true;
+      stats->seconds = watch.ElapsedSeconds();
+    }
+    return CheckOutcome::kPass;
+  }
+  EnsureShared();
+  if (!shared_->incremental) {
+    return checker_.CheckCommutativity(p_, q_, &com_order_, stats);
+  }
+  Shared& sh = *shared_;
+  if (!sh.com_built) {
+    sh.com_built = true;
+    obs::ScopedSpan encode_span("encode_com", obs::kCatEncode);
+
+    EncoderOptions enc_options = checker_.options_.encoder;
+    enc_options.order_models = com_order_;
+    checker_.ApplyProjection(p_, q_, &enc_options);
+    sh.com_enc = std::make_unique<Encoder>(checker_.schema_, &sh.factory, enc_options);
+    Encoder& enc = *sh.com_enc;
+
+    EncState s0 = enc.FreshState("S0");
+    Encoder::PathResult pq1 = enc.ApplyPath(p_, s0, "x");
+    Encoder::PathResult pq2 = enc.ApplyPath(q_, pq1.post, "y");
+    Encoder::PathResult qp1 = enc.ApplyPath(q_, s0, "y");
+    Encoder::PathResult qp2 = enc.ApplyPath(p_, qp1.post, "x");
+    sh.com_unsupported =
+        pq1.unsupported || pq2.unsupported || qp1.unsupported || qp2.unsupported;
+
+    // Same assertion content and order as CheckCommutativity, kept as separate roots so
+    // the incremental grounder can cache the ones shared with the NotInvalidate frame
+    // (S0's axioms, the unique-id axiom).
+    std::vector<Term>& assertions = sh.com_assertions;
+    assertions.push_back(sh.factory.Not(enc.StateEq(pq2.post, qp2.post, com_order_)));
+    if (checker_.options_.fresh_origin_states) {
+      EncState sa = enc.FreshState("Sa");
+      EncState sb = enc.FreshState("Sb");
+      Encoder::PathResult pre_p = enc.ApplyPath(p_, sa, "x");
+      Encoder::PathResult pre_q = enc.ApplyPath(q_, sb, "y");
+      sh.com_unsupported = sh.com_unsupported || pre_p.unsupported || pre_q.unsupported;
+      assertions.push_back(enc.UniqueIdAxiom(s0));
+      assertions.push_back(pre_p.pre);
+      assertions.push_back(pre_q.pre);
+      assertions.push_back(enc.StateAxioms(sa));
+      assertions.push_back(enc.StateAxioms(sb));
+    } else {
+      assertions.push_back(enc.UniqueIdAxiom(s0));
+      assertions.push_back(pq1.pre);
+      assertions.push_back(qp1.pre);
+    }
+    assertions.push_back(pq1.defs);
+    assertions.push_back(pq2.defs);
+    assertions.push_back(qp1.defs);
+    assertions.push_back(qp2.defs);
+    assertions.push_back(enc.StateAxioms(s0));
+    encode_span.Arg("terms", sh.factory.size());
+  }
+
+  CheckOutcome outcome;
+  if (sh.com_unsupported) {
+    outcome = CheckOutcome::kUnsupported;
+  } else {
+    if (sh.mode != Shared::Mode::kCom) {
+      sh.backend->ResetAssertions();
+      sh.backend->AssertAll(sh.com_assertions);
+      sh.mode = Shared::Mode::kCom;
+    }
+    outcome = checker_.RunSolverOn(*sh.backend, sh.factory, false, stats);
+  }
+  if (stats != nullptr) {
+    stats->seconds = watch.ElapsedSeconds();
+  }
+  return outcome;
+}
+
+CheckOutcome Checker::PairSession::NotInvalidatePQ(CheckStats* stats) {
+  return NotInvalidateDir(/*pq=*/true, stats);
+}
+
+CheckOutcome Checker::PairSession::NotInvalidateQP(CheckStats* stats) {
+  return NotInvalidateDir(/*pq=*/false, stats);
+}
+
+void Checker::PairSession::BuildNiFrame() {
+  Shared& sh = *shared_;
+  if (sh.ni_built) {
+    return;
+  }
+  sh.ni_built = true;
+  obs::ScopedSpan encode_span("encode_ni", obs::kCatEncode);
+
+  EncoderOptions enc_options = checker_.options_.encoder;
+  enc_options.order_models = ni_order_;
+  checker_.ApplyProjection(p_, q_, &enc_options);
+  sh.ni_enc = std::make_unique<Encoder>(checker_.schema_, &sh.factory, enc_options);
+  Encoder& enc = *sh.ni_enc;
+
+  EncState s0 = enc.FreshState("S0");
+  Encoder::PathResult p0 = enc.ApplyPath(p_, s0, "x");
+  Encoder::PathResult q0 = enc.ApplyPath(q_, s0, "y");
+  bool frame_unsupported = p0.unsupported || q0.unsupported;
+
+  // Built after both ApplyPath calls so it covers both argument sets (the fresh-origin
+  // re-applications below reuse the cached argument constants and add nothing new).
+  Term uid = enc.UniqueIdAxiom(s0);
+
+  if (checker_.options_.fresh_origin_states) {
+    // Frame: both effects producible from fresh origin states, plus all state axioms.
+    // Relative to the legacy per-direction query this also asserts the *checked* (not
+    // replayed) path's origin precondition — satisfiability-preserving, because any
+    // legacy witness extends by choosing that origin state to be S0 itself, where the
+    // checked precondition already holds.
+    EncState sa = enc.FreshState("Sa");
+    EncState sb = enc.FreshState("Sb");
+    Encoder::PathResult pre_p = enc.ApplyPath(p_, sa, "x");
+    Encoder::PathResult pre_q = enc.ApplyPath(q_, sb, "y");
+    frame_unsupported =
+        frame_unsupported || pre_p.unsupported || pre_q.unsupported;
+    sh.ni_frame = {uid,
+                   pre_p.pre,
+                   pre_q.pre,
+                   enc.StateAxioms(sa),
+                   enc.StateAxioms(sb),
+                   enc.StateAxioms(s0)};
+    sh.ni_delta_pq = {nullptr, p0.pre, q0.defs};  // goal filled below
+    sh.ni_delta_qp = {nullptr, q0.pre, p0.defs};
+  } else {
+    // Shared-origin mode: frame + delta is content-identical to the legacy query.
+    sh.ni_frame = {uid, p0.pre, q0.pre, enc.StateAxioms(s0)};
+    sh.ni_delta_pq = {nullptr, q0.defs};
+    sh.ni_delta_qp = {nullptr, p0.defs};
+  }
+
+  // Direction goals: replay the other path's effect on S0 and negate the checked path's
+  // precondition there. Goal first — the innermost frame is asserted before the shared
+  // frame, preserving the legacy goal-first search heuristic.
+  Encoder::PathResult p_after = enc.ApplyPath(p_, q0.post, "x");
+  sh.ni_unsupported_pq = frame_unsupported || p_after.unsupported;
+  sh.ni_delta_pq[0] = sh.factory.Not(p_after.pre);
+
+  Encoder::PathResult q_after = enc.ApplyPath(q_, p0.post, "y");
+  sh.ni_unsupported_qp = frame_unsupported || q_after.unsupported;
+  sh.ni_delta_qp[0] = sh.factory.Not(q_after.pre);
+
+  encode_span.Arg("terms", sh.factory.size());
+}
+
+CheckOutcome Checker::PairSession::NotInvalidateDir(bool pq, CheckStats* stats) {
+  Stopwatch watch;
+  if (prefiltered_) {
+    if (stats != nullptr) {
+      stats->prefiltered = true;
+      stats->seconds = watch.ElapsedSeconds();
+    }
+    return CheckOutcome::kPass;
+  }
+  EnsureShared();
+  if (!shared_->incremental) {
+    return pq ? checker_.CheckNotInvalidate(p_, q_, stats)
+              : checker_.CheckNotInvalidate(q_, p_, stats);
+  }
+  Shared& sh = *shared_;
+  BuildNiFrame();
+
+  bool unsupported = pq ? sh.ni_unsupported_pq : sh.ni_unsupported_qp;
+  CheckOutcome outcome;
+  if (unsupported) {
+    outcome = CheckOutcome::kUnsupported;
+  } else {
+    if (sh.mode != Shared::Mode::kNi) {
+      sh.backend->ResetAssertions();
+      sh.backend->AssertAll(sh.ni_frame);
+      sh.mode = Shared::Mode::kNi;
+    }
+    sh.backend->Push();
+    for (const Term& t : (pq ? sh.ni_delta_pq : sh.ni_delta_qp)) {
+      sh.backend->AddAssertion(t);
+    }
+    outcome = checker_.RunSolverOn(*sh.backend, sh.factory, false, stats);
+    sh.backend->Pop();
+  }
+  if (stats != nullptr) {
+    stats->seconds = watch.ElapsedSeconds();
+  }
+  return outcome;
 }
 
 }  // namespace noctua::verifier

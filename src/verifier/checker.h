@@ -12,10 +12,12 @@
 #ifndef SRC_VERIFIER_CHECKER_H_
 #define SRC_VERIFIER_CHECKER_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/smt/backend.h"
 #include "src/smt/solver.h"
 #include "src/soir/ast.h"
 #include "src/verifier/encoder.h"
@@ -82,6 +84,55 @@ class Checker {
   CheckOutcome CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
                              CheckStats* stats = nullptr) const;
 
+  // As above, additionally reporting each direction's own stats (direction two is left
+  // untouched when it is skipped because direction one already restricts).
+  CheckOutcome CheckSemantic(const soir::CodePath& p, const soir::CodePath& q,
+                             CheckStats* stats, CheckStats* dir1_stats,
+                             CheckStats* dir2_stats) const;
+
+  // The per-pair hot path: one TermFactory, one solver backend, and one grounding pass
+  // shared by a pair's commutativity query and both NotInvalidate directions. The
+  // NotInvalidate frame — initial-state axioms, both preconditions, the unique-id axiom —
+  // is asserted once; each direction pushes only its negated goal (plus the replayed
+  // effect's definitions) and pops it afterwards, so an incremental backend re-grounds
+  // only the per-direction roots. Falls back to the per-call legacy methods when the
+  // backend is not incremental or NOCTUA_INCREMENTAL=off; verdicts are identical either
+  // way (the shared frame is content-identical in shared-origin mode and differs only by
+  // satisfiability-preserving origin constraints in fresh-origin mode).
+  //
+  // Both NotInvalidate directions encode p's arguments with prefix "x" and q's with "y"
+  // (the legacy direction two swaps them); verdicts are invariant under that renaming.
+  //
+  // A session is single-threaded and must not outlive its Checker.
+  class PairSession {
+   public:
+    PairSession(const Checker& checker, const soir::CodePath& p, const soir::CodePath& q,
+                const std::set<int>* order_models = nullptr);
+    ~PairSession();
+    PairSession(const PairSession&) = delete;
+    PairSession& operator=(const PairSession&) = delete;
+
+    CheckOutcome Commutativity(CheckStats* stats = nullptr);
+    // "Can q's effect invalidate p's precondition?" == CheckNotInvalidate(p, q).
+    CheckOutcome NotInvalidatePQ(CheckStats* stats = nullptr);
+    // The mirror direction == CheckNotInvalidate(q, p).
+    CheckOutcome NotInvalidateQP(CheckStats* stats = nullptr);
+
+   private:
+    struct Shared;
+    void EnsureShared();
+    void BuildNiFrame();
+    CheckOutcome NotInvalidateDir(bool pq, CheckStats* stats);
+
+    const Checker& checker_;
+    const soir::CodePath& p_;
+    const soir::CodePath& q_;
+    std::set<int> com_order_;  // StateEq order set for the commutativity query
+    std::set<int> ni_order_;   // pair-derived order union for NotInvalidate
+    bool prefiltered_ = false;
+    std::unique_ptr<Shared> shared_;
+  };
+
   // True when the prefilter would retire this pair without a solver call (footprints
   // provably disjoint). Exposed so the scheduler can retire such pairs first.
   bool Prefilterable(const soir::CodePath& p, const soir::CodePath& q) const {
@@ -106,6 +157,10 @@ class Checker {
   bool Independent(const soir::CodePath& p, const soir::CodePath& q) const;
   CheckOutcome RunSolver(smt::TermFactory& factory, const std::vector<smt::Term>& assertions,
                          bool any_unsupported, CheckStats* stats) const;
+  // Runs a Check on an already-asserted backend and flushes the per-query solver
+  // introspection; both the legacy per-call path and PairSession funnel through here.
+  CheckOutcome RunSolverOn(smt::SolverBackend& backend, smt::TermFactory& factory,
+                           bool any_unsupported, CheckStats* stats) const;
   // Applies project_footprint to a per-check encoder configuration.
   void ApplyProjection(const soir::CodePath& p, const soir::CodePath& q,
                        EncoderOptions* enc_options) const;

@@ -190,6 +190,7 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
           ? std::string()
           : std::string(smt::BackendKindName(backend_kind)) + "|";
   const smt::PortfolioCounts portfolio_before = smt::GetPortfolioCounts();
+  const smt::SolverSharedCounts shared_before = smt::GetSolverSharedCounts();
 
   VerdictCache local_cache(parallel.store != nullptr ? 0 : parallel.cache_capacity);
   VerdictCache* cache = parallel.store != nullptr ? parallel.store : &local_cache;
@@ -275,11 +276,15 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
       v.provenance = PairProvenance::kPrefiltered;
       prefiltered_count.fetch_add(1, std::memory_order_relaxed);
     } else {
+      // One session per pair: the commutativity query and both NotInvalidate directions
+      // share a term factory, a backend, and the grounding of their common frame. Cache
+      // keys are unchanged — a cache hit just skips the session's corresponding query.
+      Checker::PairSession session(checker, p, q, &order_models);
       Stopwatch com_watch;
       CheckStats cs;
       v.commutativity = cached_query(
           [&] { return backend_tag + CommutativityKey(schema, p, q, order_models); }, &cs,
-          [&](CheckStats* st) { return checker.CheckCommutativity(p, q, &order_models, st); });
+          [&](CheckStats* st) { return session.Commutativity(st); });
       v.com_seconds = com_watch.ElapsedSeconds();
       v.solver_nodes += cs.solver_nodes;
       v.cache_hits += cs.cache_hit ? 1 : 0;
@@ -290,11 +295,11 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
       CheckStats s1, s2;
       CheckOutcome a =
           cached_query([&] { return backend_tag + NotInvalidateKey(schema, p, q); }, &s1,
-                       [&](CheckStats* st) { return checker.CheckNotInvalidate(p, q, st); });
+                       [&](CheckStats* st) { return session.NotInvalidatePQ(st); });
       CheckOutcome b = CheckOutcome::kPass;
       if (a == CheckOutcome::kPass) {
         b = cached_query([&] { return backend_tag + NotInvalidateKey(schema, q, p); }, &s2,
-                         [&](CheckStats* st) { return checker.CheckNotInvalidate(q, p, st); });
+                         [&](CheckStats* st) { return session.NotInvalidateQP(st); });
       }
       v.semantic = Checker::WorseOutcome(a, b);
       v.sem_seconds = sem_watch.ElapsedSeconds();
@@ -344,6 +349,15 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
     report.stats.portfolio_wins_dfs = after.wins_dfs - portfolio_before.wins_dfs;
     report.stats.portfolio_wins_cdcl = after.wins_cdcl - portfolio_before.wins_cdcl;
     report.stats.portfolio_undecided = after.undecided - portfolio_before.undecided;
+  }
+  {
+    const smt::SolverSharedCounts after = smt::GetSolverSharedCounts();
+    report.stats.incremental_reuse_hits =
+        after.incremental_reuse_hits - shared_before.incremental_reuse_hits;
+    report.stats.symmetry_pruned = after.symmetry_pruned - shared_before.symmetry_pruned;
+    report.stats.cdcl_restarts = after.cdcl_restarts - shared_before.cdcl_restarts;
+    report.stats.cdcl_clauses_forgotten =
+        after.cdcl_clauses_forgotten - shared_before.cdcl_clauses_forgotten;
   }
   for (const VerdictCache::ShardStats& s : cache->PerShardStats()) {
     report.stats.cache_shards.push_back(

@@ -107,6 +107,15 @@ struct ReportStats {
   uint64_t portfolio_wins_cdcl = 0;
   uint64_t portfolio_undecided = 0;
 
+  // Solver-optimization tallies for this run (deltas of the process-wide counters in
+  // smt/backend.h): grounding roots served from an incremental backend's cache, work
+  // removed by lex-leader symmetry reduction, CDCL Luby restarts, and learned clauses
+  // dropped by clause-DB reduction.
+  uint64_t incremental_reuse_hits = 0;
+  uint64_t symmetry_pruned = 0;
+  uint64_t cdcl_restarts = 0;
+  uint64_t cdcl_clauses_forgotten = 0;
+
   // Per-shard snapshot of the verdict cache after the run (occupancy plus lifetime
   // hit/miss/eviction counts of the cache object — for a persistent store these span
   // all runs it served).

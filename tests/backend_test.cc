@@ -195,6 +195,40 @@ TEST(CdclSearchTest, PigeonholeIsUnsatAndLearnsClauses) {
   EXPECT_GT(s.learned_clauses(), 0u);
 }
 
+// Aggressive Luby restarts must not change a verdict: with a one-conflict restart unit
+// the pigeonhole refutation still lands at unsat (input clauses and level-0 units
+// survive every restart and DB reduction), the schedule actually fires, and the
+// injection hook runs once per restart.
+TEST(CdclSearchTest, LubyRestartsPreserveUnsatAndFireTheHook) {
+  constexpr int kPigeons = 4, kHoles = 3;
+  CdclSearch s;
+  uint64_t hook_calls = 0;
+  s.ConfigureRestarts(1, [&]() { ++hook_calls; });
+  int p[kPigeons][kHoles];
+  for (int i = 0; i < kPigeons; ++i) {
+    for (int j = 0; j < kHoles; ++j) {
+      p[i][j] = s.NewVar();
+    }
+  }
+  for (int i = 0; i < kPigeons; ++i) {
+    std::vector<int> somewhere;
+    for (int j = 0; j < kHoles; ++j) {
+      somewhere.push_back(CdclSearch::PosLit(p[i][j]));
+    }
+    s.AddClause(somewhere);
+  }
+  for (int j = 0; j < kHoles; ++j) {
+    for (int i = 0; i < kPigeons; ++i) {
+      for (int k = i + 1; k < kPigeons; ++k) {
+        s.AddClause({CdclSearch::NegLit(p[i][j]), CdclSearch::NegLit(p[k][j])});
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(nullptr, nullptr), SolveResult::kUnsat);
+  EXPECT_GT(s.restarts(), 0u);
+  EXPECT_EQ(hook_calls, s.restarts());
+}
+
 // ------------------------------------------------------------------ backend selection
 
 TEST(BackendKindTest, ParseAcceptsExactlyTheThreeKnobValues) {
@@ -250,7 +284,57 @@ TEST(BackendFactoryTest, CapabilitiesMatchTheContract) {
   for (BackendKind k : {BackendKind::kDfs, BackendKind::kCdcl, BackendKind::kPortfolio}) {
     EXPECT_TRUE(smt::MakeBackend(k, options)->caps().deterministic_budget);
     EXPECT_TRUE(smt::MakeBackend(k, options)->caps().produces_model);
+    // All three retain grounding work across Checks (the portfolio through its
+    // persistent contestants), which is what the verifier's pair sessions key on.
+    EXPECT_TRUE(smt::MakeBackend(k, options)->caps().incremental);
   }
+}
+
+// ------------------------------------------------------------- optimization toggles
+
+TEST(ToggleTest, ParseAcceptsExactlyOnAndOff) {
+  smt::Toggle t = smt::Toggle::kAuto;
+  EXPECT_TRUE(smt::ParseToggle("on", &t));
+  EXPECT_EQ(t, smt::Toggle::kOn);
+  EXPECT_TRUE(smt::ParseToggle("off", &t));
+  EXPECT_EQ(t, smt::Toggle::kOff);
+  for (const char* bad : {"auto", "1", "0", "true", "ON", "Off", " on", "on ", ""}) {
+    smt::Toggle untouched = smt::Toggle::kOn;
+    EXPECT_FALSE(smt::ParseToggle(bad, &untouched)) << '"' << bad << '"';
+    EXPECT_EQ(untouched, smt::Toggle::kOn) << '"' << bad << '"';
+  }
+}
+
+TEST(ToggleTest, EnvKnobsAreStrictAndDefaultOn) {
+  smt::SolverOptions options;  // both toggles kAuto: defer to the environment
+  ASSERT_EQ(unsetenv("NOCTUA_SYMMETRY"), 0);
+  ASSERT_EQ(unsetenv("NOCTUA_INCREMENTAL"), 0);
+  EXPECT_TRUE(smt::SymmetryEnabled(options));
+  EXPECT_TRUE(smt::IncrementalEnabled(options));
+
+  ASSERT_EQ(setenv("NOCTUA_SYMMETRY", "off", 1), 0);
+  ASSERT_EQ(setenv("NOCTUA_INCREMENTAL", "off", 1), 0);
+  EXPECT_FALSE(smt::SymmetryEnabled(options));
+  EXPECT_FALSE(smt::IncrementalEnabled(options));
+
+  // Typos warn (once, on stderr) and fall back to on instead of being absorbed.
+  for (const char* bad : {"0", "disabled", "On", "yes"}) {
+    ASSERT_EQ(setenv("NOCTUA_SYMMETRY", bad, 1), 0);
+    ASSERT_EQ(setenv("NOCTUA_INCREMENTAL", bad, 1), 0);
+    EXPECT_TRUE(smt::SymmetryEnabled(options)) << '"' << bad << '"';
+    EXPECT_TRUE(smt::IncrementalEnabled(options)) << '"' << bad << '"';
+  }
+
+  // A pinned option wins over any environment value.
+  options.symmetry = smt::Toggle::kOff;
+  options.incremental = smt::Toggle::kOff;
+  ASSERT_EQ(setenv("NOCTUA_SYMMETRY", "on", 1), 0);
+  ASSERT_EQ(setenv("NOCTUA_INCREMENTAL", "on", 1), 0);
+  EXPECT_FALSE(smt::SymmetryEnabled(options));
+  EXPECT_FALSE(smt::IncrementalEnabled(options));
+
+  ASSERT_EQ(unsetenv("NOCTUA_SYMMETRY"), 0);
+  ASSERT_EQ(unsetenv("NOCTUA_INCREMENTAL"), 0);
 }
 
 // ------------------------------------------------------------------- portfolio race
@@ -388,6 +472,49 @@ TEST_P(BackendIdentityTest, RestrictionSetsAreByteIdenticalAcrossBackends) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllApps, BackendIdentityTest, ::testing::ValuesIn(apps::EvaluatedApps()),
+    [](const ::testing::TestParamInfo<apps::AppEntry>& info) { return info.param.name; });
+
+// The acceptance bar for the hot-path optimizations: on every evaluated app, turning
+// incremental solving and symmetry reduction off must not move a single verdict. The
+// off-mode reference runs on dfs and is compared against pinned-on runs of dfs and
+// cdcl; the portfolio needs no row of its own — it is composed of the other two, and
+// BackendIdentityTest already pins its restriction set to theirs with the toggles at
+// their defaults.
+class OptimizationIdentityTest : public ::testing::TestWithParam<apps::AppEntry> {};
+
+TEST_P(OptimizationIdentityTest, TogglesDoNotChangeTheRestrictionSet) {
+  app::App a = GetParam().make();
+  PipelineOptions analysis_only;
+  analysis_only.verify = false;
+  analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
+
+  auto run = [&](BackendKind kind, smt::Toggle mode) {
+    PipelineOptions options;
+    options.parallel.threads = 2;
+    options.checker.solver.backend = kind;
+    options.checker.solver.budget.deterministic = true;
+    options.checker.solver.symmetry = mode;
+    options.checker.solver.incremental = mode;
+    return Pipeline::Verify(a, analysis, options);
+  };
+
+  verifier::RestrictionReport off = run(BackendKind::kDfs, smt::Toggle::kOff);
+  ASSERT_FALSE(off.pairs.empty());
+  // The toggles are really off: nothing was reused or pruned.
+  EXPECT_EQ(off.stats.incremental_reuse_hits, 0u);
+  EXPECT_EQ(off.stats.symmetry_pruned, 0u);
+  std::vector<std::string> expected = VerdictLines(off);
+
+  for (BackendKind kind : {BackendKind::kDfs, BackendKind::kCdcl}) {
+    verifier::RestrictionReport on = run(kind, smt::Toggle::kOn);
+    EXPECT_EQ(VerdictLines(on), expected) << smt::BackendKindName(kind);
+    EXPECT_EQ(on.RestrictedPairNames(), off.RestrictedPairNames())
+        << smt::BackendKindName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, OptimizationIdentityTest, ::testing::ValuesIn(apps::EvaluatedApps()),
     [](const ::testing::TestParamInfo<apps::AppEntry>& info) { return info.param.name; });
 
 }  // namespace

@@ -215,6 +215,103 @@ TEST_P(SolverPropertyTest, LinearNormalFormIsSemanticallyCorrect) {
   }
 }
 
+// Lex-leader symmetry reduction prunes only non-canonical witnesses, never verdicts:
+// every random formula must be decided identically with the reduction pinned on and
+// off, on both concrete backends. Scope 3 so the reduction actually engages (a scope-2
+// group has a single non-trivial transposition and truncates almost nothing).
+TEST_P(SolverPropertyTest, SymmetryReductionPreservesVerdicts) {
+  Rng rng(GetParam() * 101 + 13);
+  for (int round = 0; round < 25; ++round) {
+    TermFactory f;
+    RandomTerms gen(&f, &rng);
+    Term formula = gen.Bool(3);
+    for (smt::BackendKind kind : {smt::BackendKind::kDfs, smt::BackendKind::kCdcl}) {
+      smt::SolveResult verdicts[2];
+      for (int on = 0; on < 2; ++on) {
+        smt::SolverOptions options;
+        options.scope = Scope(3);
+        options.budget.timeout_seconds = 5.0;
+        options.symmetry = on ? smt::Toggle::kOn : smt::Toggle::kOff;
+        std::unique_ptr<smt::SolverBackend> backend = smt::MakeBackend(kind, options);
+        backend->Assert(formula);
+        verdicts[on] = backend->Check(f);
+        ASSERT_NE(verdicts[on], smt::SolveResult::kUnknown);
+      }
+      EXPECT_EQ(verdicts[0], verdicts[1])
+          << smt::BackendKindName(kind) << " verdict moved under symmetry reduction: "
+          << formula->ToString();
+    }
+  }
+}
+
+// Renames scope elements a <-> b of model 0 throughout `t` — the test-side twin of the
+// clean-model automorphism argument the symmetry breaker relies on.
+Term TransposeRefs(TermFactory& f, Term t, int a, int b) {
+  if (t->kind() == smt::TermKind::kRefLit) {
+    if (t->sort()->is_ref() && t->sort()->model_id() == 0) {
+      int64_t i = t->int_payload();
+      int64_t ni = i == a ? b : (i == b ? a : i);
+      if (ni != i) {
+        return f.RefLit(t->sort(), static_cast<int>(ni));
+      }
+    }
+    return t;
+  }
+  if (t->children().empty()) {
+    return t;
+  }
+  std::vector<Term> kids;
+  kids.reserve(t->children().size());
+  bool changed = false;
+  for (Term c : t->children()) {
+    Term n = TransposeRefs(f, c, a, b);
+    changed = changed || n != c;
+    kids.push_back(n);
+  }
+  return changed ? smt::RebuildTerm(f, t, std::move(kids)) : t;
+}
+
+// Verdicts are invariant under renaming the scope's interchangeable instances: a random
+// formula decorated with explicit instance literals (which make the model "dirty" — the
+// breaker must stand down rather than prune against the pinned elements) and its image
+// under every transposition of the scope must be decided identically with the default
+// toggles on. If the lex-leader scheme ever pruned a dirty model or an entailed image,
+// some transposition would flip sat to unsat here.
+TEST_P(SolverPropertyTest, VerdictsInvariantUnderInstancePermutation) {
+  Rng rng(GetParam() * 57 + 29);
+  Sort rs = smt::RefSort(0);
+  for (int round = 0; round < 15; ++round) {
+    TermFactory f;
+    RandomTerms gen(&f, &rng);
+    // Same interned vocabulary as RandomTerms (hash-consing returns the same constants).
+    Term set = f.Const("s", smt::SetSort(rs));
+    Term arr = f.Const("arr", smt::ArraySort(rs, smt::IntSort()));
+    Term lit = f.RefLit(rs, static_cast<int>(rng.NextBelow(3)));
+    Term decor = rng.NextBool()
+                     ? f.Member(lit, set)
+                     : f.Le(f.Select(arr, lit), f.IntLit(rng.NextInRange(-2, 2)));
+    Term base = gen.Bool(3);
+    Term formula = rng.NextBool() ? f.And(base, decor) : f.Or(base, decor);
+    for (smt::BackendKind kind : {smt::BackendKind::kDfs, smt::BackendKind::kCdcl}) {
+      smt::SolverOptions options;
+      options.scope = Scope(3);
+      options.budget.timeout_seconds = 5.0;
+      std::unique_ptr<smt::SolverBackend> backend = smt::MakeBackend(kind, options);
+      backend->Assert(formula);
+      smt::SolveResult expected = backend->Check(f);
+      ASSERT_NE(expected, smt::SolveResult::kUnknown);
+      for (auto [a, b] : {std::pair<int, int>{0, 1}, {1, 2}, {0, 2}}) {
+        Term image = TransposeRefs(f, formula, a, b);
+        std::unique_ptr<smt::SolverBackend> pb = smt::MakeBackend(kind, options);
+        pb->Assert(image);
+        EXPECT_EQ(pb->Check(f), expected)
+            << smt::BackendKindName(kind) << " transposition (" << a << " " << b
+            << ") moved the verdict: " << formula->ToString();
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
 
 // --- ORM invariants under random operation streams -------------------------------------------

@@ -463,5 +463,61 @@ INSTANTIATE_TEST_SUITE_P(
              std::string(BackendKindName(std::get<1>(info.param)));
     });
 
+// --- Incremental solving ------------------------------------------------------------------
+
+// Push/Pop round-trips are invisible: after a Pop the assertion stack is exactly the
+// pre-Push stack (same interned Terms, same order), and an incremental backend that has
+// already solved framed queries answers the next one exactly like a fresh instance fed
+// the same goal-first conjunction — same verdict, same model, byte for byte. The second
+// framed Check must also report ground-cache reuse for the unchanged frame roots.
+TEST(IncrementalBackendTest, PushPopRoundTripMatchesFreshSolve) {
+  for (BackendKind kind : {BackendKind::kDfs, BackendKind::kCdcl}) {
+    TermFactory f;
+    SolverOptions options;
+    options.backend = kind;
+    options.incremental = Toggle::kOn;
+
+    Sort rs = RefSort(0);
+    Sort obj = TupleSort({rs, IntSort()});
+    Term data = f.Const("data", ArraySort(rs, obj));
+    Term ids = f.Const("ids", SetSort(rs));
+    Term v = f.NewBoundVar(rs);
+    Term wf = f.Forall(v, f.Eq(f.Proj(f.Select(data, v), 0), v));
+    Term x = f.Const("x", rs);
+    Term y = f.Const("y", rs);
+    Term both_in = f.And(f.Member(x, ids), f.Member(y, ids));
+    Term same_pk = f.Eq(f.Proj(f.Select(data, x), 0), f.Proj(f.Select(data, y), 0));
+
+    std::unique_ptr<SolverBackend> inc = MakeBackend(options);
+    ASSERT_TRUE(inc->caps().incremental) << BackendKindName(kind);
+    inc->AssertAll({wf, both_in});
+    const std::vector<Term> frame = inc->assertions();
+
+    inc->Push();
+    inc->AddAssertion(same_pk);
+    inc->AddAssertion(f.Neq(x, y));
+    EXPECT_EQ(inc->Check(f), SolveResult::kUnsat) << BackendKindName(kind);
+    inc->Pop();
+    EXPECT_EQ(inc->num_frames(), 0u);
+    EXPECT_EQ(inc->assertions(), frame);
+
+    inc->Push();
+    inc->AddAssertion(f.Eq(x, y));
+    SolveResult r = inc->Check(f);
+    ASSERT_EQ(r, SolveResult::kSat) << BackendKindName(kind);
+    EXPECT_GT(inc->stats().incremental_reuse_hits, 0u) << BackendKindName(kind);
+    const std::string inc_model = inc->model().ToString();
+    inc->Pop();
+    EXPECT_EQ(inc->assertions(), frame);
+
+    // Check() hands the innermost frame to the procedure first, so the fresh twin
+    // asserts the goal ahead of the frame.
+    std::unique_ptr<SolverBackend> fresh = MakeBackend(options);
+    fresh->AssertAll({f.Eq(x, y), wf, both_in});
+    ASSERT_EQ(fresh->Check(f), r) << BackendKindName(kind);
+    EXPECT_EQ(fresh->model().ToString(), inc_model) << BackendKindName(kind);
+  }
+}
+
 }  // namespace
 }  // namespace noctua::smt
