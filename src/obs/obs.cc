@@ -107,6 +107,45 @@ void AtomicMax(std::atomic<uint64_t>& a, uint64_t v) {
   }
 }
 
+// Snapshot + summary of one histogram's live atomics. Shared by the end-of-run
+// Collector::Stop path and the mid-recording LiveHistogram path.
+HistSummary SummarizeHist(const HistState& hs) {
+  HistSummary out;
+  out.count = hs.count.load(std::memory_order_relaxed);
+  out.sum = hs.sum.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : hs.min.load(std::memory_order_relaxed);
+  out.max = hs.max.load(std::memory_order_relaxed);
+  // Percentiles at bucket resolution: the lower bound of the bucket holding the rank.
+  uint64_t counts[kHistBuckets];
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    counts[b] = hs.buckets[b].load(std::memory_order_relaxed);
+  }
+  auto percentile = [&](double q) -> uint64_t {
+    if (out.count == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(out.count));
+    if (rank < 1) {
+      rank = 1;
+    }
+    if (rank > out.count) {
+      rank = out.count;
+    }
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank) {
+        return HistBucketLowerBound(b);
+      }
+    }
+    return out.max;
+  };
+  out.p50 = percentile(0.50);
+  out.p95 = percentile(0.95);
+  out.p99 = percentile(0.99);
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------------------
@@ -206,6 +245,14 @@ const char* CounterName(Counter c) {
       return "sim.degradations";
     case Counter::kSimFenceHeldEffects:
       return "sim.fence_held_effects";
+    case Counter::kServiceRequests:
+      return "service.requests";
+    case Counter::kServiceRequestsOk:
+      return "service.requests_ok";
+    case Counter::kServiceRequestsFailed:
+      return "service.requests_failed";
+    case Counter::kServiceRejected:
+      return "service.rejected";
     case Counter::kNumCounters:
       break;
   }
@@ -226,6 +273,8 @@ const char* HistName(Hist h) {
       return "smt.ground_expansions_per_query";
     case Hist::kLeaseAcquireMicros:
       return "sim.lease_acquire_micros";
+    case Hist::kServiceRequestMicros:
+      return "service.request_micros";
     case Hist::kNumHists:
       break;
   }
@@ -241,6 +290,22 @@ bool Active() {
   Registry& reg = Reg();
   std::lock_guard<std::mutex> lk(reg.mu);
   return reg.active;
+}
+
+uint64_t LiveCounter(Counter c) {
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return 0;
+  }
+  return reg.counters[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+}
+
+HistSummary LiveHistogram(Hist h) {
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return HistSummary{};
+  }
+  return SummarizeHist(reg.hists[static_cast<size_t>(h)]);
 }
 
 void Add(Counter c, uint64_t delta) {
@@ -393,40 +458,7 @@ void Collector::Stop() {
     counters_[i] = reg.counters[i].load(std::memory_order_relaxed);
   }
   for (size_t i = 0; i < static_cast<size_t>(Hist::kNumHists); ++i) {
-    const HistState& hs = reg.hists[i];
-    HistSummary& out = hists_[i];
-    out.count = hs.count.load(std::memory_order_relaxed);
-    out.sum = hs.sum.load(std::memory_order_relaxed);
-    out.min = out.count == 0 ? 0 : hs.min.load(std::memory_order_relaxed);
-    out.max = hs.max.load(std::memory_order_relaxed);
-    // Percentiles at bucket resolution: the lower bound of the bucket holding the rank.
-    uint64_t counts[kHistBuckets];
-    for (size_t b = 0; b < kHistBuckets; ++b) {
-      counts[b] = hs.buckets[b].load(std::memory_order_relaxed);
-    }
-    auto percentile = [&](double q) -> uint64_t {
-      if (out.count == 0) {
-        return 0;
-      }
-      uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(out.count));
-      if (rank < 1) {
-        rank = 1;
-      }
-      if (rank > out.count) {
-        rank = out.count;
-      }
-      uint64_t seen = 0;
-      for (size_t b = 0; b < kHistBuckets; ++b) {
-        seen += counts[b];
-        if (seen >= rank) {
-          return HistBucketLowerBound(b);
-        }
-      }
-      return out.max;
-    };
-    out.p50 = percentile(0.50);
-    out.p95 = percentile(0.95);
-    out.p99 = percentile(0.99);
+    hists_[i] = SummarizeHist(reg.hists[i]);
   }
 }
 

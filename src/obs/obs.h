@@ -61,6 +61,7 @@ inline constexpr const char* kCatSolve = "solve";              // bounded model 
 inline constexpr const char* kCatCache = "cache";              // verdict-cache probes
 inline constexpr const char* kCatIncremental = "incremental";  // artifact store I/O
 inline constexpr const char* kCatSim = "sim";                  // geo-replication simulator
+inline constexpr const char* kCatService = "service";          // daemon request handling
 
 // ---------------------------------------------------------------------------------------
 // Typed counters. Monotonic uint64 sums over one collector run.
@@ -117,6 +118,11 @@ enum class Counter : uint8_t {
   kSimFencingRejections,
   kSimDegradations,
   kSimFenceHeldEffects,
+  // Noctua-as-a-service daemon (src/service).
+  kServiceRequests,          // requests admitted and executed
+  kServiceRequestsOk,        // ... that completed successfully
+  kServiceRequestsFailed,    // ... that failed (bad input, engine error)
+  kServiceRejected,          // requests refused by admission control (503)
   kNumCounters,  // sentinel
 };
 
@@ -138,6 +144,7 @@ enum class Hist : uint8_t {
   kSolverAssignmentsPerQuery,  // substitute-and-simplify evaluations of one query
   kGroundExpansionsPerQuery,   // binder expansions of one query's grounding
   kLeaseAcquireMicros,         // simulated admission-to-grant latency of one lease
+  kServiceRequestMicros,       // end-to-end wall time of one admitted service request
   kNumHists,  // sentinel
 };
 
@@ -178,6 +185,14 @@ bool Enabled();
 // True while a collector object is installed (it may have been stopped already). Used by
 // Pipeline to avoid installing a nested collector when a bench already owns one.
 bool Active();
+
+// Live (mid-recording) reads of the active recording session. Unlike
+// Collector::counter/histogram, these do NOT require Stop(): a long-lived daemon
+// serving /metrics reads them while its collector keeps recording. Values are
+// relaxed-atomic snapshots — monotonic between reads of one session, zero when no
+// collector is recording.
+uint64_t LiveCounter(Counter c);
+HistSummary LiveHistogram(Hist h);
 
 // RAII span: records [construction, destruction) into the active collector's buffer for
 // this thread. Constructing with collection off is free (no clock read). Up to

@@ -1,64 +1,6 @@
 #include "src/pipeline/pipeline.h"
 
-#include <cstdio>
-#include <optional>
-
-#include "src/support/stopwatch.h"
-
-namespace noctua {
-
-verifier::RestrictionReport Pipeline::Verify(const app::App& app,
-                                             const analyzer::AnalysisResult& analysis,
-                                             const PipelineOptions& options) {
-  verifier::Checker checker(app.schema(), options.checker);
-  static const std::vector<soir::CodePath> kNoObservers;
-  const std::vector<soir::CodePath>& observers =
-      options.order_observers ? analysis.paths : kNoObservers;
-  return verifier::AnalyzeRestrictions(checker, analysis.EffectfulPaths(), options.parallel,
-                                       observers);
-}
-
-PipelineResult Pipeline::Run(const app::App& app, const PipelineOptions& options) {
-  // Own a collector only when asked *and* nobody outer owns one already — a bench that
-  // installed its own collector gets this run's spans recorded into it instead.
-  std::optional<obs::Collector> collector;
-  if (options.obs.enabled && !obs::Active()) {
-    collector.emplace(options.obs);
-  }
-
-  Stopwatch watch;
-  PipelineResult result;
-  double analyze_seconds = 0;
-  {
-    obs::ScopedSpan span("analyze", obs::kCatPipeline);
-    Stopwatch phase;
-    result.analysis = analyzer::AnalyzeApp(app, options.analyzer);
-    analyze_seconds = phase.ElapsedSeconds();
-    span.Arg("paths", result.analysis.paths.size());
-    span.Arg("effectful", result.analysis.num_effectful);
-  }
-  double verify_seconds = 0;
-  if (options.verify) {
-    obs::ScopedSpan span("verify", obs::kCatPipeline);
-    Stopwatch phase;
-    result.restrictions = Verify(app, result.analysis, options);
-    verify_seconds = phase.ElapsedSeconds();
-    span.Arg("restrictions", result.restrictions.num_restrictions());
-  }
-  result.total_seconds = watch.ElapsedSeconds();
-
-  if (collector) {
-    collector->Stop();
-    result.has_report = true;
-    result.report = obs::BuildRunReport(*collector, app.name(), result.total_seconds,
-                                        analyze_seconds, verify_seconds);
-    if (!options.obs.trace_out.empty() &&
-        !collector->WriteChromeTrace(options.obs.trace_out)) {
-      std::fprintf(stderr, "noctua: failed to write trace to %s\n",
-                   options.obs.trace_out.c_str());
-    }
-  }
-  return result;
-}
-
-}  // namespace noctua
+// The facade's implementation lives in engine.cc: Pipeline::Run / Verify /
+// RunIncremental are thin wrappers constructing a throwaway noctua::Engine, which owns
+// the pool, the verdict cache, and the solver tally sink for the duration of the call.
+// This file intentionally holds nothing but the facade's documentation anchor.

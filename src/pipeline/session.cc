@@ -1,7 +1,6 @@
 #include "src/pipeline/session.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -11,6 +10,7 @@
 #include "src/obs/report.h"
 #include "src/soir/serialize.h"
 #include "src/support/check.h"
+#include "src/support/env.h"
 #include "src/support/stopwatch.h"
 
 namespace noctua {
@@ -240,11 +240,10 @@ IncrementalResult Session::RunIncremental(const app::App& app,
 }
 
 std::string ArtifactDirFromEnv() {
-  const char* env = std::getenv("NOCTUA_ARTIFACT_DIR");
-  if (env == nullptr || *env == '\0') {
+  if (!env::IsSet("NOCTUA_ARTIFACT_DIR")) {
     return "";
   }
-  std::string dir(env);
+  std::string dir(env::Raw("NOCTUA_ARTIFACT_DIR"));
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   NOCTUA_CHECK_MSG(!ec, "NOCTUA_ARTIFACT_DIR is set to \""
@@ -265,13 +264,6 @@ std::string ArtifactDirFromEnv() {
                                     "permissions or unset the variable; refusing to "
                                     "silently run cold");
   return dir;
-}
-
-IncrementalResult Pipeline::RunIncremental(const app::App& app,
-                                           const std::string& store_dir,
-                                           const IncrementalOptions& options) {
-  Session session(store_dir);
-  return session.RunIncremental(app, options);
 }
 
 }  // namespace noctua

@@ -1,11 +1,10 @@
 #include "src/repl/coord.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 
 #include "src/repl/simulator.h"
 #include "src/support/check.h"
+#include "src/support/env.h"
 
 namespace noctua::repl {
 
@@ -18,28 +17,6 @@ uint64_t Fnv1a(const std::string& s) {
     h *= 1099511628211ULL;
   }
   return h;
-}
-
-long ParseIntEnv(const char* name, const char* value, long lo, long hi) {
-  char* end = nullptr;
-  errno = 0;
-  long n = std::strtol(value, &end, 10);
-  NOCTUA_CHECK_MSG(errno == 0 && end != value && *end == '\0',
-                   name << "=\"" << value << "\" is not an integer");
-  NOCTUA_CHECK_MSG(n >= lo && n <= hi, name << "=" << n << " is outside [" << lo << ", "
-                                            << hi << "]");
-  return n;
-}
-
-double ParseMsEnv(const char* name, const char* value, double lo, double hi) {
-  char* end = nullptr;
-  errno = 0;
-  double v = std::strtod(value, &end);
-  NOCTUA_CHECK_MSG(errno == 0 && end != value && *end == '\0',
-                   name << "=\"" << value << "\" is not a number");
-  NOCTUA_CHECK_MSG(v > lo && v <= hi, name << "=" << v << " is outside (" << lo << ", "
-                                           << hi << "]");
-  return v;
 }
 
 // Dropping one registration can wake a second one that the same sweep then also drops
@@ -55,27 +32,20 @@ void StripRevoked(LeaseCoordinator::Outcome* out) {
 }
 
 bool SelfCheckEnabled() {
-  static const bool enabled = [] {
-    const char* v = std::getenv("NOCTUA_COORD_SELFCHECK");
-    return v != nullptr && v[0] == '1';
-  }();
+  static const bool enabled = env::FlagSet("NOCTUA_COORD_SELFCHECK");
   return enabled;
 }
 
 }  // namespace
 
 EnforceOptions ApplyEnforceEnv(EnforceOptions base) {
-  if (const char* v = std::getenv("NOCTUA_ENFORCE")) {
-    NOCTUA_CHECK_MSG(std::string(v) == "0" || std::string(v) == "1",
-                     "NOCTUA_ENFORCE=\"" << v << "\" must be 0 or 1");
-    base.enabled = (v[0] == '1');
-  }
-  if (const char* v = std::getenv("NOCTUA_ENFORCE_SHARDS")) {
-    base.num_shards = static_cast<int>(ParseIntEnv("NOCTUA_ENFORCE_SHARDS", v, 1, 64));
-  }
-  if (const char* v = std::getenv("NOCTUA_ENFORCE_LEASE_MS")) {
-    base.lease_ms = ParseMsEnv("NOCTUA_ENFORCE_LEASE_MS", v, 0.0, 60000.0);
-  }
+  // Enforcement knobs are fail-fast (see src/support/env.h): a malformed value is a
+  // fatal error, because silently mis-enforcing a restriction set is worse than
+  // stopping.
+  base.enabled = env::RequireBool01("NOCTUA_ENFORCE", base.enabled);
+  base.num_shards =
+      static_cast<int>(env::RequireLongInRange("NOCTUA_ENFORCE_SHARDS", 1, 64, base.num_shards));
+  base.lease_ms = env::RequireDoubleInRange("NOCTUA_ENFORCE_LEASE_MS", 0.0, 60000.0, base.lease_ms);
   return base;
 }
 

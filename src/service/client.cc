@@ -1,0 +1,85 @@
+#include "src/service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace noctua::service {
+
+namespace {
+
+int Connect(const std::string& host, int port, std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid host address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("connect to ") + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RoundTrip(const std::string& host, int port, const std::string& method,
+               const std::string& target, const std::string& body, HttpResponse* resp,
+               std::string* error) {
+  int fd = Connect(host, port, error);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = WriteHttpRequest(fd, method, target, host + ":" + std::to_string(port), body) &&
+            ReadHttpResponse(fd, resp, error);
+  if (!ok && error->empty()) {
+    *error = "request I/O failed";
+  }
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool Client::Get(const std::string& target, HttpResponse* resp, std::string* error) {
+  return RoundTrip(host_, port_, "GET", target, "", resp, error);
+}
+
+bool Client::Post(const std::string& target, const std::string& body, HttpResponse* resp,
+                  std::string* error) {
+  return RoundTrip(host_, port_, "POST", target, body, resp, error);
+}
+
+std::string AnalyzeRequestBody(const std::string& tenant, const std::string& app,
+                               const std::vector<std::string>& omit_views) {
+  std::string body = "{\"tenant\": " + JsonStr(tenant) + ", \"app\": " + JsonStr(app);
+  if (!omit_views.empty()) {
+    body += ", \"omit_views\": [";
+    for (size_t i = 0; i < omit_views.size(); ++i) {
+      body += std::string(i ? ", " : "") + JsonStr(omit_views[i]);
+    }
+    body += "]";
+  }
+  body += "}";
+  return body;
+}
+
+bool Client::Analyze(const std::string& tenant, const std::string& app,
+                     const std::vector<std::string>& omit_views, HttpResponse* resp,
+                     std::string* error) {
+  return Post("/v1/analyze", AnalyzeRequestBody(tenant, app, omit_views), resp, error);
+}
+
+}  // namespace noctua::service

@@ -1,0 +1,45 @@
+// Blocking client for the noctua-serve daemon: one TCP connection per request (the
+// server always answers Connection: close), strict parsing of what comes back. Shared
+// by noctua-cli, the service tests, and the bench/service_sweep load generator.
+#ifndef SRC_SERVICE_CLIENT_H_
+#define SRC_SERVICE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/service/protocol.h"
+
+namespace noctua::service {
+
+class Client {
+ public:
+  Client(std::string host, int port) : host_(std::move(host)), port_(port) {}
+
+  // One round trip: connect, send, read the full response. False (with *error) on
+  // connect/send/parse failure — an HTTP error status is NOT a transport failure; the
+  // caller inspects resp->status.
+  bool Get(const std::string& target, HttpResponse* resp, std::string* error);
+  bool Post(const std::string& target, const std::string& body, HttpResponse* resp,
+            std::string* error);
+
+  // POST /v1/analyze with the given tenant/app/revision. Returns the transport result;
+  // the raw JSON body (success or error) lands in *resp.
+  bool Analyze(const std::string& tenant, const std::string& app,
+               const std::vector<std::string>& omit_views, HttpResponse* resp,
+               std::string* error);
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+ private:
+  std::string host_;
+  int port_ = 0;
+};
+
+// The JSON body Analyze sends; exposed so callers can log or replay requests.
+std::string AnalyzeRequestBody(const std::string& tenant, const std::string& app,
+                               const std::vector<std::string>& omit_views);
+
+}  // namespace noctua::service
+
+#endif  // SRC_SERVICE_CLIENT_H_

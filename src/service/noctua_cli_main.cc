@@ -1,0 +1,135 @@
+// noctua-cli: command-line client for a running noctua-serve daemon.
+//
+//   noctua-cli [--host H] --port P analyze --tenant T --app NAME [--omit-view V]...
+//   noctua-cli [--host H] --port P metrics [--check]
+//   noctua-cli [--host H] --port P healthz
+//   noctua-cli [--host H] --port P shutdown
+//
+// `metrics --check` re-parses the daemon's /metrics body with the strict RFC 8259
+// parser (src/obs/json.h) and verifies the documented top-level shape — the CI smoke
+// step's machine check that the daemon emits real JSON, not JSON-shaped text.
+// Exit code: 0 on HTTP 200 (and a passing --check), 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/service/client.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] --port P analyze --tenant T --app NAME"
+               " [--omit-view V]...\n"
+               "       %s [--host H] --port P metrics [--check]\n"
+               "       %s [--host H] --port P healthz | shutdown\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+int CheckMetricsBody(const std::string& body) {
+  std::string error;
+  noctua::obs::JsonPtr doc = noctua::obs::ParseJson(body, &error);
+  if (doc == nullptr) {
+    std::fprintf(stderr, "metrics --check: body is not strict JSON: %s\n", error.c_str());
+    return 1;
+  }
+  for (const char* key : {"service", "engine", "counters", "histograms"}) {
+    noctua::obs::JsonPtr section = doc->Get(key);
+    if (section == nullptr || !section->is_object()) {
+      std::fprintf(stderr, "metrics --check: missing or non-object section \"%s\"\n", key);
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "metrics --check: ok (%zu counters)\n",
+               doc->Get("counters")->AsObject().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int i = 1;
+  auto next = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else {
+      break;
+    }
+  }
+  if (i >= argc || port <= 0) {
+    return Usage(argv[0]);
+  }
+  std::string command = argv[i++];
+  noctua::service::Client client(host, port);
+  noctua::service::HttpResponse resp;
+  std::string error;
+
+  if (command == "analyze") {
+    std::string tenant;
+    std::string app;
+    std::vector<std::string> omit;
+    for (; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--tenant") {
+        tenant = next("--tenant");
+      } else if (arg == "--app") {
+        app = next("--app");
+      } else if (arg == "--omit-view") {
+        omit.push_back(next("--omit-view"));
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    if (tenant.empty() || app.empty()) {
+      return Usage(argv[0]);
+    }
+    if (!client.Analyze(tenant, app, omit, &resp, &error)) {
+      std::fprintf(stderr, "noctua-cli: %s\n", error.c_str());
+      return 1;
+    }
+  } else if (command == "metrics") {
+    bool check = i < argc && std::strcmp(argv[i], "--check") == 0;
+    if (!client.Get("/metrics", &resp, &error)) {
+      std::fprintf(stderr, "noctua-cli: %s\n", error.c_str());
+      return 1;
+    }
+    if (check && resp.status == 200) {
+      std::fputs(resp.body.c_str(), stdout);
+      return CheckMetricsBody(resp.body);
+    }
+  } else if (command == "healthz") {
+    if (!client.Get("/healthz", &resp, &error)) {
+      std::fprintf(stderr, "noctua-cli: %s\n", error.c_str());
+      return 1;
+    }
+  } else if (command == "shutdown") {
+    if (!client.Post("/shutdown", "", &resp, &error)) {
+      std::fprintf(stderr, "noctua-cli: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    return Usage(argv[0]);
+  }
+
+  std::fputs(resp.body.c_str(), stdout);
+  if (resp.status != 200) {
+    std::fprintf(stderr, "noctua-cli: HTTP %d\n", resp.status);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// noctua-serve: the Noctua-as-a-service daemon. Binds a loopback HTTP endpoint, owns
+// one long-lived Engine, and serves analysis requests until /shutdown (or SIGTERM-ish
+// termination by the supervisor).
+//
+//   noctua-serve [--host H] [--port P] [--workers N] [--queue Q]
+//                [--artifact-root DIR] [--no-metrics]
+//
+// Prints exactly one line "listening on H:P" to stdout once ready (scripts grab the
+// ephemeral port from it), then blocks. Engine knobs (threads, solver, toggles) come
+// from the usual NOCTUA_* environment variables, snapshotted once at startup.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/pipeline/session.h"
+#include "src/service/server.h"
+#include "src/support/env.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--workers N] [--queue Q]\n"
+               "          [--artifact-root DIR] [--no-metrics]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  noctua::service::ServiceOptions options;
+  options.engine = noctua::EngineConfig::FromEnv();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next("--host");
+    } else if (arg == "--port") {
+      options.port = std::atoi(next("--port"));
+    } else if (arg == "--workers") {
+      options.workers = std::atoi(next("--workers"));
+    } else if (arg == "--queue") {
+      options.max_queue = static_cast<size_t>(std::atol(next("--queue")));
+    } else if (arg == "--artifact-root") {
+      options.engine.artifact_root = next("--artifact-root");
+    } else if (arg == "--no-metrics") {
+      options.metrics = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  // A daemon with persistence wants the fail-fast create-and-probe before it starts
+  // accepting: a misconfigured store should stop the server, not silently cold-run
+  // every tenant forever. (When the root came from the environment, ArtifactDirFromEnv
+  // performed this already; re-probing is harmless.)
+  if (!options.engine.artifact_root.empty()) {
+    setenv("NOCTUA_ARTIFACT_DIR", options.engine.artifact_root.c_str(), 1);
+    options.engine.artifact_root = noctua::ArtifactDirFromEnv();
+  }
+
+  noctua::service::Server server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "noctua-serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%d\n", server.options().host.c_str(), server.port());
+  std::fflush(stdout);
+  server.Wait();
+  server.Stop();
+  std::printf("shut down cleanly\n");
+  return 0;
+}

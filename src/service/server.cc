@@ -1,0 +1,431 @@
+#include "src/service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+#include "src/apps/apps.h"
+#include "src/obs/json.h"
+#include "src/support/stopwatch.h"
+
+namespace noctua::service {
+
+namespace {
+
+void SetSocketTimeouts(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = "{\"error\": " + JsonStr(message) + "}\n";
+  return resp;
+}
+
+// Builds the registry app named `name`, minus `omit` views (a "revision" of the app).
+// Returns false when the name is unknown or an omitted view does not exist.
+bool BuildRevision(const std::string& name, const std::set<std::string>& omit,
+                   app::App* out, std::string* error) {
+  for (const apps::AppEntry& entry : apps::EvaluatedApps()) {
+    if (entry.name != name) {
+      continue;
+    }
+    app::App base = entry.make();
+    for (const std::string& v : omit) {
+      bool found = false;
+      for (const app::View& view : base.views()) {
+        found = found || view.name == v;
+      }
+      if (!found) {
+        *error = "app \"" + name + "\" has no view \"" + v + "\"";
+        return false;
+      }
+    }
+    if (omit.empty()) {
+      *out = std::move(base);
+      return true;
+    }
+    app::App rev(base.name(), base.source_file());
+    rev.schema() = base.schema();
+    for (const app::View& view : base.views()) {
+      if (omit.count(view.name) == 0) {
+        rev.AddView(view.name, view.fn, view.fingerprint);
+      }
+    }
+    *out = std::move(rev);
+    return true;
+  }
+  *error = "unknown app \"" + name + "\" — not in the evaluated-apps registry";
+  return false;
+}
+
+std::string HistJson(const obs::HistSummary& h) {
+  return "{\"count\": " + std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
+         ", \"min\": " + std::to_string(h.min) + ", \"max\": " + std::to_string(h.max) +
+         ", \"p50\": " + std::to_string(h.p50) + ", \"p95\": " + std::to_string(h.p95) +
+         ", \"p99\": " + std::to_string(h.p99) + "}";
+}
+
+}  // namespace
+
+Server::Server(ServiceOptions options) : options_(std::move(options)) {
+  if (options_.workers < 1) {
+    options_.workers = 1;
+  }
+  engine_ = std::make_unique<Engine>(options_.engine);
+}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid host address: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  if (options_.metrics && !obs::Active()) {
+    collector_.emplace(obs::ObsOptions{/*enabled=*/true, /*trace_out=*/"",
+                                       /*top_slowest_pairs=*/10});
+  }
+
+  started_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return true;
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener closed by Stop()
+    }
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (stopping_) {
+        WriteHttpResponse(fd, ErrorResponse(503, "server shutting down"));
+        ::close(fd);
+        return;
+      }
+    }
+    SetSocketTimeouts(fd, options_.io_timeout_seconds);
+    HandleConnection(fd);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  HttpRequest req;
+  std::string error;
+  if (!ReadHttpRequest(fd, &req, &error)) {
+    WriteHttpResponse(fd, ErrorResponse(400, error));
+    ::close(fd);
+    return;
+  }
+
+  // Control plane: answered inline so health and metrics stay responsive under load.
+  if (req.target == "/healthz") {
+    if (req.method != "GET") {
+      WriteHttpResponse(fd, ErrorResponse(405, "use GET"));
+    } else {
+      HttpResponse resp;
+      resp.body = "{\"status\": \"ok\"}\n";
+      WriteHttpResponse(fd, resp);
+    }
+    ::close(fd);
+    return;
+  }
+  if (req.target == "/metrics") {
+    if (req.method != "GET") {
+      WriteHttpResponse(fd, ErrorResponse(405, "use GET"));
+    } else {
+      HttpResponse resp;
+      resp.body = MetricsJson();
+      WriteHttpResponse(fd, resp);
+    }
+    ::close(fd);
+    return;
+  }
+  if (req.target == "/shutdown") {
+    if (req.method != "POST") {
+      WriteHttpResponse(fd, ErrorResponse(405, "use POST"));
+      ::close(fd);
+      return;
+    }
+    HttpResponse resp;
+    resp.body = "{\"status\": \"shutting down\"}\n";
+    WriteHttpResponse(fd, resp);
+    ::close(fd);
+    RequestShutdown();
+    return;
+  }
+  if (req.target != "/v1/analyze") {
+    WriteHttpResponse(fd, ErrorResponse(404, "no such endpoint: " + req.target));
+    ::close(fd);
+    return;
+  }
+  if (req.method != "POST") {
+    WriteHttpResponse(fd, ErrorResponse(405, "use POST"));
+    ::close(fd);
+    return;
+  }
+
+  // Admission control: fail fast when the queue is full rather than building an
+  // unbounded backlog in front of a saturated engine.
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (queue_.size() >= options_.max_queue) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs::Counter::kServiceRejected);
+      WriteHttpResponse(
+          fd, ErrorResponse(503, "admission queue full (" +
+                                     std::to_string(options_.max_queue) + ") — retry later"));
+      ::close(fd);
+      return;
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(Job{fd, std::move(req)});
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse resp = HandleAnalyze(job.req);
+    WriteHttpResponse(job.fd, resp);
+    ::close(job.fd);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HttpResponse Server::HandleAnalyze(const HttpRequest& req) {
+  Stopwatch watch;
+  obs::Add(obs::Counter::kServiceRequests);
+
+  std::string parse_error;
+  obs::JsonPtr doc = obs::ParseJson(req.body, &parse_error);
+  if (doc == nullptr || !doc->is_object()) {
+    obs::Add(obs::Counter::kServiceRequestsFailed);
+    return ErrorResponse(400, doc == nullptr ? "malformed JSON body: " + parse_error
+                                             : "request body must be a JSON object");
+  }
+
+  obs::JsonPtr tenant_v = doc->Get("tenant");
+  obs::JsonPtr app_v = doc->Get("app");
+  if (tenant_v == nullptr || !tenant_v->is_string() || app_v == nullptr ||
+      !app_v->is_string()) {
+    obs::Add(obs::Counter::kServiceRequestsFailed);
+    return ErrorResponse(400, "request must carry string fields \"tenant\" and \"app\"");
+  }
+  const std::string& tenant = tenant_v->AsString();
+  const std::string& app_name = app_v->AsString();
+  if (!Engine::ValidTenantName(tenant)) {
+    obs::Add(obs::Counter::kServiceRequestsFailed);
+    return ErrorResponse(400, "invalid tenant name \"" + tenant +
+                                  "\" — use [A-Za-z0-9._-], no leading dot");
+  }
+
+  std::set<std::string> omit;
+  if (obs::JsonPtr omit_v = doc->Get("omit_views"); omit_v != nullptr) {
+    if (!omit_v->is_array()) {
+      obs::Add(obs::Counter::kServiceRequestsFailed);
+      return ErrorResponse(400, "\"omit_views\" must be an array of view names");
+    }
+    for (const obs::JsonPtr& item : omit_v->AsArray()) {
+      if (!item->is_string()) {
+        obs::Add(obs::Counter::kServiceRequestsFailed);
+        return ErrorResponse(400, "\"omit_views\" must be an array of view names");
+      }
+      omit.insert(item->AsString());
+    }
+  }
+
+  app::App app("", "");
+  std::string build_error;
+  if (!BuildRevision(app_name, omit, &app, &build_error)) {
+    obs::Add(obs::Counter::kServiceRequestsFailed);
+    return ErrorResponse(400, build_error);
+  }
+
+  std::string span_name;
+  if (obs::Enabled()) {
+    span_name = "analyze:" + tenant + ":" + app_name;
+  }
+  obs::ScopedSpan span(std::move(span_name), obs::kCatService);
+
+  const std::string store_dir = engine_->TenantStoreDir(tenant, app_name);
+  std::string mode;
+  bool cold = true;
+  PipelineResult run;
+  if (store_dir.empty()) {
+    mode = "run";
+    run = engine_->Run(app);
+  } else {
+    mode = "incremental";
+    IncrementalResult inc = engine_->RunIncremental(app, store_dir);
+    cold = inc.cold;
+    run = std::move(inc.run);
+  }
+
+  std::string body = "{\"app\": " + JsonStr(app_name) + ", \"tenant\": " + JsonStr(tenant) +
+                     ", \"mode\": " + JsonStr(mode) +
+                     ", \"cold\": " + (cold ? "true" : "false") +
+                     ", \"store\": " + JsonStr(store_dir) +
+                     ", \"pairs\": " + std::to_string(run.restrictions.num_checks()) +
+                     ", \"num_restrictions\": " +
+                     std::to_string(run.restrictions.num_restrictions()) +
+                     ", \"restrictions\": [";
+  bool first = true;
+  for (const std::string& name : run.restrictions.RestrictedPairNames()) {
+    body += std::string(first ? "" : ", ") + JsonStr(name);
+    first = false;
+  }
+  const verifier::ReportStats& st = run.restrictions.stats;
+  body += "], \"stats\": {\"solver_checks\": " + std::to_string(st.solver_checks) +
+          ", \"cache_hits\": " + std::to_string(st.cache_hits) +
+          ", \"pairs_replayed\": " + std::to_string(st.pairs_replayed) +
+          ", \"pairs_computed\": " + std::to_string(st.pairs_computed) +
+          ", \"threads\": " + std::to_string(st.threads_used) +
+          "}, \"seconds\": " + std::to_string(run.total_seconds) + "}\n";
+
+  obs::Add(obs::Counter::kServiceRequestsOk);
+  obs::Observe(obs::Hist::kServiceRequestMicros,
+               static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+  HttpResponse resp;
+  resp.body = std::move(body);
+  return resp;
+}
+
+std::string Server::MetricsJson() const {
+  std::string out = "{\"service\": {";
+  out += "\"admitted\": " + std::to_string(admitted_.load(std::memory_order_relaxed));
+  out += ", \"rejected\": " + std::to_string(rejected_.load(std::memory_order_relaxed));
+  out += ", \"completed\": " + std::to_string(completed_.load(std::memory_order_relaxed));
+  out += ", \"in_flight\": " + std::to_string(in_flight_.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    out += ", \"queue_depth\": " + std::to_string(queue_.size());
+  }
+  out += ", \"workers\": " + std::to_string(options_.workers);
+  out += ", \"max_queue\": " + std::to_string(options_.max_queue);
+  out += "}, \"engine\": {";
+  out += "\"threads\": " + std::to_string(engine_->pool().threads());
+  out += ", \"solver\": " + JsonStr(smt::BackendKindName(engine_->config().solver));
+  out += ", \"verdict_cache_entries\": " + std::to_string(engine_->verdicts().size());
+  out += ", \"artifact_root\": " + JsonStr(engine_->config().artifact_root);
+  out += "}, \"counters\": {";
+  for (size_t i = 0; i < static_cast<size_t>(obs::Counter::kNumCounters); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += JsonStr(obs::CounterName(static_cast<obs::Counter>(i))) + ": " +
+           std::to_string(obs::LiveCounter(static_cast<obs::Counter>(i)));
+  }
+  out += "}, \"histograms\": {";
+  for (size_t i = 0; i < static_cast<size_t>(obs::Hist::kNumHists); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += JsonStr(obs::HistName(static_cast<obs::Hist>(i))) + ": " +
+           HistJson(obs::LiveHistogram(static_cast<obs::Hist>(i)));
+  }
+  out += "}}\n";
+  return out;
+}
+
+void Server::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lk(wait_mu_);
+    shutdown_requested_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lk(wait_mu_);
+  wait_cv_.wait(lk, [this] { return shutdown_requested_; });
+}
+
+void Server::Stop() {
+  if (!started_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // Closing the listener makes the blocking accept() fail, ending the accept thread.
+  // shutdown() first so a concurrently-blocked accept wakes on every platform.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  workers_.clear();
+  RequestShutdown();  // release any Wait()er even when Stop came from outside
+  collector_.reset();
+}
+
+}  // namespace noctua::service

@@ -1,0 +1,138 @@
+// Noctua-as-a-service: a long-lived daemon wrapping one noctua::Engine behind the HTTP
+// subset in protocol.h, on a loopback TCP socket.
+//
+// Architecture (one Server = one Engine = one artifact root):
+//
+//   accept thread   reads each request and routes it. Control-plane endpoints
+//                   (/healthz, /metrics, /shutdown) are answered inline — they must
+//                   stay responsive even when analysis is saturated. Analysis requests
+//                   go through admission control: a bounded queue in front of a fixed
+//                   worker pool. A full queue is answered 503 immediately (fail-fast:
+//                   the client retries or sheds load; the daemon never builds an
+//                   unbounded backlog).
+//   worker threads  pop admitted requests and run them on the shared Engine. The
+//                   in-flight cap is the worker count; the Engine serializes its verify
+//                   stage internally, so workers mostly pipeline analysis against
+//                   verification.
+//
+// Endpoints:
+//
+//   POST /v1/analyze   {"tenant": "...", "app": "<registry name>",
+//                       "omit_views": ["View", ...]?}    — omit_views models a revision
+//     -> 200 {"app", "tenant", "mode": "run"|"incremental", "cold", "pairs",
+//             "num_restrictions", "restrictions": ["(P, Q)", ...], "seconds", ...}
+//     -> 400 on malformed JSON / unknown app / invalid tenant; 503 when admission-full.
+//     With an artifact root configured, each (tenant, app) gets its own on-disk store
+//     under <root>/<tenant>/<app> — tenants can never read or warm each other's
+//     artifacts. Without one, runs are in-memory and warmth comes from the engine's
+//     shared verdict cache.
+//   GET /metrics       live obs counters/histograms + admission + engine state, as
+//                      strict RFC 8259 JSON (machine-checked in CI by the json.h parser).
+//   GET /healthz       {"status": "ok"}
+//   POST /shutdown     acknowledges, then stops accepting; Wait() returns.
+#ifndef SRC_SERVICE_SERVER_H_
+#define SRC_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/obs.h"
+#include "src/pipeline/engine.h"
+#include "src/service/protocol.h"
+
+namespace noctua::service {
+
+struct ServiceOptions {
+  std::string host = "127.0.0.1";
+  // 0 = ephemeral: the kernel picks a free port, readable via Server::port() (and
+  // printed by noctua-serve as "listening on <host>:<port>").
+  int port = 0;
+  // In-flight cap: number of analysis requests executing concurrently.
+  int workers = 2;
+  // Admission bound: analysis requests accepted-but-not-yet-started. One more request
+  // beyond workers + max_queue is answered 503 without touching the engine.
+  size_t max_queue = 8;
+  // Install a process collector at Start so /metrics serves live counters. Skipped
+  // (without error) when some outer owner already installed one.
+  bool metrics = true;
+  // Per-connection socket receive/send timeout, so a stalled client cannot wedge the
+  // accept thread or a worker.
+  int io_timeout_seconds = 10;
+  // The engine this server owns; artifact_root inside it enables per-tenant stores.
+  EngineConfig engine;
+};
+
+class Server {
+ public:
+  explicit Server(ServiceOptions options);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and starts the accept + worker threads. False (with *error set)
+  // when the socket cannot be bound.
+  bool Start(std::string* error);
+
+  // Blocks until a /shutdown request arrives or Stop() is called from another thread.
+  void Wait();
+
+  // Stops accepting, drains admitted requests, joins all threads. Idempotent.
+  void Stop();
+
+  // The bound port; valid after Start succeeded.
+  int port() const { return port_; }
+  const ServiceOptions& options() const { return options_; }
+  Engine& engine() { return *engine_; }
+
+  // The /metrics response body. Exposed for tests (strict-JSON round-trip checks).
+  std::string MetricsJson() const;
+
+ private:
+  struct Job {
+    int fd = -1;
+    HttpRequest req;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  HttpResponse HandleAnalyze(const HttpRequest& req);
+  void RequestShutdown();
+
+  ServiceOptions options_;
+  std::unique_ptr<Engine> engine_;
+  std::optional<obs::Collector> collector_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex queue_mu_;  // mutable: MetricsJson (const) reports queue depth
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;  // guarded by queue_mu_
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool shutdown_requested_ = false;  // guarded by wait_mu_
+
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<int> in_flight_{0};
+};
+
+}  // namespace noctua::service
+
+#endif  // SRC_SERVICE_SERVER_H_

@@ -1,11 +1,9 @@
 #include "src/smt/backend.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "src/smt/cdcl.h"
 #include "src/smt/portfolio.h"
 #include "src/support/check.h"
+#include "src/support/env.h"
 
 namespace noctua::smt {
 
@@ -37,25 +35,12 @@ bool ParseBackendKind(const std::string& name, BackendKind* out) {
 }
 
 BackendKind BackendKindFromEnv() {
-  const char* env = std::getenv("NOCTUA_SOLVER");
-  if (env == nullptr || *env == '\0') {
-    return BackendKind::kDfs;
-  }
-  BackendKind k;
-  if (ParseBackendKind(env, &k)) {
-    return k;
-  }
-  // Same discipline as NOCTUA_THREADS: reject with a one-shot warning rather than
-  // silently absorbing a typo into the default.
-  static bool warned = false;
-  if (!warned) {
-    warned = true;
-    std::fprintf(stderr,
-                 "noctua: ignoring NOCTUA_SOLVER=\"%s\" (expected dfs, cdcl, or "
-                 "portfolio); using dfs\n",
-                 env);
-  }
-  return BackendKind::kDfs;
+  // Strict-parse discipline lives in env::EnumOr: unset means dfs, a typo is rejected
+  // with a one-shot warning rather than silently absorbed into the default.
+  std::string name = env::EnumOr("NOCTUA_SOLVER", {"dfs", "cdcl", "portfolio"}, "dfs");
+  BackendKind k = BackendKind::kDfs;
+  ParseBackendKind(name, &k);
+  return k;
 }
 
 BackendKind ResolveBackendKind(BackendKind k) {
@@ -63,49 +48,17 @@ BackendKind ResolveBackendKind(BackendKind k) {
 }
 
 bool ParseToggle(const std::string& value, Toggle* out) {
-  if (value == "on") {
-    *out = Toggle::kOn;
-    return true;
+  bool on = false;
+  if (!env::ParseOnOff(value, &on)) {
+    return false;
   }
-  if (value == "off") {
-    *out = Toggle::kOff;
-    return true;
-  }
-  return false;
-}
-
-namespace {
-
-// NOCTUA_SOLVER's strict-parse discipline applied to an on/off knob: unset means on,
-// malformed values warn once on stderr and fall back to on.
-bool ToggleFromEnv(const char* var, bool* warned) {
-  const char* env = std::getenv(var);
-  if (env == nullptr || *env == '\0') {
-    return true;
-  }
-  Toggle t;
-  if (ParseToggle(env, &t)) {
-    return t == Toggle::kOn;
-  }
-  if (!*warned) {
-    *warned = true;
-    std::fprintf(stderr, "noctua: ignoring %s=\"%s\" (expected on or off); using on\n", var,
-                 env);
-  }
+  *out = on ? Toggle::kOn : Toggle::kOff;
   return true;
 }
 
-}  // namespace
+bool SymmetryFromEnv() { return env::OnOffOr("NOCTUA_SYMMETRY", true); }
 
-bool SymmetryFromEnv() {
-  static bool warned = false;
-  return ToggleFromEnv("NOCTUA_SYMMETRY", &warned);
-}
-
-bool IncrementalFromEnv() {
-  static bool warned = false;
-  return ToggleFromEnv("NOCTUA_INCREMENTAL", &warned);
-}
+bool IncrementalFromEnv() { return env::OnOffOr("NOCTUA_INCREMENTAL", true); }
 
 bool SymmetryEnabled(const SolverOptions& options) {
   return options.symmetry == Toggle::kAuto ? SymmetryFromEnv()
@@ -117,37 +70,77 @@ bool IncrementalEnabled(const SolverOptions& options) {
                                               : options.incremental == Toggle::kOn;
 }
 
+void SolverCounterSink::AddShared(const SolverStats& stats) {
+  if (stats.incremental_reuse_hits > 0) {
+    reuse_hits_.fetch_add(stats.incremental_reuse_hits, std::memory_order_relaxed);
+  }
+  if (stats.symmetry_pruned > 0) {
+    symmetry_pruned_.fetch_add(stats.symmetry_pruned, std::memory_order_relaxed);
+  }
+  if (stats.restarts > 0) {
+    cdcl_restarts_.fetch_add(stats.restarts, std::memory_order_relaxed);
+  }
+  if (stats.clauses_forgotten > 0) {
+    cdcl_forgotten_.fetch_add(stats.clauses_forgotten, std::memory_order_relaxed);
+  }
+}
+
+void SolverCounterSink::AddRace(int winner) {
+  races_.fetch_add(1, std::memory_order_relaxed);
+  if (winner == 0) {
+    wins_dfs_.fetch_add(1, std::memory_order_relaxed);
+  } else if (winner == 1) {
+    wins_cdcl_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    undecided_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 namespace {
 
-// Process-wide optimization tallies (see GetSolverSharedCounts).
-std::atomic<uint64_t> g_reuse_hits{0};
-std::atomic<uint64_t> g_symmetry_pruned{0};
-std::atomic<uint64_t> g_cdcl_restarts{0};
-std::atomic<uint64_t> g_cdcl_forgotten{0};
+// Leaked, never destroyed: worker threads may still accumulate during static teardown.
+SolverCounterSink& ProcessSinkStorage() {
+  static SolverCounterSink* sink = new SolverCounterSink();
+  return *sink;
+}
+
+thread_local SolverCounterSink* tls_sink = nullptr;
 
 }  // namespace
 
-SolverSharedCounts GetSolverSharedCounts() {
-  SolverSharedCounts c;
-  c.incremental_reuse_hits = g_reuse_hits.load(std::memory_order_relaxed);
-  c.symmetry_pruned = g_symmetry_pruned.load(std::memory_order_relaxed);
-  c.cdcl_restarts = g_cdcl_restarts.load(std::memory_order_relaxed);
-  c.cdcl_clauses_forgotten = g_cdcl_forgotten.load(std::memory_order_relaxed);
-  return c;
+SolverCounterSink& ProcessSolverCounters() { return ProcessSinkStorage(); }
+
+SolverCounterSink* CurrentSolverCounterSink() {
+  return tls_sink != nullptr ? tls_sink : &ProcessSinkStorage();
 }
 
+ScopedSolverCounterSink::ScopedSolverCounterSink(SolverCounterSink* sink) : prev_(tls_sink) {
+  if (sink != nullptr) {
+    tls_sink = sink;
+  }
+}
+
+ScopedSolverCounterSink::~ScopedSolverCounterSink() { tls_sink = prev_; }
+
+SolverSharedCounts GetSolverSharedCounts() { return ProcessSolverCounters().Shared(); }
+
+PortfolioCounts GetPortfolioCounts() { return ProcessSolverCounters().Portfolio(); }
+
 void AccumulateSolverSharedCounts(const SolverStats& stats) {
-  if (stats.incremental_reuse_hits > 0) {
-    g_reuse_hits.fetch_add(stats.incremental_reuse_hits, std::memory_order_relaxed);
+  SolverCounterSink* sink = CurrentSolverCounterSink();
+  sink->AddShared(stats);
+  // Process totals always accumulate, so lifetime counters (bench preambles) keep their
+  // historical meaning even when a scoped engine sink is installed.
+  if (sink != &ProcessSolverCounters()) {
+    ProcessSolverCounters().AddShared(stats);
   }
-  if (stats.symmetry_pruned > 0) {
-    g_symmetry_pruned.fetch_add(stats.symmetry_pruned, std::memory_order_relaxed);
-  }
-  if (stats.restarts > 0) {
-    g_cdcl_restarts.fetch_add(stats.restarts, std::memory_order_relaxed);
-  }
-  if (stats.clauses_forgotten > 0) {
-    g_cdcl_forgotten.fetch_add(stats.clauses_forgotten, std::memory_order_relaxed);
+}
+
+void AccumulatePortfolioRace(int winner) {
+  SolverCounterSink* sink = CurrentSolverCounterSink();
+  sink->AddRace(winner);
+  if (sink != &ProcessSolverCounters()) {
+    ProcessSolverCounters().AddRace(winner);
   }
 }
 

@@ -144,30 +144,104 @@ std::unique_ptr<SolverBackend> MakeBackend(const SolverOptions& options);
 // this to build its two contestants; tests use it to pin a procedure under test.
 std::unique_ptr<SolverBackend> MakeBackend(BackendKind kind, const SolverOptions& options);
 
-// Process-wide portfolio tallies, accumulated across every portfolio Check since process
-// start. The verifier snapshots these around a run to report win deltas; bench JSON
-// stamps them into sweep preambles.
+// Portfolio tallies, accumulated across portfolio Checks. The verifier snapshots these
+// around a run to report win deltas; bench JSON stamps the process-lifetime totals into
+// sweep preambles.
 struct PortfolioCounts {
   uint64_t races = 0;      // portfolio Checks executed
   uint64_t wins_dfs = 0;   // races where the model finder answered first
   uint64_t wins_cdcl = 0;  // races where the SAT backend answered first
   uint64_t undecided = 0;  // races where neither produced a decisive verdict
 };
-PortfolioCounts GetPortfolioCounts();
 
-// Process-wide optimization tallies, accumulated by every concrete backend at the end of
-// each Check (portfolio contestants count individually). Same reporting pattern as
-// PortfolioCounts: the verifier snapshots before/after a run and reports the deltas,
-// bench JSON stamps the totals into preambles.
+// Optimization tallies, accumulated by every concrete backend at the end of each Check
+// (portfolio contestants count individually). Same reporting pattern as PortfolioCounts:
+// the verifier snapshots before/after a run and reports the deltas.
 struct SolverSharedCounts {
   uint64_t incremental_reuse_hits = 0;   // root assertions served from a ground cache
   uint64_t symmetry_pruned = 0;          // values (dfs) / clause slots (cdcl) pruned
   uint64_t cdcl_restarts = 0;            // Luby restarts performed
   uint64_t cdcl_clauses_forgotten = 0;   // learned clauses dropped by DB reduction
 };
+
+// Where one run's solver tallies land. Historically these were process-wide statics,
+// which a long-lived multi-tenant engine would cross-contaminate: two concurrent runs
+// snapshotting before/after deltas of one shared set of atomics read each other's work.
+// A sink is now an owned object — each noctua::Engine holds one — installed per worker
+// task through ScopedSolverCounterSink. Accumulations always ALSO land in the
+// process-wide instance (ProcessSolverCounters), so process-lifetime totals (bench JSON
+// preambles, GetSolverSharedCounts/GetPortfolioCounts) keep their historical meaning.
+class SolverCounterSink {
+ public:
+  SolverCounterSink() = default;
+  SolverCounterSink(const SolverCounterSink&) = delete;
+  SolverCounterSink& operator=(const SolverCounterSink&) = delete;
+
+  SolverSharedCounts Shared() const {
+    SolverSharedCounts c;
+    c.incremental_reuse_hits = reuse_hits_.load(std::memory_order_relaxed);
+    c.symmetry_pruned = symmetry_pruned_.load(std::memory_order_relaxed);
+    c.cdcl_restarts = cdcl_restarts_.load(std::memory_order_relaxed);
+    c.cdcl_clauses_forgotten = cdcl_forgotten_.load(std::memory_order_relaxed);
+    return c;
+  }
+  PortfolioCounts Portfolio() const {
+    PortfolioCounts c;
+    c.races = races_.load(std::memory_order_relaxed);
+    c.wins_dfs = wins_dfs_.load(std::memory_order_relaxed);
+    c.wins_cdcl = wins_cdcl_.load(std::memory_order_relaxed);
+    c.undecided = undecided_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  void AddShared(const SolverStats& stats);
+  void AddRace(int winner);  // 0 = dfs, 1 = cdcl, -1 = undecided
+
+ private:
+  std::atomic<uint64_t> reuse_hits_{0};
+  std::atomic<uint64_t> symmetry_pruned_{0};
+  std::atomic<uint64_t> cdcl_restarts_{0};
+  std::atomic<uint64_t> cdcl_forgotten_{0};
+  std::atomic<uint64_t> races_{0};
+  std::atomic<uint64_t> wins_dfs_{0};
+  std::atomic<uint64_t> wins_cdcl_{0};
+  std::atomic<uint64_t> undecided_{0};
+};
+
+// The process-wide sink: the default target when no scoped sink is installed, and the
+// always-written lifetime totals behind GetSolverSharedCounts/GetPortfolioCounts.
+SolverCounterSink& ProcessSolverCounters();
+
+// The calling thread's current sink (never null; defaults to ProcessSolverCounters).
+SolverCounterSink* CurrentSolverCounterSink();
+
+// Installs `sink` as the calling thread's accumulation target for its lifetime; restores
+// the previous sink on destruction. The verifier's pair loop installs its engine's sink
+// inside every worker task, and the portfolio race re-installs the caller's sink on its
+// contestant threads. Passing nullptr is a no-op install (the current sink stays).
+class ScopedSolverCounterSink {
+ public:
+  explicit ScopedSolverCounterSink(SolverCounterSink* sink);
+  ~ScopedSolverCounterSink();
+  ScopedSolverCounterSink(const ScopedSolverCounterSink&) = delete;
+  ScopedSolverCounterSink& operator=(const ScopedSolverCounterSink&) = delete;
+
+ private:
+  SolverCounterSink* prev_;
+};
+
+// Process-lifetime totals (reads ProcessSolverCounters). Bench JSON stamps these into
+// sweep preambles; per-run deltas come from an engine-owned sink instead.
+PortfolioCounts GetPortfolioCounts();
 SolverSharedCounts GetSolverSharedCounts();
-// Folds one Check's stats into the process-wide tallies; called by concrete backends.
+
+// Folds one Check's stats into the current sink (and the process totals); called by
+// concrete backends.
 void AccumulateSolverSharedCounts(const SolverStats& stats);
+
+// Records one portfolio race outcome into the current sink (and the process totals);
+// winner is 0 = dfs, 1 = cdcl, -1 = undecided.
+void AccumulatePortfolioRace(int winner);
 
 // Resolved values of the optimization toggles for a given options struct (kAuto defers
 // to NOCTUA_SYMMETRY / NOCTUA_INCREMENTAL; both default to on).

@@ -13,12 +13,6 @@ namespace noctua::smt {
 
 namespace {
 
-// Process-wide tallies across every portfolio race (see GetPortfolioCounts).
-std::atomic<uint64_t> g_races{0};
-std::atomic<uint64_t> g_wins_dfs{0};
-std::atomic<uint64_t> g_wins_cdcl{0};
-std::atomic<uint64_t> g_undecided{0};
-
 // -1 = decide from hardware_concurrency; 0/1 = forced by SetRaceModeForTesting.
 std::atomic<int> g_force_race{-1};
 
@@ -37,15 +31,6 @@ void PortfolioBackend::SetRaceModeForTesting(int mode) {
   g_force_race.store(mode, std::memory_order_relaxed);
 }
 
-PortfolioCounts GetPortfolioCounts() {
-  PortfolioCounts c;
-  c.races = g_races.load(std::memory_order_relaxed);
-  c.wins_dfs = g_wins_dfs.load(std::memory_order_relaxed);
-  c.wins_cdcl = g_wins_cdcl.load(std::memory_order_relaxed);
-  c.undecided = g_undecided.load(std::memory_order_relaxed);
-  return c;
-}
-
 // Single-core fallback: run the contestants one after another on the caller's factory
 // (no second thread, so no clones needed), stopping at the first decisive verdict. dfs
 // goes first — it is the cheaper contestant on typical queries — and cdcl only sees the
@@ -54,7 +39,6 @@ SolveResult PortfolioBackend::Cascade(TermFactory& factory,
                                       const std::vector<Term>& assertions) {
   Stopwatch watch;
   constexpr std::array<BackendKind, 2> kOrder = {BackendKind::kDfs, BackendKind::kCdcl};
-  g_races.fetch_add(1, std::memory_order_relaxed);
   const bool persist = IncrementalEnabled(options_);
   uint64_t prior_nodes = 0;
   uint64_t prior_evals = 0;
@@ -71,7 +55,7 @@ SolveResult PortfolioBackend::Cascade(TermFactory& factory,
     // not keep pointing at it.
     backend.set_cancel(nullptr);
     if (r != SolveResult::kUnknown) {
-      (i == 0 ? g_wins_dfs : g_wins_cdcl).fetch_add(1, std::memory_order_relaxed);
+      AccumulatePortfolioRace(static_cast<int>(i));
       stats_ = backend.stats();
       stats_.portfolio_winner = static_cast<int>(i);
       stats_.nodes_visited += prior_nodes;
@@ -83,7 +67,7 @@ SolveResult PortfolioBackend::Cascade(TermFactory& factory,
     prior_nodes += backend.stats().nodes_visited;
     prior_evals += backend.stats().evaluations;
   }
-  g_undecided.fetch_add(1, std::memory_order_relaxed);
+  AccumulatePortfolioRace(-1);
   stats_.nodes_visited = prior_nodes;
   stats_.evaluations = prior_evals;
   stats_.seconds = watch.ElapsedSeconds();
@@ -133,7 +117,12 @@ SolveResult PortfolioBackend::DoCheck(TermFactory& factory,
   std::array<SolveResult, 2> results = {SolveResult::kUnknown, SolveResult::kUnknown};
   std::atomic<int> winner{-1};
 
+  // Contestants may run on the portfolio pool's second thread, whose thread-local sink
+  // is not the caller's. Re-install the caller's sink inside the lambda so contestant
+  // accumulations land in the same engine sink as everything else in this run.
+  SolverCounterSink* caller_sink = CurrentSolverCounterSink();
   PortfolioPool().ParallelFor(2, [&](size_t i) {
+    ScopedSolverCounterSink scoped(caller_sink);
     SolverBackend& b = *race_backends_[i];
     b.ResetAssertions();
     b.set_cancel(&cancel[i]);
@@ -153,10 +142,9 @@ SolveResult PortfolioBackend::DoCheck(TermFactory& factory,
   race_backends_[0]->set_cancel(nullptr);
   race_backends_[1]->set_cancel(nullptr);
 
-  g_races.fetch_add(1, std::memory_order_relaxed);
   int w = winner.load(std::memory_order_relaxed);
   if (w < 0) {
-    g_undecided.fetch_add(1, std::memory_order_relaxed);
+    AccumulatePortfolioRace(-1);
     // Both abandoned: report combined effort so budgets charged upstream stay honest.
     stats_.nodes_visited = race_backends_[0]->stats().nodes_visited +
                            race_backends_[1]->stats().nodes_visited;
@@ -173,7 +161,7 @@ SolveResult PortfolioBackend::DoCheck(TermFactory& factory,
                      "portfolio backends disagree: dfs and cdcl returned different "
                      "verdicts for one query");
   }
-  (w == 0 ? g_wins_dfs : g_wins_cdcl).fetch_add(1, std::memory_order_relaxed);
+  AccumulatePortfolioRace(w);
   stats_ = race_backends_[w]->stats();
   stats_.portfolio_winner = w;
   model_ = race_backends_[w]->model();

@@ -1,0 +1,110 @@
+// Centralized parsing of the NOCTUA_* environment knobs.
+//
+// Every knob in the codebase follows one of two disciplines, and both live here so no
+// module hand-rolls its own strtol-and-warn copy again:
+//
+//   * Lenient knobs (tuning, safe to ignore): unset means the built-in default; a valid
+//     value is honored; anything else is rejected with a one-shot stderr warning and the
+//     default is used. A typo is noticed, never silently absorbed. NOCTUA_THREADS,
+//     NOCTUA_SOLVER, NOCTUA_SYMMETRY, NOCTUA_INCREMENTAL.
+//
+//   * Fail-fast knobs (semantics, wrong to ignore): unset means the built-in default,
+//     but a set-and-malformed value is a *fatal error*. Used where running with a
+//     half-understood configuration is worse than stopping: the enforcement knobs
+//     (NOCTUA_ENFORCE*), and NOCTUA_ARTIFACT_DIR's writability probe in
+//     src/pipeline/session.h.
+//
+// Long-lived processes must not re-read the environment mid-flight: a server that
+// consulted getenv per request would let one setenv race every in-flight analysis.
+// Snapshot (CaptureSnapshot) is the one-shot capture an Engine resolves at construction
+// (pipeline/engine.h turns it into a typed EngineConfig); everything downstream of an
+// Engine reads the snapshot, not the environment.
+#ifndef SRC_SUPPORT_ENV_H_
+#define SRC_SUPPORT_ENV_H_
+
+#include <initializer_list>
+#include <string>
+
+namespace noctua::env {
+
+// Raw variable access: nullptr when unset. Callers treat "" as unset.
+const char* Raw(const char* var);
+
+// True when `var` is set to a non-empty value.
+bool IsSet(const char* var);
+
+// True when `var` is set and its first character is '1' (NOCTUA_COORD_SELFCHECK).
+bool FlagSet(const char* var);
+
+// Strict scalar parses: pure functions of the text, no getenv, no policy. Return false —
+// leaving *out untouched — on anything that is not exactly one well-formed value
+// (trailing characters, empty string, overflow all reject).
+bool ParseLong(const std::string& text, long* out);
+bool ParseDouble(const std::string& text, double* out);
+bool ParseOnOff(const std::string& text, bool* out);  // exactly "on" or "off"
+
+// Prints "noctua: <message>\n" to stderr the first time it is called for `var`;
+// subsequent calls for the same variable are silent. Keyed by variable name, so a knob
+// re-parsed by several modules still warns exactly once per process.
+void WarnOnce(const char* var, const std::string& message);
+
+// ---------------------------------------------------------------------------------------
+// Lenient knobs (warn once + fall back)
+
+// Positive integer with an upper clamp: unset/empty returns `fallback`; malformed or
+// non-positive warns and returns `fallback`; a value above `cap` warns and returns
+// `cap`. (NOCTUA_THREADS)
+long PositiveIntOr(const char* var, long fallback, long cap);
+
+// on/off toggle: unset/empty returns `fallback`; malformed warns and returns `fallback`.
+// (NOCTUA_SYMMETRY, NOCTUA_INCREMENTAL)
+bool OnOffOr(const char* var, bool fallback);
+
+// Enumerated knob: unset/empty returns `fallback`; a member of `allowed` is returned
+// verbatim; anything else warns and returns `fallback`. (NOCTUA_SOLVER)
+std::string EnumOr(const char* var, std::initializer_list<const char*> allowed,
+                   const char* fallback);
+
+// ---------------------------------------------------------------------------------------
+// Fail-fast knobs (fatal on a set-and-malformed value)
+
+// Integer in [lo, hi]: unset returns `fallback`; malformed or out-of-range is fatal with
+// a message naming the variable. (NOCTUA_ENFORCE_SHARDS)
+long RequireLongInRange(const char* var, long lo, long hi, long fallback);
+
+// Double in (lo, hi]: unset returns `fallback`; malformed or out-of-range is fatal.
+// (NOCTUA_ENFORCE_LEASE_MS)
+double RequireDoubleInRange(const char* var, double lo, double hi, double fallback);
+
+// Exactly "0" or "1": unset returns `fallback`; anything else is fatal. (NOCTUA_ENFORCE)
+bool RequireBool01(const char* var, bool fallback);
+
+// ---------------------------------------------------------------------------------------
+// Snapshot
+
+// One-shot capture of every analysis-affecting knob, taken at engine construction and
+// never re-read. Fields hold *resolved* values (parse policy already applied), typed as
+// far as this layer can without depending on smt — the engine layer lifts `solver` into
+// a BackendKind.
+struct Snapshot {
+  // Resolved degree of parallelism: NOCTUA_THREADS if valid, else hardware concurrency.
+  int threads = 1;
+  // Validated backend name ("dfs", "cdcl", "portfolio"); unset resolves to the built-in
+  // default, "dfs".
+  std::string solver = "dfs";
+  // Resolved optimization toggles (default on).
+  bool symmetry = true;
+  bool incremental = true;
+  // NOCTUA_ARTIFACT_DIR verbatim ("" = no persistence). Writability is probed by
+  // ArtifactDirFromEnv, not here: capturing a snapshot must not touch the filesystem.
+  std::string artifact_dir;
+};
+
+Snapshot CaptureSnapshot();
+
+// The NOCTUA_THREADS clamp shared by CaptureSnapshot and ThreadPool::DefaultThreads.
+inline constexpr long kMaxThreads = 256;
+
+}  // namespace noctua::env
+
+#endif  // SRC_SUPPORT_ENV_H_

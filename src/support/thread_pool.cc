@@ -1,9 +1,8 @@
 #include "src/support/thread_pool.h"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
 #include <memory>
+
+#include "src/support/env.h"
 
 namespace noctua {
 
@@ -62,38 +61,12 @@ ThreadPool::~ThreadPool() {
 }
 
 int ThreadPool::DefaultThreads() {
-  // More worker threads than this is never useful for pair verification and usually a
-  // typo (an extra digit); clamp rather than spawn thousands of threads.
-  constexpr long kMaxThreads = 256;
-  if (const char* env = std::getenv("NOCTUA_THREADS")) {
-    // Parse strictly: atoi would silently turn "8x"/"abc" into 8/0. Reject anything that
-    // is not a whole positive integer, warning once so a typo is noticed, not absorbed.
-    static bool warned = false;
-    char* end = nullptr;
-    errno = 0;
-    long n = std::strtol(env, &end, 10);
-    if (errno == 0 && end != env && *end == '\0' && n > 0) {
-      if (n > kMaxThreads) {
-        if (!warned) {
-          warned = true;
-          std::fprintf(stderr,
-                       "noctua: NOCTUA_THREADS=%s exceeds the %ld-thread cap; clamping\n",
-                       env, kMaxThreads);
-        }
-        n = kMaxThreads;
-      }
-      return static_cast<int>(n);
-    }
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "noctua: ignoring NOCTUA_THREADS=\"%s\" (expected a positive "
-                   "integer); using hardware concurrency\n",
-                   env);
-    }
-  }
+  // More worker threads than env::kMaxThreads is never useful for pair verification and
+  // usually a typo (an extra digit); env::PositiveIntOr clamps rather than spawn
+  // thousands of threads, and rejects non-integers with a one-shot warning.
   unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return static_cast<int>(env::PositiveIntOr(
+      "NOCTUA_THREADS", hw == 0 ? 1 : static_cast<long>(hw), env::kMaxThreads));
 }
 
 void ThreadPool::StartWorkers() {

@@ -189,8 +189,13 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
       backend_kind == smt::BackendKind::kDfs
           ? std::string()
           : std::string(smt::BackendKindName(backend_kind)) + "|";
-  const smt::PortfolioCounts portfolio_before = smt::GetPortfolioCounts();
-  const smt::SolverSharedCounts shared_before = smt::GetSolverSharedCounts();
+  // This run's tallies accumulate into the caller's sink when one is provided (an
+  // engine-owned sink keeps concurrent runs from reading each other's deltas), else
+  // into the process-wide sink exactly as before.
+  smt::SolverCounterSink* sink =
+      parallel.counters != nullptr ? parallel.counters : &smt::ProcessSolverCounters();
+  const smt::PortfolioCounts portfolio_before = sink->Portfolio();
+  const smt::SolverSharedCounts shared_before = sink->Shared();
 
   VerdictCache local_cache(parallel.store != nullptr ? 0 : parallel.cache_capacity);
   VerdictCache* cache = parallel.store != nullptr ? parallel.store : &local_cache;
@@ -258,6 +263,9 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   };
 
   auto run_job = [&](size_t k) {
+    // Route every solver accumulation this task performs (including portfolio races,
+    // which re-install the current sink on their contestant threads) to this run's sink.
+    smt::ScopedSolverCounterSink scoped_sink(sink);
     const PairJob& job = jobs[k];
     const soir::CodePath& p = paths[job.i];
     const soir::CodePath& q = paths[job.j];
@@ -324,11 +332,20 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
     report.pairs[k] = std::move(v);
   };
 
-  int threads = parallel.threads > 0 ? parallel.threads : ThreadPool::DefaultThreads();
-  ThreadPool pool(threads);
-  pool.ParallelFor(jobs.size(), run_job, parallel.cheapest_first ? &dispatch : nullptr);
+  // Either borrow the caller's long-lived pool (engine mode) or spin up a run-local one.
+  // A borrowed pool's lifetime totals span many runs, so stats are snapshotted around
+  // the ParallelFor and reported as deltas.
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = parallel.pool;
+  if (pool == nullptr) {
+    int threads = parallel.threads > 0 ? parallel.threads : ThreadPool::DefaultThreads();
+    local_pool.emplace(threads);
+    pool = &*local_pool;
+  }
+  const ThreadPool::Stats pool_before = pool->stats();
+  pool->ParallelFor(jobs.size(), run_job, parallel.cheapest_first ? &dispatch : nullptr);
 
-  report.stats.threads_used = pool.threads();
+  report.stats.threads_used = pool->threads();
   report.stats.pairs = jobs.size();
   report.stats.prefiltered = prefiltered_count.load();
   report.stats.solver_checks = solver_checks.load();
@@ -337,21 +354,20 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
   report.stats.replayed = replayed_queries.load();
   report.stats.paranoia_rechecks = paranoia_rechecks.load();
   report.stats.solver_nodes = solver_nodes.load();
-  // The pool is run-local, so its lifetime totals are this run's totals.
-  ThreadPool::Stats pool_stats = pool.stats();
-  report.stats.pool_tasks = pool_stats.tasks;
-  report.stats.pool_steals = pool_stats.steals;
+  ThreadPool::Stats pool_stats = pool->stats();
+  report.stats.pool_tasks = pool_stats.tasks - pool_before.tasks;
+  report.stats.pool_steals = pool_stats.steals - pool_before.steals;
   report.stats.cache_evictions = cache->evictions() - evictions_before;
   report.stats.solver_backend = smt::BackendKindName(backend_kind);
   {
-    const smt::PortfolioCounts after = smt::GetPortfolioCounts();
+    const smt::PortfolioCounts after = sink->Portfolio();
     report.stats.portfolio_races = after.races - portfolio_before.races;
     report.stats.portfolio_wins_dfs = after.wins_dfs - portfolio_before.wins_dfs;
     report.stats.portfolio_wins_cdcl = after.wins_cdcl - portfolio_before.wins_cdcl;
     report.stats.portfolio_undecided = after.undecided - portfolio_before.undecided;
   }
   {
-    const smt::SolverSharedCounts after = smt::GetSolverSharedCounts();
+    const smt::SolverSharedCounts after = sink->Shared();
     report.stats.incremental_reuse_hits =
         after.incremental_reuse_hits - shared_before.incremental_reuse_hits;
     report.stats.symmetry_pruned = after.symmetry_pruned - shared_before.symmetry_pruned;

@@ -18,6 +18,13 @@
 #include "src/soir/ast.h"
 #include "src/verifier/checker.h"
 
+namespace noctua {
+class ThreadPool;
+namespace smt {
+class SolverCounterSink;
+}  // namespace smt
+}  // namespace noctua
+
 namespace noctua::verifier {
 
 class VerdictCache;
@@ -49,6 +56,15 @@ struct ParallelOptions {
   // at most a duplicate solver call, never correctness. Ignored when `store` is set: a
   // persistent store must not silently drop verdicts it is expected to replay.
   size_t cache_capacity = 0;
+  // Borrowed worker pool to run the pair loop on instead of constructing a run-local
+  // one. The caller must guarantee exclusive use for the duration of the run (a
+  // ThreadPool supports one ParallelFor at a time); pool-task stats are reported as
+  // before/after deltas. When set, `threads` is ignored. nullptr = run-local pool.
+  ThreadPool* pool = nullptr;
+  // Where this run's solver tallies (reuse hits, symmetry pruning, portfolio wins, ...)
+  // are accumulated and delta'd from. nullptr = the process-wide sink, which preserves
+  // the historical single-run behavior but cross-contaminates concurrent runs.
+  smt::SolverCounterSink* counters = nullptr;
 };
 
 // Where a pair's verdicts came from, for incremental-run provenance.

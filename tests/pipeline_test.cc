@@ -5,14 +5,17 @@
 // never which verdicts.
 #include <atomic>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/apps/apps.h"
+#include "src/pipeline/engine.h"
 #include "src/pipeline/pipeline.h"
 #include "src/soir/printer.h"
 #include "src/support/thread_pool.h"
@@ -86,6 +89,54 @@ TEST(ThreadPoolTest, DefaultThreadsClampsAbsurdValues) {
   ASSERT_EQ(unsetenv("NOCTUA_THREADS"), 0);
 }
 
+// Lifecycle tests for the long-lived pool an Engine owns. Workers start lazily, so an
+// idle pool must construct and destruct without ever spinning up (or busy-waiting in) a
+// worker thread, and a working pool must survive arbitrarily many submit/drain cycles.
+// All of these run under TSan in CI.
+
+TEST(ThreadPoolTest, IdlePoolConstructsAndDestructsWithoutWork) {
+  for (int round = 0; round < 100; ++round) {
+    ThreadPool pool(8);
+    EXPECT_EQ(pool.threads(), 8);
+    EXPECT_EQ(pool.stats().tasks, 0u);  // lazy start: nothing ran, nothing spun
+  }
+}
+
+TEST(ThreadPoolTest, ManySubmitDrainCyclesOnOnePool) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  const int batches = 200;
+  const size_t per_batch = 16;
+  for (int b = 0; b < batches; ++b) {
+    pool.ParallelFor(per_batch,
+                     [&](size_t i) { total.fetch_add(i + 1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), batches * (per_batch * (per_batch + 1) / 2));
+  EXPECT_EQ(pool.stats().tasks, batches * per_batch);
+}
+
+TEST(ThreadPoolTest, RepeatedConstructRunDestroyIsClean) {
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    pool.ParallelFor(8, [&](size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+    ASSERT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, PoolDrivenAndDestroyedOffTheOwningThread) {
+  // A daemon constructs its Engine (and thus its pool) on main but serves requests from
+  // worker threads; the pool must not care which thread runs ParallelFor or deletes it.
+  auto pool = std::make_unique<ThreadPool>(4);
+  std::atomic<int> ran{0};
+  std::thread driver([&] {
+    pool->ParallelFor(32, [&](size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.reset();
+  });
+  driver.join();
+  EXPECT_EQ(ran.load(), 32);
+}
+
 // ------------------------------------------------------------------- canonical fingerprint
 
 TEST(CanonicalFingerprintTest, CopiedEndpointsShareFingerprints) {
@@ -154,10 +205,10 @@ std::vector<std::string> VerdictLines(const verifier::RestrictionReport& report)
   return out;
 }
 
-// Engine configurations whose verdicts must all agree. `deterministic_budget` pins the
+// Pipeline configurations whose verdicts must all agree. `deterministic_budget` pins the
 // solver to its node budget (no wall-clock dependence), so the comparison is exact even
 // on a loaded machine.
-PipelineOptions EngineConfig(int threads, bool cache, bool cheapest_first,
+PipelineOptions AgreementOptions(int threads, bool cache, bool cheapest_first,
                              bool projection) {
   PipelineOptions options;
   options.parallel.threads = threads;
@@ -177,13 +228,13 @@ TEST_P(EngineAgreementTest, VerdictsIdenticalAcrossThreadCounts) {
   analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
 
   verifier::RestrictionReport reference =
-      Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true));
+      Pipeline::Verify(a, analysis, AgreementOptions(1, true, true, true));
   std::vector<std::string> expected = VerdictLines(reference);
   ASSERT_FALSE(expected.empty());
 
   for (int threads : {2, 8}) {
     verifier::RestrictionReport report =
-        Pipeline::Verify(a, analysis, EngineConfig(threads, true, true, true));
+        Pipeline::Verify(a, analysis, AgreementOptions(threads, true, true, true));
     EXPECT_EQ(report.stats.threads_used, threads);
     EXPECT_EQ(VerdictLines(report), expected) << "threads=" << threads;
   }
@@ -196,11 +247,11 @@ TEST_P(EngineAgreementTest, CacheAndScheduleDoNotChangeVerdicts) {
   analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
 
   std::vector<std::string> expected =
-      VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true)));
+      VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(1, true, true, true)));
   // Cache off, schedule off (report order), both at 2 threads.
-  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(2, false, true, true))),
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(2, false, true, true))),
             expected);
-  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(2, true, false, true))),
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(2, true, false, true))),
             expected);
 }
 
@@ -220,8 +271,8 @@ TEST(EngineAgreementBigApps, PostGraduationIdenticalAcrossThreads) {
   analysis_only.verify = false;
   analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
   std::vector<std::string> expected =
-      VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true)));
-  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(8, true, true, true))),
+      VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(1, true, true, true)));
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(8, true, true, true))),
             expected);
 }
 
@@ -231,12 +282,12 @@ TEST(EngineAgreementBigApps, ZhihuIdenticalAcrossThreadsAndCache) {
   analysis_only.verify = false;
   analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
   verifier::RestrictionReport reference =
-      Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true));
+      Pipeline::Verify(a, analysis, AgreementOptions(1, true, true, true));
   std::vector<std::string> expected = VerdictLines(reference);
   EXPECT_GT(reference.stats.cache_hits, 0u);
-  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(8, true, true, true))),
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(8, true, true, true))),
             expected);
-  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(2, false, true, true))),
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(2, false, true, true))),
             expected);
 }
 
@@ -245,8 +296,8 @@ TEST(EngineAgreementTestExtra, ProjectionDoesNotChangeVerdicts) {
   PipelineOptions analysis_only;
   analysis_only.verify = false;
   analyzer::AnalysisResult analysis = Pipeline::Run(a, analysis_only).analysis;
-  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, false))),
-            VerdictLines(Pipeline::Verify(a, analysis, EngineConfig(1, true, true, true))));
+  EXPECT_EQ(VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(1, true, true, false))),
+            VerdictLines(Pipeline::Verify(a, analysis, AgreementOptions(1, true, true, true))));
 }
 
 // ----------------------------------------------------------------------------- Pipeline
@@ -291,6 +342,86 @@ TEST(PipelineTest, ThreadsOptionFlowsThrough) {
   options.parallel.threads = 2;
   PipelineResult result = Pipeline::Run(a, options);
   EXPECT_EQ(result.stats().threads_used, 2);
+}
+
+// ------------------------------------------------------------------------------- Engine
+
+TEST(EngineTest, MatchesStaticPipelineFacade) {
+  app::App todo = apps::MakeTodoApp();
+  PipelineResult direct = Pipeline::Run(todo);
+  Engine engine{EngineConfig{}};
+  PipelineResult engined = engine.Run(todo);
+  EXPECT_EQ(engined.restrictions.RestrictedPairNames(),
+            direct.restrictions.RestrictedPairNames());
+  EXPECT_EQ(engined.restrictions.num_checks(), direct.restrictions.num_checks());
+}
+
+TEST(EngineTest, WarmEngineAnswersRepeatRunsFromItsVerdictCache) {
+  Engine engine{EngineConfig{}};
+  app::App todo = apps::MakeTodoApp();
+  PipelineResult cold = engine.Run(todo);
+  PipelineResult warm = engine.Run(todo);
+  EXPECT_GT(cold.restrictions.stats.solver_checks, 0u);
+  EXPECT_EQ(warm.restrictions.stats.solver_checks, 0u);
+  EXPECT_GT(warm.restrictions.stats.cache_hits, 0u);
+  EXPECT_EQ(warm.restrictions.RestrictedPairNames(),
+            cold.restrictions.RestrictedPairNames());
+}
+
+TEST(EngineTest, SequentialEnginesKeepIndependentSolverTallies) {
+  // Regression for the cross-run counter bleed: portfolio/solver tallies used to live in
+  // process-wide globals, so a second pipeline's lifetime counters started wherever the
+  // first left off. Each Engine owns its sink now — its tally is exactly its own work.
+  EngineConfig config;
+  config.solver = smt::BackendKind::kPortfolio;
+  app::App todo = apps::MakeTodoApp();
+
+  Engine first(config);
+  PipelineResult r1 = first.Run(todo);
+  const smt::PortfolioCounts p1 = first.counters().Portfolio();
+
+  Engine second(config);
+  PipelineResult r2 = second.Run(todo);
+  const smt::PortfolioCounts p2 = second.counters().Portfolio();
+
+  ASSERT_GT(r1.restrictions.stats.portfolio_races, 0u);
+  EXPECT_EQ(p1.races, r1.restrictions.stats.portfolio_races);
+  EXPECT_EQ(p2.races, r2.restrictions.stats.portfolio_races);
+  EXPECT_EQ(p1.races, p2.races);  // identical work, not first's tally plus second's
+  // Running the second engine must not have moved the first engine's counters.
+  EXPECT_EQ(first.counters().Portfolio().races, p1.races);
+  EXPECT_EQ(p1.wins_dfs + p1.wins_cdcl + p1.undecided, p1.races);
+}
+
+TEST(EngineTest, IdleEngineConstructsAndDestructsCleanly) {
+  Engine engine{EngineConfig{}};
+  EXPECT_EQ(engine.verdicts().size(), 0u);
+  EXPECT_EQ(engine.counters().Shared().incremental_reuse_hits, 0u);
+}
+
+TEST(EngineTest, ResolveOptionsPinsAutoKnobsAndInjectsEngineState) {
+  EngineConfig config;
+  config.solver = smt::BackendKind::kCdcl;
+  config.symmetry = false;
+  Engine engine(config);
+
+  PipelineOptions defaults;
+  PipelineOptions resolved = engine.ResolveOptions(defaults);
+  EXPECT_EQ(resolved.checker.solver.backend, smt::BackendKind::kCdcl);
+  EXPECT_EQ(resolved.checker.solver.symmetry, smt::Toggle::kOff);
+  EXPECT_EQ(resolved.parallel.pool, &engine.pool());
+  EXPECT_EQ(resolved.parallel.counters, &engine.counters());
+  EXPECT_EQ(resolved.parallel.store, &engine.verdicts());
+
+  // A caller that brought its own store (or asked for a bounded run-local cache, or a
+  // different pool width) keeps it — the engine never overrides explicit choices.
+  verifier::VerdictCache mine;
+  PipelineOptions custom;
+  custom.parallel.store = &mine;
+  custom.parallel.threads = engine.pool().threads() + 1;
+  PipelineOptions kept = engine.ResolveOptions(custom);
+  EXPECT_EQ(kept.parallel.store, &mine);
+  EXPECT_EQ(kept.parallel.pool, nullptr);
 }
 
 }  // namespace
