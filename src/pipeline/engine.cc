@@ -20,6 +20,7 @@ EngineConfig EngineConfig::FromEnv() {
   // the old facade never looked at. Daemons that DO persist call ArtifactDirFromEnv
   // for the fail-fast create-and-probe before constructing their engine.
   config.artifact_root = snap.artifact_dir;
+  config.verdict_cache_capacity = snap.verdict_cache_capacity;
   return config;
 }
 

@@ -7,8 +7,8 @@
 //
 //   - EngineConfig is resolved ONCE, at construction (EngineConfig::FromEnv reads
 //     NOCTUA_THREADS / NOCTUA_SOLVER / NOCTUA_SYMMETRY / NOCTUA_INCREMENTAL /
-//     NOCTUA_ARTIFACT_DIR). A running engine never consults the environment again, so a
-//     daemon's behavior cannot drift when its environment does.
+//     NOCTUA_ARTIFACT_DIR / NOCTUA_VERDICT_CACHE). A running engine never consults the
+//     environment again, so a daemon's behavior cannot drift when its environment does.
 //   - Run/Verify/RunIncremental are safe to call from many threads: the verify stage is
 //     serialized on an internal mutex because the work-stealing ThreadPool supports one
 //     ParallelFor at a time. Callers queue; admission control (bounding that queue)
@@ -52,7 +52,10 @@ struct EngineConfig {
   // Root directory for on-disk artifact stores ("" = no persistence). Tenants get
   // disjoint subtrees under it — see Engine::TenantStoreDir.
   std::string artifact_root;
-  // Entry bound for the engine-owned verdict cache (0 = unbounded).
+  // Entry bound for the engine-owned verdict cache. 0 = unbounded — correct for the
+  // throwaway per-call engines inside the Pipeline facade, which die with the run.
+  // Long-lived owners must bound it or grow without limit: noctua-serve applies a
+  // finite default when neither NOCTUA_VERDICT_CACHE nor --verdict-cache is given.
   size_t verdict_cache_capacity = 0;
 
   // Captures the environment (fail-fast on a configured-but-unusable artifact dir,

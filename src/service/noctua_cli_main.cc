@@ -16,6 +16,7 @@
 
 #include "src/obs/json.h"
 #include "src/service/client.h"
+#include "src/support/env.h"
 
 namespace {
 
@@ -66,7 +67,13 @@ int main(int argc, char** argv) {
     if (arg == "--host") {
       host = next("--host");
     } else if (arg == "--port") {
-      port = std::atoi(next("--port"));
+      long p = 0;
+      const char* raw = next("--port");
+      if (!noctua::env::ParseLong(raw, &p) || p < 1 || p > 65535) {
+        std::fprintf(stderr, "--port expects an integer in [1, 65535], got \"%s\"\n", raw);
+        return Usage(argv[0]);
+      }
+      port = static_cast<int>(p);
     } else {
       break;
     }

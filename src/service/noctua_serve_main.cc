@@ -2,8 +2,8 @@
 // one long-lived Engine, and serves analysis requests until /shutdown (or SIGTERM-ish
 // termination by the supervisor).
 //
-//   noctua-serve [--host H] [--port P] [--workers N] [--queue Q]
-//                [--artifact-root DIR] [--no-metrics]
+//   noctua-serve [--host H] [--port P] [--workers N] [--queue Q] [--readers R]
+//                [--verdict-cache C] [--artifact-root DIR] [--no-metrics]
 //
 // Prints exactly one line "listening on H:P" to stdout once ready (scripts grab the
 // ephemeral port from it), then blocks. Engine knobs (threads, solver, toggles) come
@@ -21,17 +21,28 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host H] [--port P] [--workers N] [--queue Q]\n"
-               "          [--artifact-root DIR] [--no-metrics]\n",
+               "usage: %s [--host H] [--port P] [--workers N] [--queue Q] [--readers R]\n"
+               "          [--verdict-cache C] [--artifact-root DIR] [--no-metrics]\n",
                argv0);
   return 2;
 }
+
+// The long-lived daemon's default bound on the engine's shared verdict cache. The
+// unbounded (0) setting is reserved for throwaway per-call engines; a server that ran
+// forever with it would grow without limit. Overridable with --verdict-cache or
+// NOCTUA_VERDICT_CACHE (either may say 0 to explicitly opt back into unbounded).
+constexpr size_t kDefaultVerdictCacheCapacity = 1 << 16;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   noctua::service::ServiceOptions options;
   options.engine = noctua::EngineConfig::FromEnv();
+
+  // The daemon honors a NOCTUA_VERDICT_CACHE from the environment (already folded into
+  // the FromEnv snapshot above); otherwise, unlike throwaway engines, it must not run
+  // unbounded — see kDefaultVerdictCacheCapacity.
+  bool verdict_cache_chosen = noctua::env::IsSet("NOCTUA_VERDICT_CACHE");
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -42,14 +53,32 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Strict flag-value parse, same discipline as the env knobs: a malformed or
+    // out-of-range value is a usage error, never a silent 0.
+    auto next_long = [&](const char* flag, long lo, long hi) -> long {
+      const char* raw = next(flag);
+      long n = 0;
+      if (!noctua::env::ParseLong(raw, &n) || n < lo || n > hi) {
+        std::fprintf(stderr, "%s expects an integer in [%ld, %ld], got \"%s\"\n", flag, lo,
+                     hi, raw);
+        std::exit(Usage(argv[0]));
+      }
+      return n;
+    };
     if (arg == "--host") {
       options.host = next("--host");
     } else if (arg == "--port") {
-      options.port = std::atoi(next("--port"));
+      options.port = static_cast<int>(next_long("--port", 0, 65535));
     } else if (arg == "--workers") {
-      options.workers = std::atoi(next("--workers"));
+      options.workers = static_cast<int>(next_long("--workers", 1, 1024));
     } else if (arg == "--queue") {
-      options.max_queue = static_cast<size_t>(std::atol(next("--queue")));
+      options.max_queue = static_cast<size_t>(next_long("--queue", 0, 1L << 20));
+    } else if (arg == "--readers") {
+      options.readers = static_cast<int>(next_long("--readers", 1, 1024));
+    } else if (arg == "--verdict-cache") {
+      options.engine.verdict_cache_capacity = static_cast<size_t>(
+          next_long("--verdict-cache", 0, noctua::env::kMaxVerdictCacheEntries));
+      verdict_cache_chosen = true;
     } else if (arg == "--artifact-root") {
       options.engine.artifact_root = next("--artifact-root");
     } else if (arg == "--no-metrics") {
@@ -61,6 +90,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage(argv[0]);
     }
+  }
+
+  if (!verdict_cache_chosen) {
+    options.engine.verdict_cache_capacity = kDefaultVerdictCacheCapacity;
   }
 
   // A daemon with persistence wants the fail-fast create-and-probe before it starts

@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 
 #include "src/obs/obs.h"
@@ -114,11 +115,16 @@ bool ReadMessage(int fd, std::string* start_line, std::map<std::string, std::str
       *error = "malformed Content-Length";
       return false;
     }
-    content_length = std::stoull(v);
-    if (content_length > kMaxBodyBytes) {
+    // from_chars, not stoull: an all-digit value that overflows uint64 must be a
+    // rejected request, not an exception escaping the read thread.
+    uint64_t parsed = 0;
+    auto res = std::from_chars(v.data(), v.data() + v.size(), parsed);
+    if (res.ec != std::errc() || res.ptr != v.data() + v.size() ||
+        parsed > kMaxBodyBytes) {
       *error = "body exceeds limit";
       return false;
     }
+    content_length = static_cast<size_t>(parsed);
   }
   if (headers->count("transfer-encoding") != 0) {
     *error = "chunked transfer encoding not supported";

@@ -82,6 +82,14 @@ Server::Server(ServiceOptions options) : options_(std::move(options)) {
   if (options_.workers < 1) {
     options_.workers = 1;
   }
+  if (options_.readers < 1) {
+    options_.readers = 1;
+  }
+  // Unread connections the accept thread may park ahead of the readers. Sized so the
+  // analysis queue plus every reader/worker can be fed with slack for the control
+  // plane; past this the daemon is genuinely overrun and fail-fast 503 is the answer.
+  conn_backlog_ = options_.max_queue + static_cast<size_t>(options_.workers) +
+                  static_cast<size_t>(options_.readers) + 16;
   engine_ = std::make_unique<Engine>(options_.engine);
 }
 
@@ -129,6 +137,9 @@ bool Server::Start(std::string* error) {
 
   started_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (int i = 0; i < options_.readers; ++i) {
+    readers_.emplace_back([this] { ReaderLoop(); });
+  }
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -136,23 +147,66 @@ bool Server::Start(std::string* error) {
 }
 
 void Server::AcceptLoop() {
+  // Accept only — never read. A stalled client costs a reader at most the io timeout;
+  // it can never block admission of other connections or the control plane.
   while (true) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd_.load(std::memory_order_relaxed), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) {
         continue;
       }
       return;  // listener closed by Stop()
     }
+    SetSocketTimeouts(fd, options_.io_timeout_seconds);
+    bool refuse_stopping = false;
+    bool refuse_overrun = false;
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
       if (stopping_) {
-        WriteHttpResponse(fd, ErrorResponse(503, "server shutting down"));
-        ::close(fd);
-        return;
+        refuse_stopping = true;
+      } else if (conn_queue_.size() >= conn_backlog_) {
+        refuse_overrun = true;
+      } else {
+        conn_queue_.push_back(fd);
       }
     }
-    SetSocketTimeouts(fd, options_.io_timeout_seconds);
+    if (refuse_stopping) {
+      WriteHttpResponse(fd, ErrorResponse(503, "server shutting down"));
+      ::close(fd);
+      return;
+    }
+    if (refuse_overrun) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::Add(obs::Counter::kServiceRejected);
+      WriteHttpResponse(fd, ErrorResponse(503, "connection backlog full — retry later"));
+      ::close(fd);
+      continue;
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void Server::ReaderLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      conn_cv_.wait(lk, [this] { return stopping_ || !conn_queue_.empty(); });
+      if (stopping_) {
+        // Refuse everything still parked; Stop() joins us before draining workers, so
+        // an fd refused here is never half-admitted.
+        std::deque<int> leftover;
+        leftover.swap(conn_queue_);
+        lk.unlock();
+        for (int parked : leftover) {
+          WriteHttpResponse(parked, ErrorResponse(503, "server shutting down"));
+          ::close(parked);
+        }
+        return;
+      }
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
     HandleConnection(fd);
   }
 }
@@ -215,19 +269,34 @@ void Server::HandleConnection(int fd) {
 
   // Admission control: fail fast when the queue is full rather than building an
   // unbounded backlog in front of a saturated engine.
+  bool refuse_stopping = false;
+  bool refuse_full = false;
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
-    if (queue_.size() >= options_.max_queue) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      obs::Add(obs::Counter::kServiceRejected);
-      WriteHttpResponse(
-          fd, ErrorResponse(503, "admission queue full (" +
-                                     std::to_string(options_.max_queue) + ") — retry later"));
-      ::close(fd);
-      return;
+    if (stopping_) {
+      // Stop() raced this read: the workers are draining and must not be handed new
+      // work after they observe an empty queue.
+      refuse_stopping = true;
+    } else if (queue_.size() >= options_.max_queue) {
+      refuse_full = true;
+    } else {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(Job{fd, std::move(req)});
     }
-    admitted_.fetch_add(1, std::memory_order_relaxed);
-    queue_.push_back(Job{fd, std::move(req)});
+  }
+  if (refuse_stopping) {
+    WriteHttpResponse(fd, ErrorResponse(503, "server shutting down"));
+    ::close(fd);
+    return;
+  }
+  if (refuse_full) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::Add(obs::Counter::kServiceRejected);
+    WriteHttpResponse(
+        fd, ErrorResponse(503, "admission queue full (" +
+                                   std::to_string(options_.max_queue) + ") — retry later"));
+    ::close(fd);
+    return;
   }
   queue_cv_.notify_one();
 }
@@ -360,8 +429,10 @@ std::string Server::MetricsJson() const {
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     out += ", \"queue_depth\": " + std::to_string(queue_.size());
+    out += ", \"conn_queue_depth\": " + std::to_string(conn_queue_.size());
   }
   out += ", \"workers\": " + std::to_string(options_.workers);
+  out += ", \"readers\": " + std::to_string(options_.readers);
   out += ", \"max_queue\": " + std::to_string(options_.max_queue);
   out += "}, \"engine\": {";
   out += "\"threads\": " + std::to_string(engine_->pool().threads());
@@ -409,15 +480,25 @@ void Server::Stop() {
     std::lock_guard<std::mutex> lk(queue_mu_);
     stopping_ = true;
   }
+  conn_cv_.notify_all();
   queue_cv_.notify_all();
   // Closing the listener makes the blocking accept() fail, ending the accept thread.
   // shutdown() first so a concurrently-blocked accept wakes on every platform.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  int fd = listen_fd_.load(std::memory_order_relaxed);
+  ::shutdown(fd, SHUT_RDWR);
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  ::close(fd);
+  listen_fd_.store(-1, std::memory_order_relaxed);
+  // Readers first: they refuse parked connections and finish in-flight reads, possibly
+  // admitting a last job — which the workers then drain before exiting.
+  for (std::thread& r : readers_) {
+    if (r.joinable()) {
+      r.join();
+    }
+  }
+  readers_.clear();
   for (std::thread& w : workers_) {
     if (w.joinable()) {
       w.join();

@@ -3,13 +3,18 @@
 //
 // Architecture (one Server = one Engine = one artifact root):
 //
-//   accept thread   reads each request and routes it. Control-plane endpoints
-//                   (/healthz, /metrics, /shutdown) are answered inline — they must
-//                   stay responsive even when analysis is saturated. Analysis requests
-//                   go through admission control: a bounded queue in front of a fixed
-//                   worker pool. A full queue is answered 503 immediately (fail-fast:
-//                   the client retries or sheds load; the daemon never builds an
-//                   unbounded backlog).
+//   accept thread   only accepts. Each new fd goes into a bounded connection backlog
+//                   (overflow answered 503 and closed), so a client that stalls
+//                   mid-request can never wedge admission: the accept thread does no
+//                   socket reads at all.
+//   reader threads  pop raw fds, read + parse the request (bounded by the per-socket
+//                   io timeout), and route it. Control-plane endpoints (/healthz,
+//                   /metrics, /shutdown) are answered right there — they never queue
+//                   behind analysis, so they stay responsive while the engine is
+//                   saturated. Analysis requests go through admission control: a
+//                   bounded queue in front of a fixed worker pool. A full queue is
+//                   answered 503 immediately (fail-fast: the client retries or sheds
+//                   load; the daemon never builds an unbounded backlog).
 //   worker threads  pop admitted requests and run them on the shared Engine. The
 //                   in-flight cap is the worker count; the Engine serializes its verify
 //                   stage internally, so workers mostly pipeline analysis against
@@ -60,6 +65,10 @@ struct ServiceOptions {
   // Admission bound: analysis requests accepted-but-not-yet-started. One more request
   // beyond workers + max_queue is answered 503 without touching the engine.
   size_t max_queue = 8;
+  // Reader-pool width: connections being read/parsed concurrently. A stalled client
+  // occupies one reader for at most io_timeout_seconds; the control plane needs only
+  // one free reader to answer.
+  int readers = 2;
   // Install a process collector at Start so /metrics serves live counters. Skipped
   // (without error) when some outer owner already installed one.
   bool metrics = true;
@@ -103,6 +112,7 @@ class Server {
   };
 
   void AcceptLoop();
+  void ReaderLoop();
   void WorkerLoop();
   void HandleConnection(int fd);
   HttpResponse HandleAnalyze(const HttpRequest& req);
@@ -112,14 +122,19 @@ class Server {
   std::unique_ptr<Engine> engine_;
   std::optional<obs::Collector> collector_;
 
-  int listen_fd_ = -1;
+  // Atomic: Stop() resets it while the accept thread re-reads it per accept().
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
+  std::vector<std::thread> readers_;
   std::vector<std::thread> workers_;
+  size_t conn_backlog_ = 0;  // bound on conn_queue_, fixed at Start
 
   mutable std::mutex queue_mu_;  // mutable: MetricsJson (const) reports queue depth
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
+  std::condition_variable queue_cv_;  // wakes workers (queue_)
+  std::condition_variable conn_cv_;   // wakes readers (conn_queue_)
+  std::deque<Job> queue_;      // admitted analysis requests, guarded by queue_mu_
+  std::deque<int> conn_queue_;  // accepted-but-unread fds, guarded by queue_mu_
   bool stopping_ = false;  // guarded by queue_mu_
 
   std::mutex wait_mu_;

@@ -92,6 +92,25 @@ long PositiveIntOr(const char* var, long fallback, long cap) {
   return n;
 }
 
+long NonNegativeIntOr(const char* var, long fallback, long cap) {
+  const char* raw = Raw(var);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  long n = 0;
+  if (!ParseLong(raw, &n) || n < 0) {
+    WarnOnce(var, std::string("ignoring ") + var + "=\"" + raw +
+                      "\" (expected a non-negative integer); using the default");
+    return fallback;
+  }
+  if (n > cap) {
+    WarnOnce(var, std::string(var) + "=" + raw + " exceeds the " + std::to_string(cap) +
+                      " cap; clamping");
+    return cap;
+  }
+  return n;
+}
+
 bool OnOffOr(const char* var, bool fallback) {
   const char* raw = Raw(var);
   if (raw == nullptr || *raw == '\0') {
@@ -176,6 +195,8 @@ Snapshot CaptureSnapshot() {
   if (const char* dir = Raw("NOCTUA_ARTIFACT_DIR")) {
     s.artifact_dir = dir;
   }
+  s.verdict_cache_capacity = static_cast<size_t>(
+      NonNegativeIntOr("NOCTUA_VERDICT_CACHE", 0, kMaxVerdictCacheEntries));
   return s;
 }
 

@@ -6,7 +6,7 @@
 //   * Lenient knobs (tuning, safe to ignore): unset means the built-in default; a valid
 //     value is honored; anything else is rejected with a one-shot stderr warning and the
 //     default is used. A typo is noticed, never silently absorbed. NOCTUA_THREADS,
-//     NOCTUA_SOLVER, NOCTUA_SYMMETRY, NOCTUA_INCREMENTAL.
+//     NOCTUA_SOLVER, NOCTUA_SYMMETRY, NOCTUA_INCREMENTAL, NOCTUA_VERDICT_CACHE.
 //
 //   * Fail-fast knobs (semantics, wrong to ignore): unset means the built-in default,
 //     but a set-and-malformed value is a *fatal error*. Used where running with a
@@ -56,6 +56,10 @@ void WarnOnce(const char* var, const std::string& message);
 // `cap`. (NOCTUA_THREADS)
 long PositiveIntOr(const char* var, long fallback, long cap);
 
+// Like PositiveIntOr but 0 is a valid value (e.g. "unbounded" for capacity knobs).
+// (NOCTUA_VERDICT_CACHE)
+long NonNegativeIntOr(const char* var, long fallback, long cap);
+
 // on/off toggle: unset/empty returns `fallback`; malformed warns and returns `fallback`.
 // (NOCTUA_SYMMETRY, NOCTUA_INCREMENTAL)
 bool OnOffOr(const char* var, bool fallback);
@@ -98,12 +102,19 @@ struct Snapshot {
   // NOCTUA_ARTIFACT_DIR verbatim ("" = no persistence). Writability is probed by
   // ArtifactDirFromEnv, not here: capturing a snapshot must not touch the filesystem.
   std::string artifact_dir;
+  // NOCTUA_VERDICT_CACHE: entry bound for an engine's shared verdict cache. 0 (the
+  // default) = unbounded — right for throwaway per-call engines; long-lived daemons
+  // apply their own finite default when the knob is unset (see noctua-serve).
+  size_t verdict_cache_capacity = 0;
 };
 
 Snapshot CaptureSnapshot();
 
 // The NOCTUA_THREADS clamp shared by CaptureSnapshot and ThreadPool::DefaultThreads.
 inline constexpr long kMaxThreads = 256;
+
+// NOCTUA_VERDICT_CACHE clamp; shared with noctua-serve's --verdict-cache flag.
+inline constexpr long kMaxVerdictCacheEntries = 1L << 30;
 
 }  // namespace noctua::env
 

@@ -4,6 +4,7 @@
 // cheapest-first on/off) — the redesign must change how fast verdicts are produced,
 // never which verdicts.
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -397,6 +398,19 @@ TEST(EngineTest, IdleEngineConstructsAndDestructsCleanly) {
   Engine engine{EngineConfig{}};
   EXPECT_EQ(engine.verdicts().size(), 0u);
   EXPECT_EQ(engine.counters().Shared().incremental_reuse_hits, 0u);
+}
+
+TEST(EngineTest, VerdictCacheCapacityKnobReachesTheEngineCache) {
+  ASSERT_EQ(unsetenv("NOCTUA_VERDICT_CACHE"), 0);
+  // Unset = unbounded, preserving the throwaway per-call facade's old behavior.
+  EXPECT_EQ(EngineConfig::FromEnv().verdict_cache_capacity, 0u);
+
+  ASSERT_EQ(setenv("NOCTUA_VERDICT_CACHE", "123", 1), 0);
+  EngineConfig config = EngineConfig::FromEnv();
+  EXPECT_EQ(config.verdict_cache_capacity, 123u);
+  Engine engine(config);
+  EXPECT_EQ(engine.verdicts().capacity(), 123u);
+  ASSERT_EQ(unsetenv("NOCTUA_VERDICT_CACHE"), 0);
 }
 
 TEST(EngineTest, ResolveOptionsPinsAutoKnobsAndInjectsEngineState) {

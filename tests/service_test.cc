@@ -5,6 +5,12 @@
 // Every server here binds an ephemeral loopback port (port 0), so suites can run in
 // parallel without port collisions.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <set>
 #include <string>
@@ -62,6 +68,19 @@ std::vector<std::string> RestrictionsOf(const std::string& body) {
   return out;
 }
 
+// A raw loopback connection to the test server, for requests the strict Client
+// refuses to send (malformed framing, deliberate stalls).
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
 TEST(ServiceProtocolTest, HealthzAnswersOk) {
   TestServer ts{ServiceOptions{}};
   HttpResponse resp;
@@ -107,6 +126,48 @@ TEST(ServiceProtocolTest, MalformedRequestsAre400NotCrashes) {
   // The server is still alive and serving after all of the above.
   ASSERT_TRUE(client.Get("/healthz", &resp, &error)) << error;
   EXPECT_EQ(resp.status, 200);
+}
+
+TEST(ServiceProtocolTest, OverflowingContentLengthIs400NotACrash) {
+  // Regression: an all-digit Content-Length past uint64 used to throw out of
+  // std::stoull and std::terminate the daemon.
+  TestServer ts{ServiceOptions{}};
+  int fd = RawConnect(ts.server.port());
+  const std::string req =
+      "POST /v1/analyze HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Length: 99999999999999999999\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0), static_cast<ssize_t>(req.size()));
+  char buf[256];
+  ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::string(buf, static_cast<size_t>(n)).rfind("HTTP/1.1 400", 0), 0u);
+  ::close(fd);
+
+  // The daemon survived and still serves.
+  HttpResponse resp;
+  std::string error;
+  ASSERT_TRUE(ts.client().Get("/healthz", &resp, &error)) << error;
+  EXPECT_EQ(resp.status, 200);
+}
+
+TEST(ServiceControlPlaneTest, StalledClientDoesNotBlockControlPlane) {
+  // Regression: request reading used to run inline on the accept thread, so one client
+  // that connected and sent nothing stalled /healthz (and all admission) for the whole
+  // io timeout. Reads now happen on the reader pool; accept never blocks on a socket.
+  ServiceOptions options;
+  options.io_timeout_seconds = 5;
+  TestServer ts{options};
+  int stalled = RawConnect(ts.server.port());  // connected, never sends a byte
+
+  HttpResponse resp;
+  std::string error;
+  auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(ts.client().Get("/healthz", &resp, &error)) << error;
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_LT(seconds, 2.0);  // answered well inside the stalled client's 5s timeout
+  ::close(stalled);
 }
 
 TEST(ServiceAnalyzeTest, MatchesDirectPipelineRunByteForByte) {
