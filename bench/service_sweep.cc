@@ -22,7 +22,17 @@
 //    "speedup": {"pass": ..., "per_request_median": ..., "per_request_min": ...,
 //                "target": 5.0},
 //    "identical_restrictions": true, "warm_solver_checks": 0,
+//    "tenant_phase_latency": [{"tenant": ..., "app": ..., "mode": "cold"|"warm",
+//                              "queue_wait_micros": {...}, "handle_micros": {...}}, ...],
+//    "queue_wait_uncontended_ok": true,
 //    "apps": [{"app": "Todo", "revisions": 3, "pairs_full": ...}, ...]}
+//
+// tenant_phase_latency comes from the service's own labeled histograms (scraped off
+// /metrics after the warm pass): queue-wait vs handle time per (tenant, app, mode) as
+// the server measured them — the attribution an operator sees, checked here against
+// what a load generator knows to be true. In the uncontended configuration
+// (tenants <= workers) the closed-loop clients can never queue behind each other, so
+// the bench gates every tenant's queue-wait p95 at ~0 (<= 25ms of scheduling noise).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -30,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -173,6 +184,61 @@ std::string PassJson(const std::vector<TenantPass>& passes, double wall_seconds)
          ", \"latency_seconds\": " + PercentilesJson(p) + "}";
 }
 
+// One (tenant, app, mode) row of the server's labeled phase histograms.
+struct PhaseRow {
+  std::string tenant;
+  std::string app;
+  std::string mode;
+  std::string queue_wait_json;  // the summary object, verbatim
+  std::string handle_json;
+  uint64_t queue_wait_p95 = 0;
+};
+
+// Scrapes /metrics and folds the labeled service.queue_wait_micros /
+// service.handle_micros rows into per-(tenant, app, mode) phase rows.
+bool ScrapePhaseRows(int port, std::vector<PhaseRow>* rows, std::string* error) {
+  Client client("127.0.0.1", port);
+  HttpResponse resp;
+  if (!client.Get("/metrics", &resp, error)) {
+    return false;
+  }
+  JsonPtr doc = ParseJson(resp.body, error);
+  if (doc == nullptr) {
+    return false;
+  }
+  std::map<std::tuple<std::string, std::string, std::string>, PhaseRow> by_key;
+  for (const JsonPtr& row : doc->Get("labeled")->Get("histograms")->AsArray()) {
+    const std::string& name = row->Get("name")->AsString();
+    if (name != "service.queue_wait_micros" && name != "service.handle_micros") {
+      continue;
+    }
+    std::tuple<std::string, std::string, std::string> key{
+        row->Get("tenant")->AsString(), row->Get("app")->AsString(),
+        row->Get("mode")->AsString()};
+    PhaseRow& out = by_key[key];
+    out.tenant = std::get<0>(key);
+    out.app = std::get<1>(key);
+    out.mode = std::get<2>(key);
+    JsonPtr summary = row->Get("summary");
+    std::string summary_json =
+        "{\"count\": " + std::to_string(summary->Get("count")->AsInt()) +
+        ", \"p50\": " + std::to_string(summary->Get("p50")->AsInt()) +
+        ", \"p95\": " + std::to_string(summary->Get("p95")->AsInt()) +
+        ", \"p99\": " + std::to_string(summary->Get("p99")->AsInt()) +
+        ", \"max\": " + std::to_string(summary->Get("max")->AsInt()) + "}";
+    if (name == "service.queue_wait_micros") {
+      out.queue_wait_json = std::move(summary_json);
+      out.queue_wait_p95 = static_cast<uint64_t>(summary->Get("p95")->AsInt());
+    } else {
+      out.handle_json = std::move(summary_json);
+    }
+  }
+  for (auto& [key, row] : by_key) {
+    rows->push_back(std::move(row));
+  }
+  return true;
+}
+
 std::vector<TenantPass> RunPass(int tenants, int port, const std::vector<AppPlan>& plans,
                                 double* wall_seconds) {
   std::vector<TenantPass> passes(tenants);
@@ -229,6 +295,15 @@ int main(int argc, char** argv) {
   std::vector<TenantPass> cold = RunPass(tenants, server.port(), plans, &cold_seconds);
   double warm_seconds = 0;
   std::vector<TenantPass> warm = RunPass(tenants, server.port(), plans, &warm_seconds);
+
+  // Scrape the server's own per-tenant phase attribution before stopping it.
+  std::vector<PhaseRow> phase_rows;
+  std::string scrape_error;
+  bool scraped = ScrapePhaseRows(server.port(), &phase_rows, &scrape_error);
+  if (!scraped) {
+    std::fprintf(stderr, "service_sweep: /metrics scrape failed: %s\n",
+                 scrape_error.c_str());
+  }
   server.Stop();
 
   bool ok = true;
@@ -304,8 +379,43 @@ int main(int argc, char** argv) {
   json += ", \"identical_restrictions\": ";
   json += identical ? "true" : "false";
   json += ", \"warm_solver_checks\": " + std::to_string(warm_solver_checks);
-  json += ", \"apps\": [";
+
+  // Uncontended gate: with at least as many workers as closed-loop tenants, no request
+  // ever waits behind another, so the server-measured queue-wait must be ~0.
+  const bool uncontended = tenants <= options.workers;
+  constexpr uint64_t kQueueWaitSlackMicros = 25000;
+  bool queue_wait_ok = true;
+  if (uncontended && scraped) {
+    for (const PhaseRow& row : phase_rows) {
+      if (row.queue_wait_p95 > kQueueWaitSlackMicros) {
+        std::fprintf(stderr,
+                     "service_sweep: uncontended queue-wait p95 %llu us for tenant %s"
+                     " (limit %llu)\n",
+                     static_cast<unsigned long long>(row.queue_wait_p95),
+                     row.tenant.c_str(),
+                     static_cast<unsigned long long>(kQueueWaitSlackMicros));
+        queue_wait_ok = false;
+      }
+    }
+  }
+  json += ", \"tenant_phase_latency\": [";
   bool first = true;
+  for (const PhaseRow& row : phase_rows) {
+    if (row.queue_wait_json.empty() || row.handle_json.empty()) {
+      continue;  // a row with only one phase means the request never completed
+    }
+    json += std::string(first ? "" : ", ") + "{\"tenant\": \"" + row.tenant +
+            "\", \"app\": \"" + row.app + "\", \"mode\": \"" + row.mode +
+            "\", \"queue_wait_micros\": " + row.queue_wait_json +
+            ", \"handle_micros\": " + row.handle_json + "}";
+    first = false;
+  }
+  json += "], \"queue_wait_uncontended\": ";
+  json += uncontended ? "true" : "false";
+  json += ", \"queue_wait_uncontended_ok\": ";
+  json += queue_wait_ok ? "true" : "false";
+  json += ", \"apps\": [";
+  first = true;
   for (const AppPlan& plan : plans) {
     json += std::string(first ? "" : ", ") + "{\"app\": \"" + plan.app +
             "\", \"revisions\": " + std::to_string(plan.revision_omits.size()) + "}";
@@ -315,5 +425,5 @@ int main(int argc, char** argv) {
   std::fputs(json.c_str(), stdout);
 
   std::filesystem::remove_all(root);
-  return identical && fast_enough ? 0 : 1;
+  return identical && fast_enough && scraped && queue_wait_ok ? 0 : 1;
 }

@@ -1,0 +1,120 @@
+// Structured, leveled JSON event logging for the service layer.
+//
+// One EventLog writes newline-delimited JSON objects ("json lines") to stderr or a
+// file. Each line carries a wall-clock timestamp, the level, a short event name, and
+// the caller's typed fields:
+//
+//   {"ts_ms": 1754649600123, "level": "info", "event": "request",
+//    "trace_id": "ntr-7", "tenant": "alice", "status": 200, "queue_wait_us": 41, ...}
+//
+// Design points, in the spirit of the obs registry:
+//   - Leveled and cheap when quiet: Enabled(level) is one relaxed atomic load, so a
+//     debug-level probe in the request path costs nothing at the default level.
+//   - Thread-safe: one mutex around the formatted write, so concurrent workers never
+//     interleave bytes of a line. Formatting happens outside the lock.
+//   - No global state: the server owns its EventLog and threads it where needed; tests
+//     construct their own against a temp file.
+//
+// LogRateLimiter is a token bucket for logs that are per-event but must not flood —
+// the slow-request log uses it so a latency incident produces a sample, not a self-
+// inflicted log-volume incident.
+
+#ifndef NOCTUA_SRC_OBS_LOG_H_
+#define NOCTUA_SRC_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+
+namespace noctua::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+// Lowercase level name as it appears on the wire ("debug" ... "error").
+const char* LogLevelName(LogLevel level);
+
+// Parses "debug" | "info" | "warn" | "error" (exact, lowercase). Returns false and
+// leaves *out untouched on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+// One typed key/value field of a log line. Constructed implicitly at call sites:
+//   log.Log(LogLevel::kInfo, "request", {{"tenant", tenant}, {"status", 200}});
+// Strings are JSON-escaped at write time; numbers and bools are emitted bare.
+struct LogField {
+  enum class Kind { kString, kUint, kInt, kDouble, kBool };
+
+  LogField(const char* k, const std::string& v) : key(k), kind(Kind::kString), str(v) {}
+  LogField(const char* k, const char* v) : key(k), kind(Kind::kString), str(v) {}
+  LogField(const char* k, uint64_t v) : key(k), kind(Kind::kUint), u64(v) {}
+  LogField(const char* k, int64_t v) : key(k), kind(Kind::kInt), i64(v) {}
+  LogField(const char* k, int v) : key(k), kind(Kind::kInt), i64(v) {}
+  LogField(const char* k, double v) : key(k), kind(Kind::kDouble), f64(v) {}
+  LogField(const char* k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+
+  const char* key;
+  Kind kind;
+  std::string str;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  bool b = false;
+};
+
+class EventLog {
+ public:
+  // Logs to stderr at kWarn until configured.
+  EventLog();
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Sets the level and sink. Empty path = stderr; otherwise the file is opened for
+  // append (the access log of a long-lived daemon survives restarts). Returns false
+  // with *error set if the file cannot be opened — the previous sink stays active.
+  bool Configure(LogLevel level, const std::string& path, std::string* error);
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  // One relaxed load; gate expensive field computation on this.
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_.load(std::memory_order_relaxed));
+  }
+
+  // Writes one line. No-op below the configured level.
+  void Log(LogLevel level, const char* event, std::initializer_list<LogField> fields);
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mu_;        // serializes writes (and sink swaps) only
+  std::FILE* file_ = nullptr;  // owned when non-null; stderr is used when null
+};
+
+// Token-bucket limiter: allows `burst` immediately, refills at `per_second`.
+// Thread-safe. Time source is the steady clock.
+class LogRateLimiter {
+ public:
+  LogRateLimiter(double per_second, double burst);
+
+  // True if the caller may log now (consumes one token).
+  bool Allow();
+
+ private:
+  const double per_second_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  int64_t last_us_;
+};
+
+}  // namespace noctua::obs
+
+#endif  // NOCTUA_SRC_OBS_LOG_H_

@@ -4,8 +4,10 @@
 #include <bit>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
 #include "src/support/check.h"
 
@@ -28,6 +30,7 @@ struct RawSpan {
   const char* cat = nullptr;
   int64_t ts_us = 0;
   int64_t dur_us = 0;
+  uint64_t trace = 0;
   size_t num_args = 0;
   std::pair<const char*, uint64_t> args[ScopedSpan::kMaxSpanArgs];
 };
@@ -47,7 +50,24 @@ struct HistState {
   std::atomic<uint64_t> sum{0};
   std::atomic<uint64_t> min{UINT64_MAX};
   std::atomic<uint64_t> max{0};
+  // The first kHistReservoir samples verbatim (slot = pre-increment count), for exact
+  // small-count percentiles. A live read may catch a slot whose value store is still in
+  // flight (reads 0, clamped to min by the summary) — exact once recording quiesces.
+  std::atomic<uint64_t> reservoir[kHistReservoir];
 };
+
+// One labeled row's state, guarded by Registry::label_mu — labeled probes fire at
+// per-request rate, so a mutex (and plain fields) beats per-row atomics here.
+struct LabeledHistState {
+  uint64_t buckets[kHistBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = UINT64_MAX;
+  uint64_t max = 0;
+  std::vector<uint64_t> reservoir;  // first kHistReservoir samples
+};
+
+using LabelTuple = std::tuple<std::string, std::string, std::string>;  // tenant, app, mode
 
 struct Registry {
   std::atomic<bool> enabled{false};
@@ -63,6 +83,13 @@ struct Registry {
 
   std::atomic<uint64_t> counters[static_cast<size_t>(Counter::kNumCounters)];
   HistState hists[static_cast<size_t>(Hist::kNumHists)];
+
+  // Labeled rows, keyed by (metric index, label tuple). Guarded by label_mu; reset at
+  // collector install like everything else. label_tuples enforces the cardinality cap.
+  std::mutex label_mu;
+  std::map<std::pair<uint8_t, LabelTuple>, uint64_t> labeled_counters;
+  std::map<std::pair<uint8_t, LabelTuple>, LabeledHistState> labeled_hists;
+  std::set<LabelTuple> label_tuples;
 };
 
 Registry& Reg() {
@@ -107,36 +134,50 @@ void AtomicMax(std::atomic<uint64_t>& a, uint64_t v) {
   }
 }
 
-// Snapshot + summary of one histogram's live atomics. Shared by the end-of-run
-// Collector::Stop path and the mid-recording LiveHistogram path.
-HistSummary SummarizeHist(const HistState& hs) {
+// Percentile summary over one histogram snapshot. Exact (sorted reservoir,
+// nearest-rank) while every sample is still in the reservoir; past that, linear
+// interpolation inside the bucket holding the rank, clamped to the observed [min, max]
+// — so a single-valued histogram stays exact at any count, and a p99 never snaps to a
+// power-of-two bucket edge. Shared by the atomic (process-wide) and mutex-guarded
+// (labeled) histogram states.
+HistSummary SummarizeCounts(const uint64_t counts[kHistBuckets], uint64_t count,
+                            uint64_t sum, uint64_t min, uint64_t max,
+                            std::vector<uint64_t> reservoir) {
   HistSummary out;
-  out.count = hs.count.load(std::memory_order_relaxed);
-  out.sum = hs.sum.load(std::memory_order_relaxed);
-  out.min = out.count == 0 ? 0 : hs.min.load(std::memory_order_relaxed);
-  out.max = hs.max.load(std::memory_order_relaxed);
-  // Percentiles at bucket resolution: the lower bound of the bucket holding the rank.
-  uint64_t counts[kHistBuckets];
-  for (size_t b = 0; b < kHistBuckets; ++b) {
-    counts[b] = hs.buckets[b].load(std::memory_order_relaxed);
+  out.count = count;
+  out.sum = sum;
+  out.min = count == 0 ? 0 : min;
+  out.max = max;
+  if (count == 0) {
+    return out;
+  }
+  auto rank_of = [&](double q) -> uint64_t {
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    return std::clamp<uint64_t>(rank, 1, count);
+  };
+  if (count <= reservoir.size()) {
+    std::sort(reservoir.begin(), reservoir.begin() + static_cast<ptrdiff_t>(count));
+    auto exact = [&](double q) { return reservoir[rank_of(q) - 1]; };
+    out.p50 = exact(0.50);
+    out.p95 = exact(0.95);
+    out.p99 = exact(0.99);
+    return out;
   }
   auto percentile = [&](double q) -> uint64_t {
-    if (out.count == 0) {
-      return 0;
-    }
-    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(out.count));
-    if (rank < 1) {
-      rank = 1;
-    }
-    if (rank > out.count) {
-      rank = out.count;
-    }
+    uint64_t rank = rank_of(q);
     uint64_t seen = 0;
     for (size_t b = 0; b < kHistBuckets; ++b) {
-      seen += counts[b];
-      if (seen >= rank) {
-        return HistBucketLowerBound(b);
+      if (seen + counts[b] >= rank && counts[b] > 0) {
+        uint64_t lo = HistBucketLowerBound(b);
+        // Inclusive upper value of bucket b; the top bucket's nominal bound would
+        // overflow, so it (like every bucket) is capped at the observed max below.
+        uint64_t hi = b == 0 ? 0 : (b >= 64 ? max : lo * 2 - 1);
+        double frac =
+            static_cast<double>(rank - seen) / static_cast<double>(counts[b]);
+        uint64_t v = lo + static_cast<uint64_t>(static_cast<double>(hi - lo) * frac);
+        return std::clamp(v, out.min, out.max);
       }
+      seen += counts[b];
     }
     return out.max;
   };
@@ -145,6 +186,26 @@ HistSummary SummarizeHist(const HistState& hs) {
   out.p99 = percentile(0.99);
   return out;
 }
+
+// Snapshot + summary of one histogram's live atomics. Shared by the end-of-run
+// Collector::Stop path and the mid-recording LiveHistogram path.
+HistSummary SummarizeHist(const HistState& hs) {
+  uint64_t counts[kHistBuckets];
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    counts[b] = hs.buckets[b].load(std::memory_order_relaxed);
+  }
+  uint64_t count = hs.count.load(std::memory_order_relaxed);
+  std::vector<uint64_t> reservoir(std::min<uint64_t>(count, kHistReservoir));
+  for (size_t i = 0; i < reservoir.size(); ++i) {
+    reservoir[i] = hs.reservoir[i].load(std::memory_order_relaxed);
+  }
+  return SummarizeCounts(counts, count, hs.sum.load(std::memory_order_relaxed),
+                         hs.min.load(std::memory_order_relaxed),
+                         hs.max.load(std::memory_order_relaxed), std::move(reservoir));
+}
+
+// The calling thread's request-scoped trace context ({0, nullptr} outside a request).
+thread_local TraceContext tls_trace;
 
 }  // namespace
 
@@ -253,6 +314,8 @@ const char* CounterName(Counter c) {
       return "service.requests_failed";
     case Counter::kServiceRejected:
       return "service.rejected";
+    case Counter::kServiceVerdicts:
+      return "service.verdicts";
     case Counter::kNumCounters:
       break;
   }
@@ -275,6 +338,10 @@ const char* HistName(Hist h) {
       return "sim.lease_acquire_micros";
     case Hist::kServiceRequestMicros:
       return "service.request_micros";
+    case Hist::kServiceQueueWaitMicros:
+      return "service.queue_wait_micros";
+    case Hist::kServiceHandleMicros:
+      return "service.handle_micros";
     case Hist::kNumHists:
       break;
   }
@@ -308,6 +375,21 @@ HistSummary LiveHistogram(Hist h) {
   return SummarizeHist(reg.hists[static_cast<size_t>(h)]);
 }
 
+HistBucketCounts LiveHistogramBuckets(Hist h) {
+  HistBucketCounts out{};
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return out;
+  }
+  const HistState& hs = reg.hists[static_cast<size_t>(h)];
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    out.buckets[b] = hs.buckets[b].load(std::memory_order_relaxed);
+  }
+  out.count = hs.count.load(std::memory_order_relaxed);
+  out.sum = hs.sum.load(std::memory_order_relaxed);
+  return out;
+}
+
 void Add(Counter c, uint64_t delta) {
   Registry& reg = Reg();
   if (!reg.enabled.load(std::memory_order_relaxed)) {
@@ -331,10 +413,195 @@ void Observe(Hist h, uint64_t value) {
   }
   HistState& hs = reg.hists[static_cast<size_t>(h)];
   hs.buckets[HistBucketFor(value)].fetch_add(1, std::memory_order_relaxed);
-  hs.count.fetch_add(1, std::memory_order_relaxed);
+  uint64_t n = hs.count.fetch_add(1, std::memory_order_relaxed);
+  if (n < kHistReservoir) {
+    hs.reservoir[n].store(value, std::memory_order_relaxed);
+  }
   hs.sum.fetch_add(value, std::memory_order_relaxed);
   AtomicMin(hs.min, value);
   AtomicMax(hs.max, value);
+}
+
+// ---------------------------------------------------------------------------------------
+// Labeled metrics
+
+namespace {
+
+// Resolves a label set to its stored tuple under the cardinality cap: a tuple beyond
+// the first kMaxLabelSets distinct ones folds its tenant/app into kLabelOverflow so an
+// adversarial tenant-name stream cannot grow the registry without bound. The mode
+// dimension survives the fold — it is a closed set chosen by the code, not the caller.
+// Caller holds reg.label_mu.
+LabelTuple ResolveLabels(Registry& reg, const MetricLabels& labels) {
+  LabelTuple tuple{labels.tenant, labels.app, labels.mode};
+  auto it = reg.label_tuples.find(tuple);
+  if (it != reg.label_tuples.end()) {
+    return tuple;
+  }
+  if (reg.label_tuples.size() >= kMaxLabelSets) {
+    tuple = LabelTuple{kLabelOverflow, kLabelOverflow, labels.mode};
+  }
+  reg.label_tuples.insert(tuple);
+  return tuple;
+}
+
+}  // namespace
+
+void AddLabeled(Counter c, const MetricLabels& labels, uint64_t delta) {
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed) || delta == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(reg.label_mu);
+  LabelTuple tuple = ResolveLabels(reg, labels);
+  reg.labeled_counters[{static_cast<uint8_t>(c), std::move(tuple)}] += delta;
+}
+
+void ObserveLabeled(Hist h, const MetricLabels& labels, uint64_t value) {
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(reg.label_mu);
+  LabelTuple tuple = ResolveLabels(reg, labels);
+  LabeledHistState& hs = reg.labeled_hists[{static_cast<uint8_t>(h), std::move(tuple)}];
+  hs.buckets[HistBucketFor(value)] += 1;
+  if (hs.count < kHistReservoir) {
+    hs.reservoir.push_back(value);
+  }
+  hs.count += 1;
+  hs.sum += value;
+  hs.min = std::min(hs.min, value);
+  hs.max = std::max(hs.max, value);
+}
+
+std::vector<LabeledCounterRow> LiveLabeledCounters() {
+  std::vector<LabeledCounterRow> out;
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return out;
+  }
+  std::lock_guard<std::mutex> lk(reg.label_mu);
+  out.reserve(reg.labeled_counters.size());
+  for (const auto& [key, value] : reg.labeled_counters) {
+    LabeledCounterRow row;
+    row.labels = MetricLabels{std::get<0>(key.second), std::get<1>(key.second),
+                              std::get<2>(key.second)};
+    row.counter = static_cast<Counter>(key.first);
+    row.value = value;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<LabeledHistRow> LiveLabeledHistograms() {
+  std::vector<LabeledHistRow> out;
+  Registry& reg = Reg();
+  if (!reg.enabled.load(std::memory_order_relaxed)) {
+    return out;
+  }
+  std::lock_guard<std::mutex> lk(reg.label_mu);
+  out.reserve(reg.labeled_hists.size());
+  for (const auto& [key, hs] : reg.labeled_hists) {
+    LabeledHistRow row;
+    row.labels = MetricLabels{std::get<0>(key.second), std::get<1>(key.second),
+                              std::get<2>(key.second)};
+    row.hist = static_cast<Hist>(key.first);
+    row.summary =
+        SummarizeCounts(hs.buckets, hs.count, hs.sum, hs.min, hs.max, hs.reservoir);
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      row.buckets.buckets[b] = hs.buckets[b];
+    }
+    row.buckets.count = hs.count;
+    row.buckets.sum = hs.sum;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------------------
+// Trace context
+
+TraceContext CurrentTraceContext() { return tls_trace; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) : saved_(tls_trace) {
+  tls_trace = ctx;
+}
+
+ScopedTraceContext::ScopedTraceContext(uint64_t trace, TraceCapture* capture)
+    : ScopedTraceContext(TraceContext{trace, capture}) {}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_trace = saved_; }
+
+int64_t SteadyNowMicros() { return NowMicros(); }
+
+void TraceCapture::Record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> TraceCapture::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+std::string TraceCapture::ChromeTraceJson(const std::string& trace_id) const {
+  std::vector<TraceEvent> evs = Snapshot();
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  std::string json = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    if (!first) {
+      json += ",\n ";
+    }
+    first = false;
+    json += "{\"name\": \"" + JsonEscape(ev.name) + "\", \"cat\": \"" +
+            JsonEscape(ev.category) + "\", \"ph\": \"X\", \"ts\": " +
+            std::to_string(ev.ts_us) + ", \"dur\": " + std::to_string(ev.dur_us) +
+            ", \"pid\": 1, \"tid\": " + std::to_string(ev.tid);
+    json += ", \"args\": {\"trace_id\": \"" + JsonEscape(trace_id) + "\"";
+    for (const auto& [key, value] : ev.args) {
+      json += ", \"" + JsonEscape(key) + "\": " + std::to_string(value);
+    }
+    json += "}}";
+  }
+  json += "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"trace_id\": \"" +
+          JsonEscape(trace_id) + "\"}}";
+  return json;
+}
+
+void RecordSpan(const char* name, const char* category, int64_t start_us,
+                int64_t end_us) {
+  if (!Enabled()) {
+    return;
+  }
+  ThreadBuffer* buf = CurrentBuffer();
+  if (buf == nullptr) {
+    return;
+  }
+  const TraceContext ctx = tls_trace;
+  int64_t ts = start_us - Reg().epoch_us.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    buf->spans.push_back(RawSpan{});
+    RawSpan& s = buf->spans.back();
+    s.name = name;
+    s.cat = category;
+    s.ts_us = ts;
+    s.dur_us = end_us - start_us;
+    s.trace = ctx.trace;
+  }
+  if (ctx.capture != nullptr) {
+    TraceEvent ev;
+    ev.name = name;
+    ev.category = category;
+    ev.ts_us = ts;
+    ev.dur_us = end_us - start_us;
+    ev.tid = buf->tid;
+    ev.trace = ctx.trace;
+    ctx.capture->Record(ev);
+  }
 }
 
 // ---------------------------------------------------------------------------------------
@@ -378,13 +645,28 @@ ScopedSpan::~ScopedSpan() {
     return;
   }
   int64_t end_us = NowMicros();
+  const TraceContext ctx = tls_trace;
+  int64_t ts = start_us_ - Reg().epoch_us.load(std::memory_order_relaxed);
+  if (ctx.capture != nullptr) {
+    // Feed the request-scoped capture before the name is moved into the raw span.
+    TraceEvent ev;
+    ev.name = name_;
+    ev.category = category_;
+    ev.ts_us = ts;
+    ev.dur_us = end_us - start_us_;
+    ev.tid = buf->tid;
+    ev.trace = ctx.trace;
+    ev.args.assign(args_, args_ + num_args_);
+    ctx.capture->Record(ev);
+  }
   std::lock_guard<std::mutex> lk(buf->mu);
   buf->spans.push_back(RawSpan{});
   RawSpan& s = buf->spans.back();
   s.name = std::move(name_);
   s.cat = category_;
-  s.ts_us = start_us_ - Reg().epoch_us.load(std::memory_order_relaxed);
+  s.ts_us = ts;
   s.dur_us = end_us - start_us_;
+  s.trace = ctx.trace;
   s.num_args = num_args_;
   for (size_t i = 0; i < num_args_; ++i) {
     s.args[i] = args_[i];
@@ -414,6 +696,12 @@ Collector::Collector(ObsOptions options) : options_(std::move(options)) {
     h.sum.store(0, std::memory_order_relaxed);
     h.min.store(UINT64_MAX, std::memory_order_relaxed);
     h.max.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> llk(reg.label_mu);
+    reg.labeled_counters.clear();
+    reg.labeled_hists.clear();
+    reg.label_tuples.clear();
   }
   reg.epoch_us.store(NowMicros(), std::memory_order_relaxed);
   reg.generation.fetch_add(1, std::memory_order_release);
@@ -446,6 +734,7 @@ void Collector::Stop() {
       ev.ts_us = s.ts_us;
       ev.dur_us = s.dur_us;
       ev.tid = buf->tid;
+      ev.trace = s.trace;
       ev.args.assign(s.args, s.args + s.num_args);
       events_.push_back(std::move(ev));
     }
@@ -537,11 +826,17 @@ std::string Collector::ChromeTraceJson() const {
             JsonEscape(ev.category) + "\", \"ph\": \"X\", \"ts\": " +
             std::to_string(ev.ts_us) + ", \"dur\": " + std::to_string(ev.dur_us) +
             ", \"pid\": 1, \"tid\": " + std::to_string(ev.tid);
-    if (!ev.args.empty()) {
+    if (!ev.args.empty() || ev.trace != 0) {
       json += ", \"args\": {";
+      bool first_arg = true;
+      if (ev.trace != 0) {
+        json += "\"trace\": " + std::to_string(ev.trace);
+        first_arg = false;
+      }
       for (size_t i = 0; i < ev.args.size(); ++i) {
-        json += std::string(i ? ", " : "") + "\"" + JsonEscape(ev.args[i].first) +
+        json += std::string(first_arg ? "" : ", ") + "\"" + JsonEscape(ev.args[i].first) +
                 "\": " + std::to_string(ev.args[i].second);
+        first_arg = false;
       }
       json += "}";
     }

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -123,6 +124,7 @@ enum class Counter : uint8_t {
   kServiceRequestsOk,        // ... that completed successfully
   kServiceRequestsFailed,    // ... that failed (bad input, engine error)
   kServiceRejected,          // requests refused by admission control (503)
+  kServiceVerdicts,          // pair verdicts served, labeled by source when labeled
   kNumCounters,  // sentinel
 };
 
@@ -145,6 +147,8 @@ enum class Hist : uint8_t {
   kGroundExpansionsPerQuery,   // binder expansions of one query's grounding
   kLeaseAcquireMicros,         // simulated admission-to-grant latency of one lease
   kServiceRequestMicros,       // end-to-end wall time of one admitted service request
+  kServiceQueueWaitMicros,     // admission-to-dequeue wait of one admitted request
+  kServiceHandleMicros,        // worker execution time of one request (excludes the wait)
   kNumHists,  // sentinel
 };
 
@@ -160,9 +164,15 @@ size_t HistBucketFor(uint64_t value);
 // Smallest value that lands in bucket `b` (0 for bucket 0, else 2^(b-1)).
 uint64_t HistBucketLowerBound(size_t b);
 
-// Summary of one histogram after a run. Percentiles are bucket-resolution
-// approximations: the reported value is the lower bound of the bucket containing the
-// rank, so they are exact to within 2x — enough to tell a 50 us solve from a 5 ms one.
+// The first kHistReservoir samples of every histogram are additionally kept verbatim,
+// so percentiles of small-count histograms (service latencies: one sample per request)
+// are EXACT, not bucket-quantized. Past the reservoir, percentiles interpolate linearly
+// inside the bucket containing the rank (clamped to [min, max]) instead of reporting
+// the bucket lower bound — a p99 can no longer jump 2x just by crossing a bucket edge.
+inline constexpr size_t kHistReservoir = 256;
+
+// Summary of one histogram after a run. Percentiles are exact while count <=
+// kHistReservoir and intra-bucket interpolations afterwards (see above).
 struct HistSummary {
   uint64_t count = 0;
   uint64_t sum = 0;
@@ -193,6 +203,56 @@ bool Active();
 // collector is recording.
 uint64_t LiveCounter(Counter c);
 HistSummary LiveHistogram(Hist h);
+
+// Raw per-bucket snapshot of one live histogram, for exposition formats that need the
+// full distribution (Prometheus cumulative _bucket series), not just a summary.
+struct HistBucketCounts {
+  uint64_t buckets[kHistBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+HistBucketCounts LiveHistogramBuckets(Hist h);
+
+// ---------------------------------------------------------------------------------------
+// Labeled metrics. The same counters/histograms, broken down by a fixed low-cardinality
+// label tuple so a multi-tenant daemon can answer "which tenant is slow". Three
+// dimensions only — tenant, app, and a per-metric third value ("mode"): cold/warm for
+// request metrics, the verdict source (computed/replayed/prefiltered) for
+// service.verdicts. Cardinality is bounded: past kMaxLabelSets distinct tuples, new
+// tuples fold into {kLabelOverflow, kLabelOverflow, mode} instead of growing the
+// registry without limit. Entry points are zero-cost when collection is off (one
+// relaxed load); when on they take a registry mutex — they belong on per-request
+// aggregation points, never in per-pair inner loops.
+
+struct MetricLabels {
+  std::string tenant;
+  std::string app;
+  std::string mode;
+};
+
+inline constexpr size_t kMaxLabelSets = 256;
+inline constexpr const char* kLabelOverflow = "_other";
+
+// No-ops when collection is off; AddLabeled also drops delta == 0 (no empty rows).
+void AddLabeled(Counter c, const MetricLabels& labels, uint64_t delta = 1);
+void ObserveLabeled(Hist h, const MetricLabels& labels, uint64_t value);
+
+struct LabeledCounterRow {
+  MetricLabels labels;
+  Counter counter = Counter::kNumCounters;
+  uint64_t value = 0;
+};
+struct LabeledHistRow {
+  MetricLabels labels;
+  Hist hist = Hist::kNumHists;
+  HistSummary summary;
+  HistBucketCounts buckets;
+};
+
+// Mid-recording snapshots of every labeled row, in deterministic (metric, labels)
+// order; empty when no collector is recording.
+std::vector<LabeledCounterRow> LiveLabeledCounters();
+std::vector<LabeledHistRow> LiveLabeledHistograms();
 
 // RAII span: records [construction, destruction) into the active collector's buffer for
 // this thread. Constructing with collection off is free (no clock read). Up to
@@ -228,15 +288,80 @@ class ScopedSpan {
 };
 
 // One finished span, as exported. `tid` is a small per-thread index assigned in
-// registration order (the calling thread of the collector is tid 1).
+// registration order (the calling thread of the collector is tid 1). `trace` is the
+// request-scoped trace the span was recorded under (0 = none).
 struct TraceEvent {
   std::string name;
   const char* category = nullptr;
   int64_t ts_us = 0;   // start, microseconds since collector install
   int64_t dur_us = 0;  // duration, microseconds
   int tid = 0;
+  uint64_t trace = 0;
   std::vector<std::pair<const char*, uint64_t>> args;
 };
+
+// ---------------------------------------------------------------------------------------
+// Request-scoped trace context. A service request gets one context for its lifetime;
+// every span closed while the context is installed is stamped with its trace id, and —
+// when the request asked for an inline trace — also copied into its TraceCapture, so
+// the request's spans form one extractable tree even though they interleave with other
+// requests' spans in the shared per-thread buffers. The context is thread-local;
+// AnalyzeRestrictions re-installs the submitting thread's context inside every pool
+// task, so per-pair verify spans inherit the request that scheduled them.
+
+// A per-request span sink. Thread-safe: pool workers append concurrently; the owner
+// snapshots after the request's spans have all closed (the ParallelFor barrier plus the
+// request scope guarantee quiescence). Recording requires an active collector — the
+// capture rides the same Enabled() gate as every other probe.
+class TraceCapture {
+ public:
+  void Record(const TraceEvent& ev);
+  // Events sorted by start timestamp.
+  std::vector<TraceEvent> Snapshot() const;
+  // Chrome trace-event JSON of the captured tree: {"traceEvents": [...]}, with the
+  // request's external trace id injected into every event's args (string-valued) and
+  // echoed in otherData. Loadable by chrome://tracing and Perfetto.
+  std::string ChromeTraceJson(const std::string& trace_id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+struct TraceContext {
+  uint64_t trace = 0;               // 0 = no request context
+  TraceCapture* capture = nullptr;  // optional inline-trace sink
+};
+
+// The calling thread's current context ({0, nullptr} when none). Cheap: two
+// thread-local reads; safe to call with collection off.
+TraceContext CurrentTraceContext();
+
+// RAII: installs `ctx` as the calling thread's context, restoring the previous one on
+// destruction. Used by the service worker (request scope) and by pool tasks
+// (propagation of the submitter's context).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ScopedTraceContext(uint64_t trace, TraceCapture* capture);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// Steady-clock now in microseconds — the timestamp domain RecordSpan expects. Callers
+// stamp a moment (e.g. admission enqueue) and later record the finished interval.
+int64_t SteadyNowMicros();
+
+// Records an already-measured span [start_us, end_us) (SteadyNowMicros domain) into the
+// active collector and the current trace context, exactly as if a ScopedSpan had lived
+// that long on this thread. For intervals that cannot be an RAII scope — queue wait
+// starts on the reader thread and ends on the worker. No-op when collection is off.
+void RecordSpan(const char* name, const char* category, int64_t start_us, int64_t end_us);
 
 // ---------------------------------------------------------------------------------------
 // Collector

@@ -1,0 +1,392 @@
+#include "src/obs/prom.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "src/obs/obs.h"
+
+namespace noctua::obs {
+
+namespace {
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Renders {tenant="...",app="...",mode="..."} from a label set, omitting empty values
+// and appending `extra` (used for the `le` bucket label). Returns "" when nothing set.
+std::string LabelBlock(const MetricLabels& labels, const std::string& extra) {
+  std::string body;
+  auto add = [&](const char* key, const std::string& value) {
+    if (value.empty()) {
+      return;
+    }
+    if (!body.empty()) {
+      body += ",";
+    }
+    body += std::string(key) + "=\"" + EscapeLabelValue(value) + "\"";
+  };
+  add("tenant", labels.tenant);
+  add("app", labels.app);
+  add("mode", labels.mode);
+  if (!extra.empty()) {
+    if (!body.empty()) {
+      body += ",";
+    }
+    body += extra;
+  }
+  return body.empty() ? "" : "{" + body + "}";
+}
+
+// Inclusive integer upper bound of log-scale bucket b, as its `le` label value.
+std::string BucketLe(size_t b) {
+  if (b == 0) {
+    return "0";
+  }
+  if (b >= 64) {
+    return std::to_string(UINT64_MAX);
+  }
+  return std::to_string((uint64_t{1} << b) - 1);
+}
+
+// One histogram's series block (buckets, +Inf, sum, count) for one label set.
+void RenderHistSeries(const std::string& name, const MetricLabels& labels,
+                      const HistBucketCounts& bc, std::string* out) {
+  size_t highest = 0;
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    if (bc.buckets[b] > 0) {
+      highest = b;
+    }
+  }
+  uint64_t cum = 0;
+  for (size_t b = 0; b <= highest; ++b) {
+    cum += bc.buckets[b];
+    *out += name + "_bucket" + LabelBlock(labels, "le=\"" + BucketLe(b) + "\"") + " " +
+            std::to_string(cum) + "\n";
+  }
+  *out += name + "_bucket" + LabelBlock(labels, "le=\"+Inf\"") + " " +
+          std::to_string(bc.count) + "\n";
+  *out += name + "_sum" + LabelBlock(labels, "") + " " + std::to_string(bc.sum) + "\n";
+  *out += name + "_count" + LabelBlock(labels, "") + " " + std::to_string(bc.count) +
+          "\n";
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& dotted) {
+  std::string out = "noctua_";
+  out.reserve(dotted.size() + out.size());
+  for (char c : dotted) {
+    out += c == '.' ? '_' : c;
+  }
+  return out;
+}
+
+std::string PrometheusText(const std::vector<PromSample>& extras) {
+  std::string out;
+  for (const PromSample& s : extras) {
+    out += "# HELP " + s.name + " " + s.help + "\n";
+    out += "# TYPE " + s.name + " " + s.type + "\n";
+    std::string body;
+    for (const auto& [key, value] : s.labels) {
+      if (!body.empty()) {
+        body += ",";
+      }
+      body += key + "=\"" + EscapeLabelValue(value) + "\"";
+    }
+    out += s.name + (body.empty() ? "" : "{" + body + "}") + " " +
+           std::to_string(s.value) + "\n";
+  }
+
+  std::vector<LabeledCounterRow> labeled_counters = LiveLabeledCounters();
+  for (size_t i = 0; i < static_cast<size_t>(Counter::kNumCounters); ++i) {
+    Counter c = static_cast<Counter>(i);
+    uint64_t total = LiveCounter(c);
+    std::vector<const LabeledCounterRow*> rows;
+    for (const LabeledCounterRow& row : labeled_counters) {
+      if (row.counter == c) {
+        rows.push_back(&row);
+      }
+    }
+    if (total == 0 && rows.empty()) {
+      continue;
+    }
+    std::string name = PrometheusMetricName(CounterName(c)) + "_total";
+    out += "# HELP " + name + " obs counter " + CounterName(c) + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(total) + "\n";
+    for (const LabeledCounterRow* row : rows) {
+      out += name + LabelBlock(row->labels, "") + " " + std::to_string(row->value) +
+             "\n";
+    }
+  }
+
+  std::vector<LabeledHistRow> labeled_hists = LiveLabeledHistograms();
+  for (size_t i = 0; i < static_cast<size_t>(Hist::kNumHists); ++i) {
+    Hist h = static_cast<Hist>(i);
+    HistBucketCounts bc = LiveHistogramBuckets(h);
+    std::vector<const LabeledHistRow*> rows;
+    for (const LabeledHistRow& row : labeled_hists) {
+      if (row.hist == h) {
+        rows.push_back(&row);
+      }
+    }
+    if (bc.count == 0 && rows.empty()) {
+      continue;
+    }
+    std::string name = PrometheusMetricName(HistName(h));
+    out += "# HELP " + name + " obs histogram " + HistName(h) + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    if (bc.count > 0) {
+      RenderHistSeries(name, MetricLabels{}, bc, &out);
+    }
+    for (const LabeledHistRow* row : rows) {
+      RenderHistSeries(name, row->labels, row->buckets, &out);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------------------
+// Checker
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) {
+    return false;
+  }
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+// One parsed sample line.
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  // in file order
+  double value = 0;
+};
+
+// Parses `name{k="v",...} value`. Returns false with *error on malformed input.
+bool ParseSampleLine(const std::string& line, Sample* out, std::string* error) {
+  size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') {
+    ++i;
+  }
+  out->name = line.substr(0, i);
+  if (!ValidMetricName(out->name)) {
+    *error = "bad metric name in line: " + line;
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      size_t eq = line.find('=', i);
+      if (eq == std::string::npos || eq + 1 >= line.size() || line[eq + 1] != '"') {
+        *error = "bad label in line: " + line;
+        return false;
+      }
+      std::string key = line.substr(i, eq - i);
+      std::string value;
+      size_t j = eq + 2;
+      while (j < line.size() && line[j] != '"') {
+        if (line[j] == '\\' && j + 1 < line.size()) {
+          char esc = line[j + 1];
+          value += esc == 'n' ? '\n' : esc;
+          j += 2;
+        } else {
+          value += line[j];
+          ++j;
+        }
+      }
+      if (j >= line.size()) {
+        *error = "unterminated label value in line: " + line;
+        return false;
+      }
+      out->labels.emplace_back(std::move(key), std::move(value));
+      i = j + 1;
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+      }
+    }
+    if (i >= line.size() || line[i] != '}') {
+      *error = "unterminated label block in line: " + line;
+      return false;
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *error = "missing value in line: " + line;
+    return false;
+  }
+  std::string value_text = line.substr(i + 1);
+  const char* begin = value_text.c_str();
+  char* end = nullptr;
+  out->value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    *error = "unparseable value in line: " + line;
+    return false;
+  }
+  return true;
+}
+
+// Canonical key of a label set with `le` removed — identifies one histogram series
+// family across its _bucket/_sum/_count lines.
+std::string LabelKey(const Sample& s) {
+  std::vector<std::pair<std::string, std::string>> labels;
+  for (const auto& kv : s.labels) {
+    if (kv.first != "le") {
+      labels.push_back(kv);
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k + "=" + v + ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+bool CheckPrometheusText(const std::string& text, std::string* error,
+                         size_t* num_series) {
+  // (histogram base name, label key) -> cumulative bucket values in file order, with
+  // the le of each; plus whether +Inf/_sum/_count were seen and the companion values.
+  struct HistFamily {
+    std::vector<std::pair<std::string, double>> buckets;  // (le, cumulative value)
+    bool has_inf = false;
+    double inf_value = 0;
+    bool has_sum = false;
+    bool has_count = false;
+    double count_value = 0;
+  };
+  std::map<std::pair<std::string, std::string>, HistFamily> hists;
+
+  size_t series = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, name;
+      comment >> hash >> kind >> name;
+      if (kind != "HELP" && kind != "TYPE") {
+        *error = "unknown comment form: " + line;
+        return false;
+      }
+      if (!ValidMetricName(name)) {
+        *error = "bad metric name in comment: " + line;
+        return false;
+      }
+      continue;
+    }
+    Sample s;
+    if (!ParseSampleLine(line, &s, error)) {
+      return false;
+    }
+    ++series;
+
+    auto ends_with = [&](const char* suffix) {
+      std::string suf(suffix);
+      return s.name.size() > suf.size() &&
+             s.name.compare(s.name.size() - suf.size(), suf.size(), suf) == 0;
+    };
+    if (ends_with("_bucket")) {
+      std::string base = s.name.substr(0, s.name.size() - 7);
+      HistFamily& fam = hists[{base, LabelKey(s)}];
+      std::string le;
+      for (const auto& [k, v] : s.labels) {
+        if (k == "le") {
+          le = v;
+        }
+      }
+      if (le.empty()) {
+        *error = "bucket series without le label: " + line;
+        return false;
+      }
+      if (le == "+Inf") {
+        fam.has_inf = true;
+        fam.inf_value = s.value;
+      }
+      fam.buckets.emplace_back(le, s.value);
+    } else if (ends_with("_sum")) {
+      hists[{s.name.substr(0, s.name.size() - 4), LabelKey(s)}].has_sum = true;
+    } else if (ends_with("_count")) {
+      HistFamily& fam = hists[{s.name.substr(0, s.name.size() - 6), LabelKey(s)}];
+      fam.has_count = true;
+      fam.count_value = s.value;
+    }
+  }
+
+  for (const auto& [key, fam] : hists) {
+    const std::string& base = key.first;
+    if (fam.buckets.empty()) {
+      // A _sum/_count pair with no buckets is not a histogram (e.g. a summary); the
+      // exposition here never emits those, but don't reject other producers' output.
+      continue;
+    }
+    std::string where = base + (key.second.empty() ? "" : "{" + key.second + "}");
+    for (size_t i = 1; i < fam.buckets.size(); ++i) {
+      if (fam.buckets[i].second < fam.buckets[i - 1].second) {
+        *error = "non-monotone cumulative buckets in " + where + " at le=" +
+                 fam.buckets[i].first;
+        return false;
+      }
+    }
+    if (!fam.has_inf) {
+      *error = "histogram " + where + " missing le=\"+Inf\" bucket";
+      return false;
+    }
+    if (!fam.has_count) {
+      *error = "histogram " + where + " missing _count";
+      return false;
+    }
+    if (!fam.has_sum) {
+      *error = "histogram " + where + " missing _sum";
+      return false;
+    }
+    if (fam.count_value != fam.inf_value) {
+      *error = "histogram " + where + " _count != +Inf bucket";
+      return false;
+    }
+  }
+  if (num_series != nullptr) {
+    *num_series = series;
+  }
+  return true;
+}
+
+}  // namespace noctua::obs

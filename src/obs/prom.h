@@ -1,0 +1,58 @@
+// Prometheus text exposition (format version 0.0.4) of the live obs registry, plus a
+// machine checker for it.
+//
+// Mapping rules, applied uniformly so a scrape config can be written once:
+//   - Names: dotted obs names become underscored with a "noctua_" prefix
+//     ("verifier.pairs_checked" -> "noctua_verifier_pairs_checked"); counters get the
+//     conventional "_total" suffix.
+//   - Counters: the process-wide value is the unlabeled series; labeled rows (tenant,
+//     app, mode) are additional series of the same family. Empty label values are
+//     omitted rather than emitted as "".
+//   - Histograms: native 65-bucket log-scale histograms render as cumulative
+//     `_bucket{le="..."}` series. Observations are integers, so bucket b (values in
+//     [2^(b-1), 2^b)) has inclusive upper bound 2^b - 1 — that exact integer is the
+//     `le` value. Buckets above the highest populated one are elided (they would all
+//     repeat the total); `le="+Inf"`, `_sum`, and `_count` close the family.
+//   - Families with no data (zero count, no labeled rows) are skipped entirely.
+//
+// CheckPrometheusText is the scrape-side contract test: it re-parses an exposition and
+// verifies well-formedness plus the histogram invariants (monotone cumulative buckets,
+// +Inf present, _count == +Inf bucket, _sum present). `noctua-cli metrics --check
+// --format prometheus` and the service tests both run it.
+
+#ifndef NOCTUA_SRC_OBS_PROM_H_
+#define NOCTUA_SRC_OBS_PROM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace noctua::obs {
+
+// "service.request_micros" -> "noctua_service_request_micros".
+std::string PrometheusMetricName(const std::string& dotted);
+
+// One extra sample injected by the caller — the server uses this for its own gauges
+// (queue depth, in-flight, worker count) that live outside the obs registry.
+struct PromSample {
+  std::string name;  // full metric name, already prefixed
+  std::string help;  // one-line HELP text
+  std::string type;  // "gauge" | "counter"
+  std::vector<std::pair<std::string, std::string>> labels;
+  uint64_t value = 0;
+};
+
+// Renders the live registry (counters, histograms, labeled rows) plus `extras` as
+// Prometheus text exposition. Ends with a trailing newline.
+std::string PrometheusText(const std::vector<PromSample>& extras);
+
+// Validates an exposition: parseable lines, legal metric names, and per-histogram
+// cumulative-bucket invariants. On failure returns false with *error naming the first
+// offending line or family. *num_series (optional) gets the number of sample lines.
+bool CheckPrometheusText(const std::string& text, std::string* error,
+                         size_t* num_series = nullptr);
+
+}  // namespace noctua::obs
+
+#endif  // NOCTUA_SRC_OBS_PROM_H_

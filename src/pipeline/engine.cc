@@ -87,21 +87,26 @@ PipelineResult Engine::Run(const app::App& app, const PipelineOptions& options) 
   Stopwatch watch;
   PipelineResult result;
   double analyze_seconds = 0;
-  {
-    obs::ScopedSpan span("analyze", obs::kCatPipeline);
-    Stopwatch phase;
-    result.analysis = analyzer::AnalyzeApp(app, options.analyzer);
-    analyze_seconds = phase.ElapsedSeconds();
-    span.Arg("paths", result.analysis.paths.size());
-    span.Arg("effectful", result.analysis.num_effectful);
-  }
   double verify_seconds = 0;
-  if (options.verify) {
-    obs::ScopedSpan span("verify", obs::kCatPipeline);
-    Stopwatch phase;
-    result.restrictions = Verify(app, result.analysis, options);
-    verify_seconds = phase.ElapsedSeconds();
-    span.Arg("restrictions", result.restrictions.num_restrictions());
+  {
+    // One parent span for the whole engine pass, so a request-scoped trace shows the
+    // analyze/verify phases nested under a single "engine_run" node.
+    obs::ScopedSpan engine_span("engine_run", obs::kCatPipeline);
+    {
+      obs::ScopedSpan span("analyze", obs::kCatPipeline);
+      Stopwatch phase;
+      result.analysis = analyzer::AnalyzeApp(app, options.analyzer);
+      analyze_seconds = phase.ElapsedSeconds();
+      span.Arg("paths", result.analysis.paths.size());
+      span.Arg("effectful", result.analysis.num_effectful);
+    }
+    if (options.verify) {
+      obs::ScopedSpan span("verify", obs::kCatPipeline);
+      Stopwatch phase;
+      result.restrictions = Verify(app, result.analysis, options);
+      verify_seconds = phase.ElapsedSeconds();
+      span.Arg("restrictions", result.restrictions.num_restrictions());
+    }
   }
   result.total_seconds = watch.ElapsedSeconds();
 
@@ -127,6 +132,7 @@ IncrementalResult Engine::RunIncremental(const app::App& app, const std::string&
   // engine cache injection.
   o.pipeline = ResolveOptions(o.pipeline);
   std::lock_guard<std::mutex> lock(run_mutex_);
+  obs::ScopedSpan engine_span("engine_run", obs::kCatPipeline);
   Session session(store_dir);
   return session.RunIncremental(app, o);
 }

@@ -37,12 +37,15 @@ int Connect(const std::string& host, int port, std::string* error) {
 
 bool RoundTrip(const std::string& host, int port, const std::string& method,
                const std::string& target, const std::string& body, HttpResponse* resp,
-               std::string* error) {
+               std::string* error,
+               const std::vector<std::pair<std::string, std::string>>& extra_headers =
+                   {}) {
   int fd = Connect(host, port, error);
   if (fd < 0) {
     return false;
   }
-  bool ok = WriteHttpRequest(fd, method, target, host + ":" + std::to_string(port), body) &&
+  bool ok = WriteHttpRequest(fd, method, target, host + ":" + std::to_string(port), body,
+                             extra_headers) &&
             ReadHttpResponse(fd, resp, error);
   if (!ok && error->empty()) {
     *error = "request I/O failed";
@@ -64,13 +67,25 @@ bool Client::Post(const std::string& target, const std::string& body, HttpRespon
 
 std::string AnalyzeRequestBody(const std::string& tenant, const std::string& app,
                                const std::vector<std::string>& omit_views) {
-  std::string body = "{\"tenant\": " + JsonStr(tenant) + ", \"app\": " + JsonStr(app);
-  if (!omit_views.empty()) {
+  AnalyzeParams params;
+  params.tenant = tenant;
+  params.app = app;
+  params.omit_views = omit_views;
+  return AnalyzeRequestBody(params);
+}
+
+std::string AnalyzeRequestBody(const AnalyzeParams& params) {
+  std::string body =
+      "{\"tenant\": " + JsonStr(params.tenant) + ", \"app\": " + JsonStr(params.app);
+  if (!params.omit_views.empty()) {
     body += ", \"omit_views\": [";
-    for (size_t i = 0; i < omit_views.size(); ++i) {
-      body += std::string(i ? ", " : "") + JsonStr(omit_views[i]);
+    for (size_t i = 0; i < params.omit_views.size(); ++i) {
+      body += std::string(i ? ", " : "") + JsonStr(params.omit_views[i]);
     }
     body += "]";
+  }
+  if (params.trace) {
+    body += ", \"trace\": true";
   }
   body += "}";
   return body;
@@ -79,7 +94,21 @@ std::string AnalyzeRequestBody(const std::string& tenant, const std::string& app
 bool Client::Analyze(const std::string& tenant, const std::string& app,
                      const std::vector<std::string>& omit_views, HttpResponse* resp,
                      std::string* error) {
-  return Post("/v1/analyze", AnalyzeRequestBody(tenant, app, omit_views), resp, error);
+  AnalyzeParams params;
+  params.tenant = tenant;
+  params.app = app;
+  params.omit_views = omit_views;
+  return Analyze(params, resp, error);
+}
+
+bool Client::Analyze(const AnalyzeParams& params, HttpResponse* resp,
+                     std::string* error) {
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (!params.trace_id.empty()) {
+    headers.emplace_back("x-noctua-trace", params.trace_id);
+  }
+  return RoundTrip(host_, port_, "POST", "/v1/analyze", AnalyzeRequestBody(params), resp,
+                   error, headers);
 }
 
 }  // namespace noctua::service

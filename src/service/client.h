@@ -11,6 +11,18 @@
 
 namespace noctua::service {
 
+// One /v1/analyze request, fully specified. `trace` asks the server to return the
+// request's span tree inline ("trace" key of the response); `trace_id` is sent as the
+// x-noctua-trace header when non-empty, otherwise the server generates one (the
+// response's "trace_id" field carries whichever was used).
+struct AnalyzeParams {
+  std::string tenant;
+  std::string app;
+  std::vector<std::string> omit_views;
+  bool trace = false;
+  std::string trace_id;
+};
+
 class Client {
  public:
   Client(std::string host, int port) : host_(std::move(host)), port_(port) {}
@@ -27,6 +39,7 @@ class Client {
   bool Analyze(const std::string& tenant, const std::string& app,
                const std::vector<std::string>& omit_views, HttpResponse* resp,
                std::string* error);
+  bool Analyze(const AnalyzeParams& params, HttpResponse* resp, std::string* error);
 
   const std::string& host() const { return host_; }
   int port() const { return port_; }
@@ -39,6 +52,7 @@ class Client {
 // The JSON body Analyze sends; exposed so callers can log or replay requests.
 std::string AnalyzeRequestBody(const std::string& tenant, const std::string& app,
                                const std::vector<std::string>& omit_views);
+std::string AnalyzeRequestBody(const AnalyzeParams& params);
 
 }  // namespace noctua::service
 

@@ -1,13 +1,18 @@
 // noctua-cli: command-line client for a running noctua-serve daemon.
 //
 //   noctua-cli [--host H] --port P analyze --tenant T --app NAME [--omit-view V]...
-//   noctua-cli [--host H] --port P metrics [--check]
+//                                          [--trace] [--trace-id ID]
+//   noctua-cli [--host H] --port P metrics [--check] [--format json|prometheus]
 //   noctua-cli [--host H] --port P healthz
 //   noctua-cli [--host H] --port P shutdown
 //
 // `metrics --check` re-parses the daemon's /metrics body with the strict RFC 8259
 // parser (src/obs/json.h) and verifies the documented top-level shape — the CI smoke
-// step's machine check that the daemon emits real JSON, not JSON-shaped text.
+// step's machine check that the daemon emits real JSON, not JSON-shaped text. With
+// `--format prometheus` it fetches the text exposition instead and machine-checks it
+// with obs::CheckPrometheusText (monotone cumulative buckets, _count == +Inf bucket).
+// `analyze --trace` asks for the request's span tree inline; `--trace-id` supplies the
+// x-noctua-trace header so the request joins a caller-chosen trace.
 // Exit code: 0 on HTTP 200 (and a passing --check), 1 otherwise.
 #include <cstdio>
 #include <cstring>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "src/obs/json.h"
+#include "src/obs/prom.h"
 #include "src/service/client.h"
 #include "src/support/env.h"
 
@@ -23,8 +29,9 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] --port P analyze --tenant T --app NAME"
-               " [--omit-view V]...\n"
-               "       %s [--host H] --port P metrics [--check]\n"
+               " [--omit-view V]... [--trace] [--trace-id ID]\n"
+               "       %s [--host H] --port P metrics [--check]"
+               " [--format json|prometheus]\n"
                "       %s [--host H] --port P healthz | shutdown\n",
                argv0, argv0, argv0);
   return 2;
@@ -46,6 +53,18 @@ int CheckMetricsBody(const std::string& body) {
   }
   std::fprintf(stderr, "metrics --check: ok (%zu counters)\n",
                doc->Get("counters")->AsObject().size());
+  return 0;
+}
+
+int CheckPrometheusBody(const std::string& body) {
+  std::string error;
+  size_t num_series = 0;
+  if (!noctua::obs::CheckPrometheusText(body, &error, &num_series)) {
+    std::fprintf(stderr, "metrics --check: bad prometheus exposition: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "metrics --check: ok (%zu series)\n", num_series);
   return 0;
 }
 
@@ -87,37 +106,60 @@ int main(int argc, char** argv) {
   std::string error;
 
   if (command == "analyze") {
-    std::string tenant;
-    std::string app;
-    std::vector<std::string> omit;
+    noctua::service::AnalyzeParams params;
     for (; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--tenant") {
-        tenant = next("--tenant");
+        params.tenant = next("--tenant");
       } else if (arg == "--app") {
-        app = next("--app");
+        params.app = next("--app");
       } else if (arg == "--omit-view") {
-        omit.push_back(next("--omit-view"));
+        params.omit_views.push_back(next("--omit-view"));
+      } else if (arg == "--trace") {
+        params.trace = true;
+      } else if (arg == "--trace-id") {
+        params.trace_id = next("--trace-id");
       } else {
         return Usage(argv[0]);
       }
     }
-    if (tenant.empty() || app.empty()) {
+    if (params.tenant.empty() || params.app.empty()) {
       return Usage(argv[0]);
     }
-    if (!client.Analyze(tenant, app, omit, &resp, &error)) {
+    if (!client.Analyze(params, &resp, &error)) {
       std::fprintf(stderr, "noctua-cli: %s\n", error.c_str());
       return 1;
     }
   } else if (command == "metrics") {
-    bool check = i < argc && std::strcmp(argv[i], "--check") == 0;
-    if (!client.Get("/metrics", &resp, &error)) {
+    bool check = false;
+    std::string format;
+    for (; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--check") {
+        check = true;
+      } else if (arg == "--format") {
+        format = next("--format");
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    if (!format.empty() && format != "json" && format != "prometheus") {
+      std::fprintf(stderr, "--format expects json or prometheus, got \"%s\"\n",
+                   format.c_str());
+      return Usage(argv[0]);
+    }
+    std::string target = "/metrics";
+    if (!format.empty()) {
+      target += "?format=" + format;
+    }
+    if (!client.Get(target, &resp, &error)) {
       std::fprintf(stderr, "noctua-cli: %s\n", error.c_str());
       return 1;
     }
     if (check && resp.status == 200) {
       std::fputs(resp.body.c_str(), stdout);
-      return CheckMetricsBody(resp.body);
+      return format == "prometheus" ? CheckPrometheusBody(resp.body)
+                                    : CheckMetricsBody(resp.body);
     }
   } else if (command == "healthz") {
     if (!client.Get("/healthz", &resp, &error)) {

@@ -4,10 +4,15 @@
 //
 //   noctua-serve [--host H] [--port P] [--workers N] [--queue Q] [--readers R]
 //                [--verdict-cache C] [--artifact-root DIR] [--no-metrics]
+//                [--log-file PATH] [--log-level debug|info|warn|error] [--slow-ms N]
 //
 // Prints exactly one line "listening on H:P" to stdout once ready (scripts grab the
 // ephemeral port from it), then blocks. Engine knobs (threads, solver, toggles) come
 // from the usual NOCTUA_* environment variables, snapshotted once at startup.
+//
+// The daemon defaults to --log-level info: one JSON access-log line per analysis
+// request (trace id, tenant, status, queue-wait, service-time) on stderr or into
+// --log-file, plus rate-limited "slow_request" warnings above --slow-ms.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +27,9 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--workers N] [--queue Q] [--readers R]\n"
-               "          [--verdict-cache C] [--artifact-root DIR] [--no-metrics]\n",
+               "          [--verdict-cache C] [--artifact-root DIR] [--no-metrics]\n"
+               "          [--log-file PATH] [--log-level debug|info|warn|error]"
+               " [--slow-ms N]\n",
                argv0);
   return 2;
 }
@@ -38,6 +45,9 @@ constexpr size_t kDefaultVerdictCacheCapacity = 1 << 16;
 int main(int argc, char** argv) {
   noctua::service::ServiceOptions options;
   options.engine = noctua::EngineConfig::FromEnv();
+  // A daemon is operated, not embedded: access-log lines on by default (the embedded
+  // Server default is the quiet kWarn).
+  options.log_level = noctua::obs::LogLevel::kInfo;
 
   // The daemon honors a NOCTUA_VERDICT_CACHE from the environment (already folded into
   // the FromEnv snapshot above); otherwise, unlike throwaway engines, it must not run
@@ -83,6 +93,17 @@ int main(int argc, char** argv) {
       options.engine.artifact_root = next("--artifact-root");
     } else if (arg == "--no-metrics") {
       options.metrics = false;
+    } else if (arg == "--log-file") {
+      options.log_file = next("--log-file");
+    } else if (arg == "--log-level") {
+      const char* raw = next("--log-level");
+      if (!noctua::obs::ParseLogLevel(raw, &options.log_level)) {
+        std::fprintf(stderr, "--log-level expects debug|info|warn|error, got \"%s\"\n",
+                     raw);
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--slow-ms") {
+      options.slow_ms = static_cast<int>(next_long("--slow-ms", 0, 1L << 30));
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

@@ -196,11 +196,46 @@ bool WriteHttpResponse(int fd, const HttpResponse& resp) {
 }
 
 bool WriteHttpRequest(int fd, const std::string& method, const std::string& target,
-                      const std::string& host, const std::string& body) {
+                      const std::string& host, const std::string& body,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          extra_headers) {
   std::string msg = method + " " + target + " HTTP/1.1\r\nHost: " + host +
                     "\r\nContent-Type: application/json\r\nContent-Length: " +
-                    std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+                    std::to_string(body.size());
+  for (const auto& [key, value] : extra_headers) {
+    msg += "\r\n" + key + ": " + value;
+  }
+  msg += "\r\nConnection: close\r\n\r\n" + body;
   return WriteAll(fd, msg);
+}
+
+void SplitTarget(const std::string& target, std::string* path, std::string* query) {
+  size_t q = target.find('?');
+  if (q == std::string::npos) {
+    *path = target;
+    query->clear();
+    return;
+  }
+  *path = target.substr(0, q);
+  *query = target.substr(q + 1);
+}
+
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string pair =
+        query.substr(pos, amp == std::string::npos ? std::string::npos : amp - pos);
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string::npos) {
+      break;
+    }
+    pos = amp + 1;
+  }
+  return "";
 }
 
 bool ReadHttpResponse(int fd, HttpResponse* resp, std::string* error) {

@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace noctua::service {
 
@@ -53,10 +55,21 @@ bool ReadHttpRequest(int fd, HttpRequest* req, std::string* error);
 // Writes one response (adds Content-Length and Connection: close). False on I/O error.
 bool WriteHttpResponse(int fd, const HttpResponse& resp);
 
-// Client-side halves of the same subset.
+// Client-side halves of the same subset. `extra_headers` are emitted verbatim after
+// the fixed ones (the client uses this for x-noctua-trace).
 bool WriteHttpRequest(int fd, const std::string& method, const std::string& target,
-                      const std::string& host, const std::string& body);
+                      const std::string& host, const std::string& body,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          extra_headers = {});
 bool ReadHttpResponse(int fd, HttpResponse* resp, std::string* error);
+
+// Splits an origin-form target at the first '?': "/metrics?format=x" -> path
+// "/metrics", query "format=x" (query is "" when absent). No %-decoding — the service
+// only routes on literal ASCII paths and parameter values.
+void SplitTarget(const std::string& target, std::string* path, std::string* query);
+
+// Value of `key` in a "k=v&k2=v2" query string; "" when absent.
+std::string QueryParam(const std::string& query, const std::string& key);
 
 // JSON string literal (quoted + escaped) — shorthand over obs::JsonEscape for the
 // handful of handlers that assemble response bodies by hand.

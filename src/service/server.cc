@@ -12,6 +12,7 @@
 
 #include "src/apps/apps.h"
 #include "src/obs/json.h"
+#include "src/obs/prom.h"
 #include "src/support/stopwatch.h"
 
 namespace noctua::service {
@@ -76,6 +77,22 @@ std::string HistJson(const obs::HistSummary& h) {
          ", \"p99\": " + std::to_string(h.p99) + "}";
 }
 
+// An external trace id as the service accepts it in x-noctua-trace: short, printable,
+// and safe to echo into JSON, span args, and log lines without further escaping rules.
+bool ValidTraceId(const std::string& id) {
+  if (id.empty() || id.size() > 64) {
+    return false;
+  }
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '.' || c == '_' || c == ':' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Server::Server(ServiceOptions options) : options_(std::move(options)) {
@@ -96,6 +113,9 @@ Server::Server(ServiceOptions options) : options_(std::move(options)) {
 Server::~Server() { Stop(); }
 
 bool Server::Start(std::string* error) {
+  if (!log_.Configure(options_.log_level, options_.log_file, error)) {
+    return false;
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
@@ -221,7 +241,10 @@ void Server::HandleConnection(int fd) {
   }
 
   // Control plane: answered inline so health and metrics stay responsive under load.
-  if (req.target == "/healthz") {
+  std::string path;
+  std::string query;
+  SplitTarget(req.target, &path, &query);
+  if (path == "/healthz") {
     if (req.method != "GET") {
       WriteHttpResponse(fd, ErrorResponse(405, "use GET"));
     } else {
@@ -232,18 +255,30 @@ void Server::HandleConnection(int fd) {
     ::close(fd);
     return;
   }
-  if (req.target == "/metrics") {
+  if (path == "/metrics") {
     if (req.method != "GET") {
       WriteHttpResponse(fd, ErrorResponse(405, "use GET"));
     } else {
-      HttpResponse resp;
-      resp.body = MetricsJson();
-      WriteHttpResponse(fd, resp);
+      std::string format = QueryParam(query, "format");
+      if (format.empty() || format == "json") {
+        HttpResponse resp;
+        resp.body = MetricsJson();
+        WriteHttpResponse(fd, resp);
+      } else if (format == "prometheus") {
+        HttpResponse resp;
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = MetricsPrometheus();
+        WriteHttpResponse(fd, resp);
+      } else {
+        WriteHttpResponse(
+            fd, ErrorResponse(400, "unknown metrics format \"" + format +
+                                       "\" — use json or prometheus"));
+      }
     }
     ::close(fd);
     return;
   }
-  if (req.target == "/shutdown") {
+  if (path == "/shutdown") {
     if (req.method != "POST") {
       WriteHttpResponse(fd, ErrorResponse(405, "use POST"));
       ::close(fd);
@@ -256,7 +291,7 @@ void Server::HandleConnection(int fd) {
     RequestShutdown();
     return;
   }
-  if (req.target != "/v1/analyze") {
+  if (path != "/v1/analyze") {
     WriteHttpResponse(fd, ErrorResponse(404, "no such endpoint: " + req.target));
     ::close(fd);
     return;
@@ -281,7 +316,7 @@ void Server::HandleConnection(int fd) {
       refuse_full = true;
     } else {
       admitted_.fetch_add(1, std::memory_order_relaxed);
-      queue_.push_back(Job{fd, std::move(req)});
+      queue_.push_back(Job{fd, std::move(req), obs::SteadyNowMicros()});
     }
   }
   if (refuse_stopping) {
@@ -314,7 +349,7 @@ void Server::WorkerLoop() {
       queue_.pop_front();
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
-    HttpResponse resp = HandleAnalyze(job.req);
+    HttpResponse resp = HandleAnalyze(job.req, job.enqueue_us, obs::SteadyNowMicros());
     WriteHttpResponse(job.fd, resp);
     ::close(job.fd);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
@@ -322,79 +357,127 @@ void Server::WorkerLoop() {
   }
 }
 
-HttpResponse Server::HandleAnalyze(const HttpRequest& req) {
+HttpResponse Server::HandleAnalyze(const HttpRequest& req, int64_t enqueue_us,
+                                   int64_t dequeue_us) {
   Stopwatch watch;
   obs::Add(obs::Counter::kServiceRequests);
+  const uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int64_t queue_wait_us = dequeue_us > enqueue_us ? dequeue_us - enqueue_us : 0;
+
+  // Filled in as parsing progresses so failure paths log whatever is known so far.
+  std::string tenant;
+  std::string app_name;
+  std::string trace_id = "ntr-" + std::to_string(seq);
+
+  auto access_log = [&](int status) {
+    log_.Log(obs::LogLevel::kInfo, "request",
+             {{"trace_id", trace_id},
+              {"tenant", tenant},
+              {"app", app_name},
+              {"status", status},
+              {"queue_wait_us", queue_wait_us},
+              {"service_us", static_cast<int64_t>(watch.ElapsedSeconds() * 1e6)}});
+  };
+  auto fail = [&](const std::string& message) {
+    obs::Add(obs::Counter::kServiceRequestsFailed);
+    obs::AddLabeled(obs::Counter::kServiceRequestsFailed,
+                    obs::MetricLabels{tenant, app_name, "error"});
+    access_log(400);
+    return ErrorResponse(400, message);
+  };
+
+  if (auto it = req.headers.find("x-noctua-trace"); it != req.headers.end()) {
+    if (!ValidTraceId(it->second)) {
+      return fail(
+          "invalid x-noctua-trace header — use 1-64 chars of [A-Za-z0-9._:-]");
+    }
+    trace_id = it->second;
+  }
 
   std::string parse_error;
   obs::JsonPtr doc = obs::ParseJson(req.body, &parse_error);
   if (doc == nullptr || !doc->is_object()) {
-    obs::Add(obs::Counter::kServiceRequestsFailed);
-    return ErrorResponse(400, doc == nullptr ? "malformed JSON body: " + parse_error
-                                             : "request body must be a JSON object");
+    return fail(doc == nullptr ? "malformed JSON body: " + parse_error
+                               : "request body must be a JSON object");
   }
 
   obs::JsonPtr tenant_v = doc->Get("tenant");
   obs::JsonPtr app_v = doc->Get("app");
   if (tenant_v == nullptr || !tenant_v->is_string() || app_v == nullptr ||
       !app_v->is_string()) {
-    obs::Add(obs::Counter::kServiceRequestsFailed);
-    return ErrorResponse(400, "request must carry string fields \"tenant\" and \"app\"");
+    return fail("request must carry string fields \"tenant\" and \"app\"");
   }
-  const std::string& tenant = tenant_v->AsString();
-  const std::string& app_name = app_v->AsString();
+  tenant = tenant_v->AsString();
+  app_name = app_v->AsString();
   if (!Engine::ValidTenantName(tenant)) {
-    obs::Add(obs::Counter::kServiceRequestsFailed);
-    return ErrorResponse(400, "invalid tenant name \"" + tenant +
-                                  "\" — use [A-Za-z0-9._-], no leading dot");
+    return fail("invalid tenant name \"" + tenant +
+                "\" — use [A-Za-z0-9._-], no leading dot");
   }
 
   std::set<std::string> omit;
   if (obs::JsonPtr omit_v = doc->Get("omit_views"); omit_v != nullptr) {
     if (!omit_v->is_array()) {
-      obs::Add(obs::Counter::kServiceRequestsFailed);
-      return ErrorResponse(400, "\"omit_views\" must be an array of view names");
+      return fail("\"omit_views\" must be an array of view names");
     }
     for (const obs::JsonPtr& item : omit_v->AsArray()) {
       if (!item->is_string()) {
-        obs::Add(obs::Counter::kServiceRequestsFailed);
-        return ErrorResponse(400, "\"omit_views\" must be an array of view names");
+        return fail("\"omit_views\" must be an array of view names");
       }
       omit.insert(item->AsString());
     }
   }
 
+  bool want_trace = false;
+  if (obs::JsonPtr trace_v = doc->Get("trace"); trace_v != nullptr) {
+    if (!trace_v->is_bool()) {
+      return fail("\"trace\" must be a boolean");
+    }
+    want_trace = trace_v->AsBool();
+  }
+
   app::App app("", "");
   std::string build_error;
   if (!BuildRevision(app_name, omit, &app, &build_error)) {
-    obs::Add(obs::Counter::kServiceRequestsFailed);
-    return ErrorResponse(400, build_error);
+    return fail(build_error);
   }
 
-  std::string span_name;
-  if (obs::Enabled()) {
-    span_name = "analyze:" + tenant + ":" + app_name;
-  }
-  obs::ScopedSpan span(std::move(span_name), obs::kCatService);
+  // Request scope: from here on, every span this thread (and the pool workers running
+  // this request's pairs) closes is stamped with `seq` — and, when the caller asked for
+  // an inline trace, copied into `capture`. The queue wait becomes the first span of
+  // the tree, back-dated to its admission timestamp.
+  obs::TraceCapture capture;
+  obs::ScopedTraceContext trace_scope(seq, want_trace ? &capture : nullptr);
+  obs::RecordSpan("queue_wait", obs::kCatService, enqueue_us, dequeue_us);
+  obs::Observe(obs::Hist::kServiceQueueWaitMicros,
+               static_cast<uint64_t>(queue_wait_us));
 
   const std::string store_dir = engine_->TenantStoreDir(tenant, app_name);
   std::string mode;
   bool cold = true;
   PipelineResult run;
-  if (store_dir.empty()) {
-    mode = "run";
-    run = engine_->Run(app);
-  } else {
-    mode = "incremental";
-    IncrementalResult inc = engine_->RunIncremental(app, store_dir);
-    cold = inc.cold;
-    run = std::move(inc.run);
+  {
+    // Nested scope: the request span must close before the capture is serialized.
+    std::string span_name;
+    if (obs::Enabled()) {
+      span_name = "analyze:" + tenant + ":" + app_name;
+    }
+    obs::ScopedSpan span(std::move(span_name), obs::kCatService);
+    if (store_dir.empty()) {
+      mode = "run";
+      run = engine_->Run(app);
+    } else {
+      mode = "incremental";
+      IncrementalResult inc = engine_->RunIncremental(app, store_dir);
+      cold = inc.cold;
+      run = std::move(inc.run);
+    }
   }
 
   std::string body = "{\"app\": " + JsonStr(app_name) + ", \"tenant\": " + JsonStr(tenant) +
                      ", \"mode\": " + JsonStr(mode) +
                      ", \"cold\": " + (cold ? "true" : "false") +
                      ", \"store\": " + JsonStr(store_dir) +
+                     ", \"trace_id\": " + JsonStr(trace_id) +
                      ", \"pairs\": " + std::to_string(run.restrictions.num_checks()) +
                      ", \"num_restrictions\": " +
                      std::to_string(run.restrictions.num_restrictions()) +
@@ -410,11 +493,47 @@ HttpResponse Server::HandleAnalyze(const HttpRequest& req) {
           ", \"pairs_replayed\": " + std::to_string(st.pairs_replayed) +
           ", \"pairs_computed\": " + std::to_string(st.pairs_computed) +
           ", \"threads\": " + std::to_string(st.threads_used) +
-          "}, \"seconds\": " + std::to_string(run.total_seconds) + "}\n";
+          "}, \"seconds\": " + std::to_string(run.total_seconds);
+  if (want_trace) {
+    body += ", \"trace\": " + capture.ChromeTraceJson(trace_id);
+  }
+  body += "}\n";
 
+  const uint64_t handle_us = static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6);
+  const obs::MetricLabels labels{tenant, app_name, cold ? "cold" : "warm"};
   obs::Add(obs::Counter::kServiceRequestsOk);
+  obs::AddLabeled(obs::Counter::kServiceRequestsOk, labels);
   obs::Observe(obs::Hist::kServiceRequestMicros,
-               static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6));
+               handle_us + static_cast<uint64_t>(queue_wait_us));
+  obs::ObserveLabeled(obs::Hist::kServiceRequestMicros, labels,
+                      handle_us + static_cast<uint64_t>(queue_wait_us));
+  obs::Observe(obs::Hist::kServiceHandleMicros, handle_us);
+  obs::ObserveLabeled(obs::Hist::kServiceHandleMicros, labels, handle_us);
+  obs::ObserveLabeled(obs::Hist::kServiceQueueWaitMicros, labels,
+                      static_cast<uint64_t>(queue_wait_us));
+  // Verdict provenance per tenant/app: how much of this request was solved fresh vs
+  // replayed from the store vs retired by the prefilter. Zero deltas are dropped.
+  obs::AddLabeled(obs::Counter::kServiceVerdicts,
+                  obs::MetricLabels{tenant, app_name, "computed"}, st.pairs_computed);
+  obs::AddLabeled(obs::Counter::kServiceVerdicts,
+                  obs::MetricLabels{tenant, app_name, "replayed"}, st.pairs_replayed);
+  obs::AddLabeled(obs::Counter::kServiceVerdicts,
+                  obs::MetricLabels{tenant, app_name, "prefiltered"}, st.prefiltered);
+
+  access_log(200);
+  if (options_.slow_ms > 0 &&
+      handle_us >= static_cast<uint64_t>(options_.slow_ms) * 1000 &&
+      log_.Enabled(obs::LogLevel::kWarn) && slow_limiter_.Allow()) {
+    log_.Log(obs::LogLevel::kWarn, "slow_request",
+             {{"trace_id", trace_id},
+              {"tenant", tenant},
+              {"app", app_name},
+              {"service_us", handle_us},
+              {"queue_wait_us", queue_wait_us},
+              {"slow_ms_threshold", static_cast<int64_t>(options_.slow_ms)},
+              {"cold", cold}});
+  }
+
   HttpResponse resp;
   resp.body = std::move(body);
   return resp;
@@ -455,8 +574,60 @@ std::string Server::MetricsJson() const {
     out += JsonStr(obs::HistName(static_cast<obs::Hist>(i))) + ": " +
            HistJson(obs::LiveHistogram(static_cast<obs::Hist>(i)));
   }
-  out += "}}\n";
+  // Per-tenant breakdown: every labeled row as one flat object, deterministic order
+  // (metric index, then label tuple). Empty until the first labeled emission.
+  out += "}, \"labeled\": {\"counters\": [";
+  bool first = true;
+  for (const obs::LabeledCounterRow& row : obs::LiveLabeledCounters()) {
+    out += std::string(first ? "" : ", ") +
+           "{\"name\": " + JsonStr(obs::CounterName(row.counter)) +
+           ", \"tenant\": " + JsonStr(row.labels.tenant) +
+           ", \"app\": " + JsonStr(row.labels.app) +
+           ", \"mode\": " + JsonStr(row.labels.mode) +
+           ", \"value\": " + std::to_string(row.value) + "}";
+    first = false;
+  }
+  out += "], \"histograms\": [";
+  first = true;
+  for (const obs::LabeledHistRow& row : obs::LiveLabeledHistograms()) {
+    out += std::string(first ? "" : ", ") +
+           "{\"name\": " + JsonStr(obs::HistName(row.hist)) +
+           ", \"tenant\": " + JsonStr(row.labels.tenant) +
+           ", \"app\": " + JsonStr(row.labels.app) +
+           ", \"mode\": " + JsonStr(row.labels.mode) +
+           ", \"summary\": " + HistJson(row.summary) + "}";
+    first = false;
+  }
+  out += "]}}\n";
   return out;
+}
+
+std::string Server::MetricsPrometheus() const {
+  std::vector<obs::PromSample> extras;
+  auto gauge = [&](const char* name, const char* help, uint64_t value) {
+    obs::PromSample s;
+    s.name = std::string("noctua_service_") + name;
+    s.help = help;
+    s.type = "gauge";
+    s.value = value;
+    extras.push_back(std::move(s));
+  };
+  gauge("admitted", "analysis requests admitted to the queue",
+        admitted_.load(std::memory_order_relaxed));
+  gauge("rejected", "requests refused by admission control",
+        rejected_.load(std::memory_order_relaxed));
+  gauge("completed", "analysis requests finished",
+        completed_.load(std::memory_order_relaxed));
+  gauge("in_flight", "analysis requests executing now",
+        static_cast<uint64_t>(in_flight_.load(std::memory_order_relaxed)));
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    gauge("queue_depth", "admitted requests waiting for a worker", queue_.size());
+  }
+  gauge("workers", "worker pool size", static_cast<uint64_t>(options_.workers));
+  gauge("verdict_cache_entries", "entries in the engine verdict cache",
+        engine_->verdicts().size());
+  return obs::PrometheusText(extras);
 }
 
 void Server::RequestShutdown() {

@@ -49,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/pipeline/engine.h"
 #include "src/service/protocol.h"
@@ -75,6 +76,14 @@ struct ServiceOptions {
   // Per-connection socket receive/send timeout, so a stalled client cannot wedge the
   // accept thread or a worker.
   int io_timeout_seconds = 10;
+  // Structured event log: minimum level and sink (empty = stderr). The default kWarn
+  // keeps embedded servers (tests, benches) quiet; noctua-serve lowers it to kInfo so
+  // the daemon writes per-request access-log lines.
+  obs::LogLevel log_level = obs::LogLevel::kWarn;
+  std::string log_file;
+  // Requests slower than this (worker execution time) emit a rate-limited kWarn
+  // "slow_request" line; 0 disables the slow log.
+  int slow_ms = 1000;
   // The engine this server owns; artifact_root inside it enables per-tenant stores.
   EngineConfig engine;
 };
@@ -102,20 +111,24 @@ class Server {
   const ServiceOptions& options() const { return options_; }
   Engine& engine() { return *engine_; }
 
-  // The /metrics response body. Exposed for tests (strict-JSON round-trip checks).
+  // The /metrics response bodies. Exposed for tests (strict-JSON round-trip and
+  // Prometheus exposition checks).
   std::string MetricsJson() const;
+  std::string MetricsPrometheus() const;
 
  private:
   struct Job {
     int fd = -1;
     HttpRequest req;
+    int64_t enqueue_us = 0;  // obs::SteadyNowMicros() at admission
   };
 
   void AcceptLoop();
   void ReaderLoop();
   void WorkerLoop();
   void HandleConnection(int fd);
-  HttpResponse HandleAnalyze(const HttpRequest& req);
+  HttpResponse HandleAnalyze(const HttpRequest& req, int64_t enqueue_us,
+                             int64_t dequeue_us);
   void RequestShutdown();
 
   ServiceOptions options_;
@@ -146,6 +159,12 @@ class Server {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<int> in_flight_{0};
+
+  // Internal trace-id sequence: each analyze request gets the next value as its span
+  // trace id; the external id (header-supplied or "ntr-<seq>") rides the response.
+  std::atomic<uint64_t> trace_seq_{0};
+  obs::EventLog log_;
+  obs::LogRateLimiter slow_limiter_{/*per_second=*/1.0, /*burst=*/5.0};
 };
 
 }  // namespace noctua::service

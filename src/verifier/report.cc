@@ -262,10 +262,16 @@ RestrictionReport AnalyzeRestrictions(const Checker& checker,
     return o;
   };
 
+  // The submitting thread's request-scoped trace context, captured once so every pool
+  // task below re-installs it: per-pair spans inherit the service request (if any) that
+  // scheduled this run, even when they execute on a shared pool worker.
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
+
   auto run_job = [&](size_t k) {
     // Route every solver accumulation this task performs (including portfolio races,
     // which re-install the current sink on their contestant threads) to this run's sink.
     smt::ScopedSolverCounterSink scoped_sink(sink);
+    obs::ScopedTraceContext trace_scope(trace_ctx);
     const PairJob& job = jobs[k];
     const soir::CodePath& p = paths[job.i];
     const soir::CodePath& q = paths[job.j];

@@ -1,19 +1,26 @@
-// Tests for the observability layer: histogram bucket math, counter/histogram
-// aggregation, concurrent span recording through the worker pool (the TSan target),
-// Chrome-trace export parsed back through the bundled JSON parser, the RunReport built
-// from a real pipeline run, and the verdict cache's per-shard statistics and bounded
-// eviction.
+// Tests for the observability layer: histogram bucket math (exact reservoir
+// percentiles, intra-bucket interpolation), counter/histogram aggregation, labeled
+// per-tenant metrics with the cardinality cap, request-scoped trace contexts and
+// capture, concurrent span recording through the worker pool (the TSan target),
+// Chrome-trace export parsed back through the bundled JSON parser, Prometheus text
+// exposition and its checker, the structured event log, the RunReport built from a
+// real pipeline run, and the verdict cache's per-shard statistics and bounded eviction.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/apps/apps.h"
 #include "src/obs/json.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
+#include "src/obs/prom.h"
 #include "src/obs/report.h"
 #include "src/pipeline/pipeline.h"
 #include "src/support/thread_pool.h"
@@ -62,10 +69,11 @@ TEST(HistBuckets, ObserveExtremesDoesNotCorrupt) {
   EXPECT_EQ(s.max, UINT64_MAX);
 }
 
-TEST(HistBuckets, PercentilesAreBucketLowerBounds) {
+TEST(HistBuckets, SmallCountPercentilesAreExact) {
   Collector collector(ObsOptions{.enabled = true});
-  // 100 samples: 98 in bucket [64, 128), 2 in bucket [4096, 8192). p50/p95 sit in the
-  // dense bucket, p99 in the sparse one; the summary reports bucket lower bounds.
+  // 100 samples: 98 at 100, 2 at 5000. Count <= kHistReservoir, so the summary reports
+  // exact nearest-rank percentiles from the sample reservoir — NOT bucket lower bounds
+  // (64 / 4096 here); a service histogram with one sample per request never quantizes.
   for (int i = 0; i < 98; ++i) {
     Observe(Hist::kPairMicros, 100);
   }
@@ -77,10 +85,49 @@ TEST(HistBuckets, PercentilesAreBucketLowerBounds) {
   EXPECT_EQ(s.sum, 98u * 100 + 2 * 5000);
   EXPECT_EQ(s.min, 100u);
   EXPECT_EQ(s.max, 5000u);
-  EXPECT_EQ(s.p50, 64u);
-  EXPECT_EQ(s.p95, 64u);
-  EXPECT_EQ(s.p99, 4096u);
+  EXPECT_EQ(s.p50, 100u);
+  EXPECT_EQ(s.p95, 100u);
+  EXPECT_EQ(s.p99, 5000u);
   EXPECT_DOUBLE_EQ(s.Mean(), (98.0 * 100 + 2 * 5000) / 100.0);
+}
+
+TEST(HistBuckets, LargeCountPercentilesInterpolateWithinBuckets) {
+  Collector collector(ObsOptions{.enabled = true});
+  // 512 samples (past the reservoir): 400 at 100 (bucket [64, 128)), 112 at 5000
+  // (bucket [4096, 8192)). Percentiles interpolate linearly inside the bucket holding
+  // the rank and clamp to the observed [min, max].
+  for (int i = 0; i < 400; ++i) {
+    Observe(Hist::kPairMicros, 100);
+  }
+  for (int i = 0; i < 112; ++i) {
+    Observe(Hist::kPairMicros, 5000);
+  }
+  collector.Stop();
+  HistSummary s = collector.histogram(Hist::kPairMicros);
+  EXPECT_EQ(s.count, 512u);
+  EXPECT_EQ(s.min, 100u);
+  EXPECT_EQ(s.max, 5000u);
+  // Rank 256 of 512 falls 256/400 of the way through [64, 127]: 64 + 63 * 0.64 = 104 —
+  // close to the true 100, never the old bucket-floor 64.
+  EXPECT_EQ(s.p50, 104u);
+  // p95/p99 ranks land in the sparse top bucket; the interpolated value clamps to the
+  // observed max instead of overshooting toward 8191.
+  EXPECT_EQ(s.p95, 5000u);
+  EXPECT_EQ(s.p99, 5000u);
+}
+
+TEST(HistBuckets, SingleValuedHistogramStaysExactPastReservoir) {
+  Collector collector(ObsOptions{.enabled = true});
+  for (int i = 0; i < 300; ++i) {
+    Observe(Hist::kPairMicros, 100);
+  }
+  collector.Stop();
+  HistSummary s = collector.histogram(Hist::kPairMicros);
+  EXPECT_EQ(s.count, 300u);
+  // The [min, max] clamp keeps a constant-valued histogram exact at any count.
+  EXPECT_EQ(s.p50, 100u);
+  EXPECT_EQ(s.p95, 100u);
+  EXPECT_EQ(s.p99, 100u);
 }
 
 // -----------------------------------------------------------------------------
@@ -180,6 +227,210 @@ TEST(ConcurrentSpans, CountersAccumulateAcrossThreads) {
 }
 
 // -----------------------------------------------------------------------------
+// Labeled metrics: per-tenant breakdown with a bounded label registry
+
+TEST(LabeledMetrics, RowsBreakDownByTenantAppMode) {
+  Collector collector(ObsOptions{.enabled = true});
+  AddLabeled(Counter::kServiceRequestsOk, {"alice", "Todo", "cold"}, 1);
+  AddLabeled(Counter::kServiceRequestsOk, {"alice", "Todo", "cold"}, 2);
+  AddLabeled(Counter::kServiceRequestsOk, {"bob", "Todo", "warm"}, 1);
+  ObserveLabeled(Hist::kServiceHandleMicros, {"alice", "Todo", "cold"}, 150);
+  ObserveLabeled(Hist::kServiceHandleMicros, {"alice", "Todo", "cold"}, 250);
+
+  std::vector<LabeledCounterRow> counters = LiveLabeledCounters();
+  ASSERT_EQ(counters.size(), 2u);
+  // Deterministic (metric, labels) order: alice before bob.
+  EXPECT_EQ(counters[0].labels.tenant, "alice");
+  EXPECT_EQ(counters[0].labels.app, "Todo");
+  EXPECT_EQ(counters[0].labels.mode, "cold");
+  EXPECT_EQ(counters[0].counter, Counter::kServiceRequestsOk);
+  EXPECT_EQ(counters[0].value, 3u);  // 1 + 2 merged into one row
+  EXPECT_EQ(counters[1].labels.tenant, "bob");
+  EXPECT_EQ(counters[1].value, 1u);
+
+  std::vector<LabeledHistRow> hists = LiveLabeledHistograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].hist, Hist::kServiceHandleMicros);
+  EXPECT_EQ(hists[0].summary.count, 2u);
+  EXPECT_EQ(hists[0].summary.sum, 400u);
+  EXPECT_EQ(hists[0].summary.min, 150u);
+  EXPECT_EQ(hists[0].summary.max, 250u);
+  EXPECT_EQ(hists[0].summary.p50, 150u);  // exact: both samples in the reservoir
+  EXPECT_EQ(hists[0].buckets.count, 2u);
+  collector.Stop();
+}
+
+TEST(LabeledMetrics, DisabledAndZeroDeltaRecordNothing) {
+  ASSERT_FALSE(Enabled());
+  AddLabeled(Counter::kServiceRequestsOk, {"alice", "Todo", "cold"}, 5);  // no collector
+  EXPECT_TRUE(LiveLabeledCounters().empty());
+
+  Collector collector(ObsOptions{.enabled = true});
+  AddLabeled(Counter::kServiceRequestsOk, {"alice", "Todo", "cold"}, 0);  // empty delta
+  EXPECT_TRUE(LiveLabeledCounters().empty());
+  collector.Stop();
+  // After Stop the live view is empty again even though rows could exist.
+  EXPECT_TRUE(LiveLabeledCounters().empty());
+  EXPECT_TRUE(LiveLabeledHistograms().empty());
+}
+
+TEST(LabeledMetrics, CardinalityFoldsIntoOverflowTuple) {
+  Collector collector(ObsOptions{.enabled = true});
+  for (size_t i = 0; i < kMaxLabelSets; ++i) {
+    AddLabeled(Counter::kServiceRequests, {"t" + std::to_string(i), "app", "cold"}, 1);
+  }
+  // The registry is at capacity: fresh tenants fold into {_other, _other, mode}; the
+  // mode dimension survives (it is a closed set chosen by code, not by callers).
+  AddLabeled(Counter::kServiceRequests, {"fresh1", "app", "cold"}, 1);
+  AddLabeled(Counter::kServiceRequests, {"fresh2", "app", "cold"}, 1);
+  AddLabeled(Counter::kServiceRequests, {"fresh3", "app", "warm"}, 1);
+
+  std::vector<LabeledCounterRow> rows = LiveLabeledCounters();
+  collector.Stop();
+  uint64_t overflow_cold = 0, overflow_warm = 0;
+  size_t named = 0;
+  for (const LabeledCounterRow& row : rows) {
+    if (row.labels.tenant == kLabelOverflow) {
+      EXPECT_EQ(row.labels.app, kLabelOverflow);
+      (row.labels.mode == "cold" ? overflow_cold : overflow_warm) = row.value;
+    } else {
+      ++named;
+      EXPECT_EQ(row.value, 1u);
+    }
+  }
+  EXPECT_EQ(named, kMaxLabelSets);
+  EXPECT_EQ(overflow_cold, 2u);  // fresh1 + fresh2 merged
+  EXPECT_EQ(overflow_warm, 1u);
+  // No named row for the folded tenants exists anywhere.
+  for (const LabeledCounterRow& row : rows) {
+    EXPECT_NE(row.labels.tenant.rfind("fresh", 0), 0u) << row.labels.tenant;
+  }
+}
+
+// -----------------------------------------------------------------------------
+// Request-scoped trace context and capture
+
+TEST(TraceContext, SpansAreStampedAndCaptured) {
+  Collector collector(ObsOptions{.enabled = true});
+  TraceCapture capture;
+  {
+    ScopedTraceContext scope(42, &capture);
+    ScopedSpan span("req", kCatService);
+  }
+  { ScopedSpan span("outside", kCatService); }  // context restored: unstamped
+  collector.Stop();
+
+  ASSERT_EQ(collector.events().size(), 2u);
+  for (const TraceEvent& ev : collector.events()) {
+    EXPECT_EQ(ev.trace, ev.name == "req" ? 42u : 0u) << ev.name;
+  }
+  // The capture saw exactly the in-context span.
+  std::vector<TraceEvent> captured = capture.Snapshot();
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].name, "req");
+  EXPECT_EQ(captured[0].trace, 42u);
+}
+
+TEST(TraceContext, NestedScopesRestoreOuterContext) {
+  EXPECT_EQ(CurrentTraceContext().trace, 0u);
+  EXPECT_EQ(CurrentTraceContext().capture, nullptr);
+  {
+    ScopedTraceContext outer(1, nullptr);
+    EXPECT_EQ(CurrentTraceContext().trace, 1u);
+    {
+      TraceCapture capture;
+      ScopedTraceContext inner(2, &capture);
+      EXPECT_EQ(CurrentTraceContext().trace, 2u);
+      EXPECT_EQ(CurrentTraceContext().capture, &capture);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace, 1u);
+    EXPECT_EQ(CurrentTraceContext().capture, nullptr);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace, 0u);
+}
+
+TEST(TraceContext, RecordSpanBackfillsMeasuredInterval) {
+  Collector collector(ObsOptions{.enabled = true});
+  TraceCapture capture;
+  {
+    ScopedTraceContext scope(7, &capture);
+    // Queue-wait pattern: the interval was stamped elsewhere (reader thread) and is
+    // recorded after the fact on this thread.
+    int64_t start = SteadyNowMicros();
+    RecordSpan("queue_wait", kCatService, start, start + 800);
+  }
+  collector.Stop();
+  ASSERT_EQ(collector.events().size(), 1u);
+  const TraceEvent& ev = collector.events()[0];
+  EXPECT_EQ(ev.name, "queue_wait");
+  EXPECT_STREQ(ev.category, kCatService);
+  EXPECT_EQ(ev.dur_us, 800);
+  EXPECT_EQ(ev.trace, 7u);
+  ASSERT_EQ(capture.Snapshot().size(), 1u);
+  EXPECT_EQ(capture.Snapshot()[0].dur_us, 800);
+}
+
+TEST(TraceContext, NothingRecordsWithoutCollector) {
+  ASSERT_FALSE(Enabled());
+  TraceCapture capture;
+  ScopedTraceContext scope(9, &capture);
+  { ScopedSpan span("dead", kCatService); }
+  RecordSpan("also_dead", kCatService, 0, 100);
+  EXPECT_TRUE(capture.Snapshot().empty());
+}
+
+TEST(TraceContext, PoolTasksInheritSubmitterContextWhenPropagated) {
+  // The propagation idiom used by verifier::AnalyzeRestrictions: capture the context
+  // before ParallelFor, re-install it inside every task.
+  Collector collector(ObsOptions{.enabled = true});
+  TraceCapture capture;
+  {
+    ScopedTraceContext scope(31, &capture);
+    const TraceContext ctx = CurrentTraceContext();
+    ThreadPool pool(4);
+    pool.ParallelFor(64, [&ctx](size_t i) {
+      ScopedTraceContext task_scope(ctx);
+      ScopedSpan span(Enabled() ? "pair-" + std::to_string(i) : std::string(), kCatPair);
+    });
+  }
+  collector.Stop();
+  ASSERT_EQ(collector.events().size(), 64u);
+  for (const TraceEvent& ev : collector.events()) {
+    EXPECT_EQ(ev.trace, 31u) << ev.name;
+  }
+  EXPECT_EQ(capture.Snapshot().size(), 64u);
+}
+
+TEST(TraceCapture, ChromeTraceJsonInjectsExternalTraceId) {
+  Collector collector(ObsOptions{.enabled = true});
+  TraceCapture capture;
+  {
+    ScopedTraceContext scope(5, &capture);
+    ScopedSpan a("first", kCatService);
+    ScopedSpan b("second", kCatPipeline);
+  }
+  collector.Stop();
+
+  std::string error;
+  JsonPtr root = ParseJson(capture.ChromeTraceJson("req:abc"), &error);
+  ASSERT_NE(root, nullptr) << error;
+  EXPECT_EQ(root->Get("otherData")->Get("trace_id")->AsString(), "req:abc");
+  JsonPtr events = root->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  size_t spans = 0;
+  for (const JsonPtr& ev : events->AsArray()) {
+    if (ev->Get("ph")->AsString() != "X") {
+      continue;
+    }
+    ++spans;
+    // Every span of the request carries the external id as a string arg, so a tree
+    // merged into a larger trace stays filterable.
+    EXPECT_EQ(ev->Get("args")->Get("trace_id")->AsString(), "req:abc");
+  }
+  EXPECT_EQ(spans, 2u);
+}
+
+// -----------------------------------------------------------------------------
 // Chrome-trace export, parsed back with the bundled JSON parser
 
 TEST(ChromeTrace, ExportParsesBackWithExpectedShape) {
@@ -254,6 +505,181 @@ TEST(JsonParser, AcceptsAndRejects) {
   EXPECT_EQ(ParseJson("[1, 2,]", &error), nullptr);
   EXPECT_EQ(ParseJson("{} trailing", &error), nullptr);
   EXPECT_EQ(ParseJson("\"unterminated", &error), nullptr);
+}
+
+// -----------------------------------------------------------------------------
+// Prometheus text exposition and its checker
+
+TEST(Prometheus, MetricNameMapping) {
+  EXPECT_EQ(PrometheusMetricName("service.request_micros"),
+            "noctua_service_request_micros");
+  EXPECT_EQ(PrometheusMetricName("verifier.pairs_checked"),
+            "noctua_verifier_pairs_checked");
+}
+
+TEST(Prometheus, ExpositionRendersLiveRegistryAndValidates) {
+  Collector collector(ObsOptions{.enabled = true});
+  Add(Counter::kPairsChecked, 5);
+  AddLabeled(Counter::kServiceRequestsOk, {"alice", "Todo", "cold"}, 2);
+  for (int i = 0; i < 3; ++i) {
+    Observe(Hist::kPairMicros, 100);  // bucket [64, 128): le="127"
+  }
+  ObserveLabeled(Hist::kServiceHandleMicros, {"alice", "Todo", "cold"}, 1000);
+  std::vector<PromSample> extras;
+  extras.push_back({"noctua_service_queue_depth", "Admitted-not-started requests",
+                    "gauge", {}, 4});
+  std::string text = PrometheusText(extras);
+  collector.Stop();
+
+  std::string error;
+  size_t series = 0;
+  EXPECT_TRUE(CheckPrometheusText(text, &error, &series)) << error << "\n" << text;
+  EXPECT_GT(series, 0u);
+  auto has = [&](const std::string& line) {
+    EXPECT_NE(text.find(line + "\n"), std::string::npos) << "missing: " << line;
+  };
+  has("noctua_service_queue_depth 4");
+  has("noctua_verifier_pairs_checked_total 5");
+  // Labeled counter rows are extra series of the same family.
+  has("noctua_service_requests_ok_total{tenant=\"alice\",app=\"Todo\",mode=\"cold\"} 2");
+  // Histogram: cumulative buckets with integer le bounds, closed by +Inf/_sum/_count.
+  has("noctua_verifier_pair_micros_bucket{le=\"127\"} 3");
+  has("noctua_verifier_pair_micros_bucket{le=\"+Inf\"} 3");
+  has("noctua_verifier_pair_micros_sum 300");
+  has("noctua_verifier_pair_micros_count 3");
+  // Labeled histogram series carry the tenant labels plus le.
+  has("noctua_service_handle_micros_bucket{tenant=\"alice\",app=\"Todo\","
+      "mode=\"cold\",le=\"+Inf\"} 1");
+  has("noctua_service_handle_micros_count{tenant=\"alice\",app=\"Todo\","
+      "mode=\"cold\"} 1");
+}
+
+TEST(Prometheus, ExpositionSkipsEmptyFamiliesAndEscapesLabels) {
+  Collector collector(ObsOptions{.enabled = true});
+  AddLabeled(Counter::kServiceRequestsOk, {"al\"ice", "", "cold"}, 1);
+  std::string text = PrometheusText({});
+  collector.Stop();
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(text, &error)) << error << "\n" << text;
+  // The quote is escaped; the empty app label is omitted, not rendered as "".
+  EXPECT_NE(text.find("{tenant=\"al\\\"ice\",mode=\"cold\"} 1"), std::string::npos)
+      << text;
+  // Untouched families do not appear at all.
+  EXPECT_EQ(text.find("noctua_smt_solve_micros"), std::string::npos);
+}
+
+TEST(Prometheus, CheckerRejectsBrokenExpositions) {
+  std::string error;
+  // Well-formed minimal histogram passes.
+  EXPECT_TRUE(CheckPrometheusText(
+      "x_bucket{le=\"1\"} 2\nx_bucket{le=\"+Inf\"} 3\nx_sum 7\nx_count 3\n", &error))
+      << error;
+  // Non-monotone cumulative buckets.
+  EXPECT_FALSE(CheckPrometheusText(
+      "x_bucket{le=\"1\"} 5\nx_bucket{le=\"+Inf\"} 3\nx_sum 7\nx_count 3\n", &error));
+  EXPECT_NE(error.find("non-monotone"), std::string::npos) << error;
+  // Missing +Inf.
+  EXPECT_FALSE(
+      CheckPrometheusText("x_bucket{le=\"1\"} 2\nx_sum 7\nx_count 2\n", &error));
+  // _count disagrees with the +Inf bucket.
+  EXPECT_FALSE(CheckPrometheusText(
+      "x_bucket{le=\"+Inf\"} 3\nx_sum 7\nx_count 2\n", &error));
+  // Missing _sum.
+  EXPECT_FALSE(CheckPrometheusText("x_bucket{le=\"+Inf\"} 3\nx_count 3\n", &error));
+  // Malformed lines and names.
+  EXPECT_FALSE(CheckPrometheusText("9bad 1\n", &error));
+  EXPECT_FALSE(CheckPrometheusText("no_value\n", &error));
+  EXPECT_FALSE(CheckPrometheusText("x{le=\"unterminated} 1\n", &error));
+  EXPECT_FALSE(CheckPrometheusText("# FOO comment form\n", &error));
+  // Comments and blank lines are fine; label sets distinguish families.
+  size_t series = 0;
+  EXPECT_TRUE(CheckPrometheusText("# HELP a_total help text\n# TYPE a_total counter\n"
+                                  "\na_total 1\na_total{tenant=\"t\"} 1\n",
+                                  &error, &series))
+      << error;
+  EXPECT_EQ(series, 2u);
+}
+
+// -----------------------------------------------------------------------------
+// Structured event log
+
+TEST(EventLogTest, ParseLogLevelIsExact) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  LogLevel untouched = LogLevel::kWarn;
+  EXPECT_FALSE(ParseLogLevel("INFO", &untouched));
+  EXPECT_FALSE(ParseLogLevel("verbose", &untouched));
+  EXPECT_FALSE(ParseLogLevel("", &untouched));
+  EXPECT_EQ(untouched, LogLevel::kWarn);
+}
+
+TEST(EventLogTest, WritesJsonLinesAboveConfiguredLevel) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "noctua_obs_test_log.jsonl").string();
+  std::filesystem::remove(path);
+  {
+    EventLog log;
+    std::string error;
+    ASSERT_TRUE(log.Configure(LogLevel::kInfo, path, &error)) << error;
+    EXPECT_TRUE(log.Enabled(LogLevel::kInfo));
+    EXPECT_TRUE(log.Enabled(LogLevel::kError));
+    EXPECT_FALSE(log.Enabled(LogLevel::kDebug));
+    log.Log(LogLevel::kDebug, "dropped", {{"n", 1}});
+    log.Log(LogLevel::kInfo, "request",
+            {{"trace_id", std::string("ntr-1")},
+             {"tenant", std::string("al\"ice")},
+             {"status", 200},
+             {"queue_wait_us", uint64_t{41}},
+             {"ok", true},
+             {"ratio", 0.5}});
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  // Exactly one line (the debug probe was dropped), and it is strict JSON with the
+  // typed fields intact.
+  std::string error;
+  JsonPtr doc = ParseJson(line, &error);
+  ASSERT_NE(doc, nullptr) << error << "\nline: " << line;
+  EXPECT_GT(doc->Get("ts_ms")->AsDouble(), 0.0);
+  EXPECT_EQ(doc->Get("level")->AsString(), "info");
+  EXPECT_EQ(doc->Get("event")->AsString(), "request");
+  EXPECT_EQ(doc->Get("trace_id")->AsString(), "ntr-1");
+  EXPECT_EQ(doc->Get("tenant")->AsString(), "al\"ice");
+  EXPECT_EQ(doc->Get("status")->AsDouble(), 200.0);
+  EXPECT_EQ(doc->Get("queue_wait_us")->AsDouble(), 41.0);
+  EXPECT_TRUE(doc->Get("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(doc->Get("ratio")->AsDouble(), 0.5);
+  EXPECT_FALSE(std::getline(in, line));
+  std::filesystem::remove(path);
+}
+
+TEST(EventLogTest, ConfigureFailureKeepsPreviousSink) {
+  EventLog log;
+  std::string error;
+  EXPECT_FALSE(log.Configure(LogLevel::kInfo,
+                             "/nonexistent_noctua_dir/event.log", &error));
+  EXPECT_FALSE(error.empty());
+  // Still usable (stderr sink, default level untouched by the failed call's file).
+  log.Log(LogLevel::kDebug, "quiet", {});  // below level: no output, no crash
+}
+
+TEST(EventLogTest, RateLimiterAllowsBurstThenDenies) {
+  LogRateLimiter limiter(/*per_second=*/0.0, /*burst=*/3.0);
+  EXPECT_TRUE(limiter.Allow());
+  EXPECT_TRUE(limiter.Allow());
+  EXPECT_TRUE(limiter.Allow());
+  // Bucket empty and no refill: everything further is shed.
+  EXPECT_FALSE(limiter.Allow());
+  EXPECT_FALSE(limiter.Allow());
 }
 
 // -----------------------------------------------------------------------------

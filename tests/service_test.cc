@@ -1,6 +1,8 @@
 // Tests for Noctua-as-a-service (src/service): protocol strictness, admission
 // control, warm-vs-cold correctness against the direct pipeline, per-tenant artifact
-// namespace isolation, metrics well-formedness, and clean shutdown.
+// namespace isolation, metrics well-formedness (JSON and Prometheus exposition),
+// request-scoped tracing (trace-id round-trip, uniqueness under concurrency, inline
+// span trees), and clean shutdown.
 //
 // Every server here binds an ephemeral loopback port (port 0), so suites can run in
 // parallel without port collisions.
@@ -15,12 +17,14 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/apps/apps.h"
 #include "src/obs/json.h"
+#include "src/obs/prom.h"
 #include "src/pipeline/engine.h"
 #include "src/pipeline/pipeline.h"
 #include "src/service/client.h"
@@ -326,6 +330,235 @@ TEST(ServiceMetricsTest, MetricsAreStrictJsonWithLiveCounters) {
   EXPECT_GT(doc->Get("counters")->Get("verifier.pairs_checked")->AsInt(), 0);
   EXPECT_EQ(doc->Get("histograms")->Get("service.request_micros")->Get("count")->AsInt(), 1);
   EXPECT_GT(doc->Get("engine")->Get("verdict_cache_entries")->AsInt(), 0);
+}
+
+TEST(ServiceMetricsTest, PrometheusExpositionPassesCheckerWithTenantSeries) {
+  TestServer ts{ServiceOptions{}};
+  Client client = ts.client();
+  HttpResponse resp;
+  std::string error;
+  ASSERT_TRUE(client.Analyze("t1", "Todo", {}, &resp, &error)) << error;
+  ASSERT_EQ(resp.status, 200) << resp.body;
+
+  ASSERT_TRUE(client.Get("/metrics?format=prometheus", &resp, &error)) << error;
+  ASSERT_EQ(resp.status, 200);
+  // The exposition survives its own scrape-side contract test...
+  size_t series = 0;
+  EXPECT_TRUE(obs::CheckPrometheusText(resp.body, &error, &series))
+      << error << "\n" << resp.body;
+  EXPECT_GT(series, 10u);
+  // ...and the server's MetricsPrometheus() is the same body generator.
+  EXPECT_TRUE(obs::CheckPrometheusText(ts.server.MetricsPrometheus(), &error)) << error;
+
+  auto has = [&](const std::string& line) {
+    EXPECT_NE(resp.body.find(line + "\n"), std::string::npos) << "missing: " << line;
+  };
+  // Admission gauges, the unlabeled totals, and the per-tenant breakdown all made it.
+  has("noctua_service_workers 2");
+  has("noctua_service_requests_total 1");
+  has("noctua_service_requests_ok_total{tenant=\"t1\",app=\"Todo\",mode=\"cold\"} 1");
+  has("noctua_service_request_micros_count{tenant=\"t1\",app=\"Todo\","
+      "mode=\"cold\"} 1");
+  EXPECT_NE(resp.body.find("noctua_service_verdicts_total{tenant=\"t1\","
+                           "app=\"Todo\",mode=\"computed\"}"),
+            std::string::npos)
+      << resp.body;
+
+  // An unknown format is a 400, not a silent JSON fallback.
+  ASSERT_TRUE(client.Get("/metrics?format=xml", &resp, &error)) << error;
+  EXPECT_EQ(resp.status, 400);
+}
+
+TEST(ServiceMetricsTest, LabeledRowsAppearInJsonMetrics) {
+  std::string root = TempDir("labeled");
+  ServiceOptions options;
+  options.engine.artifact_root = root;
+  TestServer ts{options};
+  Client client = ts.client();
+  HttpResponse resp;
+  std::string error;
+  // Alice runs cold then warm (replayed from her store); bob runs cold once.
+  ASSERT_TRUE(client.Analyze("alice", "Todo", {}, &resp, &error)) << error;
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  ASSERT_TRUE(client.Analyze("alice", "Todo", {}, &resp, &error)) << error;
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  ASSERT_TRUE(client.Analyze("bob", "Todo", {}, &resp, &error)) << error;
+  ASSERT_EQ(resp.status, 200) << resp.body;
+
+  ASSERT_TRUE(client.Get("/metrics", &resp, &error)) << error;
+  obs::JsonPtr doc = obs::ParseJson(resp.body, &error);
+  ASSERT_NE(doc, nullptr) << error;
+  obs::JsonPtr labeled = doc->Get("labeled");
+  ASSERT_NE(labeled, nullptr);
+
+  // The cold/warm mode label splits alice's two requests into separate rows; bob has
+  // his own row — per-tenant breakdown, not one blended aggregate.
+  std::set<std::pair<std::string, std::string>> ok_rows;
+  for (const obs::JsonPtr& row : labeled->Get("counters")->AsArray()) {
+    if (row->Get("name")->AsString() == "service.requests_ok") {
+      ok_rows.emplace(row->Get("tenant")->AsString(), row->Get("mode")->AsString());
+      EXPECT_EQ(row->Get("value")->AsInt(), 1);
+    }
+  }
+  EXPECT_TRUE(ok_rows.count({"alice", "cold"}));
+  EXPECT_TRUE(ok_rows.count({"alice", "warm"}));
+  EXPECT_TRUE(ok_rows.count({"bob", "cold"}));
+
+  // Alice's latency histograms saw both requests, with queue-wait and handle phases
+  // broken out separately.
+  std::set<std::string> hist_names;
+  int alice_samples = 0;
+  for (const obs::JsonPtr& row : labeled->Get("histograms")->AsArray()) {
+    if (row->Get("tenant")->AsString() == "alice") {
+      hist_names.insert(row->Get("name")->AsString());
+      alice_samples += static_cast<int>(row->Get("summary")->Get("count")->AsInt());
+    }
+  }
+  EXPECT_TRUE(hist_names.count("service.request_micros"));
+  EXPECT_TRUE(hist_names.count("service.queue_wait_micros"));
+  EXPECT_TRUE(hist_names.count("service.handle_micros"));
+  // 3 histograms x (1 cold + 1 warm sample) each.
+  EXPECT_EQ(alice_samples, 6);
+  std::filesystem::remove_all(root);
+}
+
+// -----------------------------------------------------------------------------
+// Request-scoped tracing
+
+// The inline span tree of a traced response, parsed strictly. Returns the complete
+// ("ph": "X") events only.
+std::vector<obs::JsonPtr> TraceSpansOf(const std::string& body, std::string* trace_id) {
+  std::string error;
+  obs::JsonPtr doc = obs::ParseJson(body, &error);
+  EXPECT_NE(doc, nullptr) << error << "\nbody: " << body;
+  if (doc == nullptr) {
+    return {};
+  }
+  *trace_id = doc->Get("trace_id")->AsString();
+  obs::JsonPtr trace = doc->Get("trace");
+  EXPECT_NE(trace, nullptr) << body;
+  if (trace == nullptr) {
+    return {};
+  }
+  EXPECT_EQ(trace->Get("otherData")->Get("trace_id")->AsString(), *trace_id);
+  std::vector<obs::JsonPtr> spans;
+  for (const obs::JsonPtr& ev : trace->Get("traceEvents")->AsArray()) {
+    if (ev->Get("ph")->AsString() == "X") {
+      spans.push_back(ev);
+    }
+  }
+  return spans;
+}
+
+TEST(ServiceTracingTest, CallerSuppliedTraceIdRoundTripsThroughEverySpan) {
+  TestServer ts{ServiceOptions{}};
+  AnalyzeParams params;
+  params.tenant = "t1";
+  params.app = "Todo";
+  params.trace = true;
+  params.trace_id = "it:42.a-b_c";
+  HttpResponse resp;
+  std::string error;
+  ASSERT_TRUE(ts.client().Analyze(params, &resp, &error)) << error;
+  ASSERT_EQ(resp.status, 200) << resp.body;
+
+  std::string trace_id;
+  std::vector<obs::JsonPtr> spans = TraceSpansOf(resp.body, &trace_id);
+  EXPECT_EQ(trace_id, "it:42.a-b_c");
+  ASSERT_FALSE(spans.empty());
+
+  // One tree: every span carries the caller's id, covering admission (queue_wait), the
+  // engine run, and the per-pair verify fan-out — the pool workers inherited the
+  // request context across the ParallelFor boundary.
+  std::set<std::string> names, cats;
+  for (const obs::JsonPtr& span : spans) {
+    EXPECT_EQ(span->Get("args")->Get("trace_id")->AsString(), "it:42.a-b_c")
+        << span->Get("name")->AsString();
+    names.insert(span->Get("name")->AsString());
+    cats.insert(span->Get("cat")->AsString());
+  }
+  EXPECT_TRUE(names.count("queue_wait"));
+  EXPECT_TRUE(names.count("engine_run"));
+  EXPECT_TRUE(names.count("analyze:t1:Todo"));
+  for (const char* cat : {"service", "pipeline", "pair", "solve"}) {
+    EXPECT_TRUE(cats.count(cat)) << "missing category " << cat;
+  }
+}
+
+TEST(ServiceTracingTest, InvalidTraceHeaderIs400) {
+  TestServer ts{ServiceOptions{}};
+  AnalyzeParams params;
+  params.tenant = "t1";
+  params.app = "Todo";
+  params.trace_id = "bad header!";  // space and '!' are outside [A-Za-z0-9._:-]
+  HttpResponse resp;
+  std::string error;
+  ASSERT_TRUE(ts.client().Analyze(params, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_NE(resp.body.find("x-noctua-trace"), std::string::npos) << resp.body;
+
+  // Over-long ids are rejected too.
+  params.trace_id = std::string(65, 'a');
+  ASSERT_TRUE(ts.client().Analyze(params, &resp, &error)) << error;
+  EXPECT_EQ(resp.status, 400);
+
+  // A non-boolean "trace" key is a 400, not a silent ignore.
+  ASSERT_TRUE(ts.client().Post("/v1/analyze",
+                               "{\"tenant\": \"t1\", \"app\": \"Todo\", "
+                               "\"trace\": \"yes\"}",
+                               &resp, &error))
+      << error;
+  EXPECT_EQ(resp.status, 400);
+}
+
+TEST(ServiceTracingTest, UntracedResponsesStillCarryAGeneratedTraceId) {
+  TestServer ts{ServiceOptions{}};
+  HttpResponse resp;
+  std::string error;
+  ASSERT_TRUE(ts.client().Analyze("t1", "Todo", {}, &resp, &error)) << error;
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  obs::JsonPtr doc = obs::ParseJson(resp.body, &error);
+  ASSERT_NE(doc, nullptr) << error;
+  // The generated id is present (for log correlation) but no span tree was captured.
+  EXPECT_EQ(doc->Get("trace_id")->AsString().rfind("ntr-", 0), 0u);
+  EXPECT_EQ(doc->Get("trace"), nullptr);
+}
+
+TEST(ServiceTracingTest, ConcurrentRequestsNeverShareATraceId) {
+  ServiceOptions options;
+  options.workers = 4;
+  TestServer ts{options};
+  constexpr int kRequests = 8;
+  std::vector<std::string> ids(kRequests);
+  std::vector<std::thread> posters;
+  for (int i = 0; i < kRequests; ++i) {
+    posters.emplace_back([&, i] {
+      Client client("127.0.0.1", ts.server.port());
+      AnalyzeParams params;
+      params.tenant = "t" + std::to_string(i % 4);  // tenants overlap across requests
+      params.app = "Todo";
+      params.trace = true;
+      HttpResponse resp;
+      std::string error;
+      ASSERT_TRUE(client.Analyze(params, &resp, &error)) << error;
+      ASSERT_EQ(resp.status, 200) << resp.body;
+      std::string trace_id;
+      std::vector<obs::JsonPtr> spans = TraceSpansOf(resp.body, &trace_id);
+      ids[i] = trace_id;
+      // Every span of this response belongs to this request — even though all
+      // requests' spans interleaved in the shared per-thread buffers, none of another
+      // request's spans leaked into this capture.
+      ASSERT_FALSE(spans.empty());
+      for (const obs::JsonPtr& span : spans) {
+        EXPECT_EQ(span->Get("args")->Get("trace_id")->AsString(), trace_id);
+      }
+    });
+  }
+  for (std::thread& t : posters) {
+    t.join();
+  }
+  EXPECT_EQ(std::set<std::string>(ids.begin(), ids.end()).size(),
+            static_cast<size_t>(kRequests));
 }
 
 TEST(ServiceShutdownTest, ShutdownUnblocksWaitAndStopsServing) {
